@@ -1,0 +1,47 @@
+"""Benchmark: ablations of the methodology / substrate design choices.
+
+Covers the knobs DESIGN.md calls out: averaging-window vs instantaneous
+sampling, coarse-sampler coverage (challenge C1), the binning-margin
+trade-off, and CPU/GPU clock-drift sensitivity (the Lang et al. discussion).
+"""
+
+from conftest import print_rows
+
+from repro.experiments import (
+    run_binning_margin_sweep,
+    run_coarse_coverage,
+    run_drift_sensitivity,
+    run_sampler_ablation,
+)
+
+
+def test_ablation_sampler_window(benchmark, scale):
+    result = benchmark.pedantic(
+        run_sampler_ablation, kwargs={"scale": scale, "seed": 31}, iterations=1, rounds=1
+    )
+    print_rows("Ablation: averaging vs instantaneous sampler", [result.to_row()])
+    assert result.averaging_window_causes_split()
+
+
+def test_ablation_coarse_sampler_coverage(benchmark, scale):
+    result = benchmark.pedantic(
+        run_coarse_coverage, kwargs={"scale": scale, "seed": 32}, iterations=1, rounds=1
+    )
+    print_rows("Ablation: coarse (amd-smi-like) sampler coverage", [result.to_row()])
+    assert result.coarse_misses_kernels()
+
+
+def test_ablation_binning_margin(benchmark, scale):
+    result = benchmark.pedantic(
+        run_binning_margin_sweep, kwargs={"scale": scale, "seed": 33}, iterations=1, rounds=1
+    )
+    print_rows("Ablation: binning margin sweep (CB-4K-GEMM)", result.rows())
+    assert result.tighter_margin_keeps_fewer_runs()
+
+
+def test_ablation_clock_drift(benchmark, scale):
+    result = benchmark.pedantic(
+        run_drift_sensitivity, kwargs={"scale": scale, "seed": 34}, iterations=1, rounds=1
+    )
+    print_rows("Ablation: CPU/GPU clock drift sensitivity", result.rows())
+    assert result.error_grows_with_drift()

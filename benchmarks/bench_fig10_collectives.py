@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 10 (collectives vs CB-8K-GEMM, per-component power)."""
+
+from conftest import print_rows
+
+from repro.experiments import run_fig10
+
+
+def test_fig10_collective_comparison(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig10, kwargs={"scale": scale, "seed": 10}, iterations=1, rounds=1
+    )
+    print_rows("Figure 10 (per-kernel component power, SSP profiles)", result.rows())
+    print_rows("Figure 10 claims", [result.summary()])
+    claims = result.all_claims()
+    assert all(claims.values()), claims

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 5 (methodology evaluation on CB-4K-GEMM)."""
+
+from conftest import print_rows
+
+from repro.experiments import run_fig5
+
+
+def test_fig5_methodology_evaluation(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig5, kwargs={"scale": scale, "seed": 5}, iterations=1, rounds=1
+    )
+    print_rows("Figure 5 (methodology evaluation summary)", result.rows())
+    assert result.sync_captures_ramp()
+    assert result.binning_tightens_profile()
+    assert result.differentiation_matters()
+    assert result.resilient_to_fewer_runs()

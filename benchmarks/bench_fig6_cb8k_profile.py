@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 6 (CB-8K-GEMM total and XCD power over a run)."""
+
+from conftest import print_rows
+
+from repro.experiments import run_fig6
+from repro.viz.ascii import render_series
+
+
+def test_fig6_cb8k_run_profile(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig6, kwargs={"scale": scale, "seed": 6}, iterations=1, rounds=1
+    )
+    print_rows("Figure 6 summary", [result.summary()])
+    times = [t * 1e3 for t in result.total_series.times_s]
+    print(render_series(times, result.total_series.power_w,
+                        x_label="run time (ms)", y_label="total power (W)"))
+    assert result.throttling_detected
+    assert result.rise_then_fall_then_rise()
+    # Paper: ~20% SSE-vs-SSP spread for CB-8K-GEMM.
+    assert 0.05 < result.sse_vs_ssp_error < 0.35

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 7 (CB GEMMs vs MB GEMVs, per-component power)."""
+
+from conftest import print_rows
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_component_comparison(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"scale": scale, "seed": 7}, iterations=1, rounds=1
+    )
+    print_rows("Figure 7 (per-kernel component power, SSP profiles)", result.rows())
+    print_rows("Figure 7 claims", [result.summary()])
+    print_rows("SSE-vs-SSP errors", result.errors.to_rows())
+    print_rows("Power proportionality", result.proportionality.to_rows())
+    claims = result.all_claims()
+    assert all(claims.values()), claims

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 8 (CB-2K-GEMM total and XCD power over a run)."""
+
+from conftest import print_rows
+
+from repro.experiments import run_fig8
+from repro.viz.ascii import render_series
+
+
+def test_fig8_cb2k_run_profile(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"scale": scale, "seed": 8}, iterations=1, rounds=1
+    )
+    print_rows("Figure 8 summary", [result.summary()])
+    times = [t * 1e3 for t in result.total_series.times_s]
+    print(render_series(times, result.total_series.power_w,
+                        x_label="run time (ms)", y_label="total power (W)"))
+    assert result.gradual_rise()
+    # Paper: up to ~80% SSE-vs-SSP error for CB-2K-GEMM.
+    assert result.sse_vs_ssp_error > 0.4

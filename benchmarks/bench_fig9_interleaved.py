@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 9 (interleaved kernel power vs isolated SSP)."""
+
+from conftest import print_rows
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_interleaved_kernels(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"scale": scale, "seed": 9}, iterations=1, rounds=1
+    )
+    print_rows("Figure 9 (interleaved vs isolated SSP total power)", result.rows())
+    print_rows("Figure 9 expectations", [result.summary()])
+    assert result.short_kernels_affected_long_not()

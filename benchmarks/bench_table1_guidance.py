@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table I (FinGraV profiling guidance)."""
+
+from conftest import print_rows
+
+from repro.experiments import run_table1
+
+
+def test_table1_guidance(benchmark, scale):
+    result = benchmark.pedantic(
+        run_table1, kwargs={"scale": scale, "seed": 1}, iterations=1, rounds=1
+    )
+    print_rows("Table I (paper)", result.paper_rows())
+    print_rows("Table I (measured LOI economics)", result.rows())
+    assert result.recommendations_are_sufficient()
+    assert result.shorter_kernels_need_more_runs()

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table II (takeaways, guidance and recommendations)."""
+
+from conftest import print_rows
+
+from repro.experiments import run_table2
+
+
+def test_table2_insights(benchmark, scale):
+    result = benchmark.pedantic(
+        run_table2, kwargs={"scale": scale, "seed": 2}, iterations=1, rounds=1
+    )
+    print_rows("Table II (re-derived takeaways)", result.rows())
+    assert result.all_hold(), [t.to_row() for t in result.takeaways if not t.holds]

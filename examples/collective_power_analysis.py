@@ -1,0 +1,71 @@
+"""Power analysis of communication collectives on the 8-GPU platform (Figure 10).
+
+Profiles all-gather and all-reduce at latency-bound (64 KB / 128 KB) and
+bandwidth-bound (512 MB / 1 GB) payloads on the simulated Infinity Platform,
+compares them against the compute-bound 8K GEMM, and prints the classification
+of each payload as latency- vs bandwidth-bound together with the component
+power comparison -- the data behind the paper's observation that bandwidth-
+bound collectives sit between latency-bound collectives and GEMMs in total
+power while stressing the IOD and HBM.
+
+Usage::
+
+    python examples/collective_power_analysis.py [--runs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.comparative import ComponentComparison, compare_kernels
+from repro.core.report import comparative_report, format_duration
+from repro.experiments.common import make_backend, make_profiler
+from repro.kernels.workloads import cb_gemm, collective_suite
+from repro.viz.ascii import render_bar_chart
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=60,
+                        help="runs per collective kernel (default: 60)")
+    parser.add_argument("--gemm-runs", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=10)
+    args = parser.parse_args()
+
+    collectives = collective_suite()
+    print("Collective timing and boundedness classification:")
+    rows = []
+    for kernel in collectives:
+        timing = kernel.timing()
+        rows.append(
+            {
+                "kernel": kernel.name,
+                "payload": f"{kernel.message_bytes / 1024:.0f}KB"
+                if kernel.message_bytes < 1024 ** 2
+                else f"{kernel.message_bytes / 1024 ** 2:.0f}MB",
+                "duration": format_duration(timing.duration_s),
+                "regime": kernel.regime().value,
+            }
+        )
+    print(comparative_report(rows))
+
+    backend = make_backend(seed=args.seed)
+    profiler = make_profiler(backend, seed=args.seed + 100)
+    print(f"\nProfiling {len(collectives)} collectives ({args.runs} runs each) "
+          f"and CB-8K-GEMM ({args.gemm_runs} runs)...")
+    comm_cmp, _ = compare_kernels(profiler, collectives, runs=args.runs)
+    gemm_cmp, _ = compare_kernels(profiler, [cb_gemm(8192)], runs=args.gemm_runs)
+    comparison = ComponentComparison(
+        summaries=tuple(list(comm_cmp.summaries) + list(gemm_cmp.summaries))
+    )
+
+    print("\nPer-component SSP power (Figure 10):")
+    print(comparative_report(comparison.to_rows()))
+    print("\nTotal power, relative view:")
+    print(render_bar_chart(comparison.series("total")))
+    print("\nIOD power, relative view (bandwidth-bound collectives dominate):")
+    print(render_bar_chart(comparison.series("iod")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Component-level power comparison of the paper's GEMM/GEMV suite (Figure 7).
+
+Profiles the three compute-bound GEMMs and three memory-bound GEMVs with the
+FinGraV methodology, then prints the per-component comparison, the
+SSE-vs-SSP measurement errors, and the power-proportionality assessment that
+motivates the paper's recommendations 2 and 3 (optimise XCD power for
+compute-heavy kernels; pursue power proportionality for compute-light ones).
+
+Usage::
+
+    python examples/gemm_component_power.py [--gemm-runs N] [--gemv-runs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.comparative import ComponentComparison, compare_kernels
+from repro.analysis.errors import summarize_errors
+from repro.analysis.proportionality import assess_proportionality
+from repro.core.report import comparative_report
+from repro.experiments.common import make_backend, make_profiler
+from repro.kernels.workloads import cb_gemms, mb_gemvs
+from repro.viz.ascii import render_bar_chart
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gemm-runs", type=int, default=60)
+    parser.add_argument("--gemv-runs", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    backend = make_backend(seed=args.seed)
+    profiler = make_profiler(backend, seed=args.seed + 100)
+
+    gemms = cb_gemms()
+    gemvs = mb_gemvs()
+    print(f"Profiling {len(gemms)} compute-bound GEMMs "
+          f"({args.gemm_runs} runs each) and {len(gemvs)} memory-bound GEMVs "
+          f"({args.gemv_runs} runs each)...")
+    gemm_cmp, gemm_results = compare_kernels(profiler, gemms, runs=args.gemm_runs)
+    gemv_cmp, gemv_results = compare_kernels(profiler, gemvs, runs=args.gemv_runs)
+    comparison = ComponentComparison(
+        summaries=tuple(list(gemm_cmp.summaries) + list(gemv_cmp.summaries))
+    )
+
+    print("\nPer-component SSP power (Figure 7):")
+    print(comparative_report(comparison.to_rows()))
+
+    print("\nTotal power, relative view:")
+    print(render_bar_chart(comparison.series("total")))
+    print("\nIOD power, relative view (note MB-8K-GEMV):")
+    print(render_bar_chart(comparison.series("iod")))
+
+    errors = summarize_errors(gemm_results + gemv_results, backend.power_sample_period_s)
+    print("\nSSE-vs-SSP measurement error (guidance #1):")
+    print(comparative_report(errors.to_rows()))
+
+    proportionality = assess_proportionality(
+        [*gemms, *gemvs], comparison.summaries, backend.device.spec
+    )
+    print("\nPower proportionality (takeaway #4):")
+    print(comparative_report(proportionality.to_rows()))
+
+
+if __name__ == "__main__":
+    main()

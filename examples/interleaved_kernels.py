@@ -1,0 +1,70 @@
+"""Interleaved-execution power study (Figure 9) and measurement guidance #2.
+
+Measures how the power attributed to a kernel changes when other kernels run
+immediately before it: kernels shorter than the logger's 1 ms averaging window
+inherit the power level of their predecessors, while a compute-heavy GEMM
+longer than the window is essentially unaffected.  This is the paper's
+rationale for measurement guidance #2 (profile short kernels in isolation).
+
+Usage::
+
+    python examples/interleaved_kernels.py [--runs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.interleaving import InterleavingStudy
+from repro.core.report import comparative_report
+from repro.experiments.common import make_backend, make_profiler
+from repro.kernels.workloads import interleaving_scenarios
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=50,
+                        help="interleaved runs per scenario (default: 50)")
+    parser.add_argument("--seed", type=int, default=9)
+    args = parser.parse_args()
+
+    backend = make_backend(seed=args.seed)
+    profiler = make_profiler(backend, seed=args.seed + 100)
+    study = InterleavingStudy(backend, profiler=profiler, runs=args.runs, seed=args.seed + 200)
+
+    scenarios = interleaving_scenarios()
+    print("Scenarios (paper Figure 9):")
+    for scenario in scenarios:
+        print(f"  {scenario.describe()}")
+
+    print("\nProfiling isolated SSP references and interleaved executions...")
+    isolated = {}
+    for scenario in scenarios:
+        name = backend.kernel_name(scenario.kernel_of_interest)
+        if name not in isolated:
+            isolated[name] = study.isolated_ssp(scenario.kernel_of_interest)
+    measurements = study.run_scenarios(scenarios, isolated=isolated)
+
+    rows = []
+    for measurement in measurements:
+        rows.append(
+            {
+                "scenario": measurement.label,
+                "kernel": measurement.kernel_name,
+                "isolated_ssp_w": round(measurement.isolated_ssp_w, 1),
+                "interleaved_w": round(measurement.interleaved_w, 1),
+                "ratio": round(measurement.ratio, 2),
+                "direction": measurement.direction(),
+            }
+        )
+    print()
+    print(comparative_report(rows))
+    print(
+        "\nMeasurement guidance #2: kernels shorter than the power-averaging window"
+        "\nmust be profiled in isolation -- their measured power otherwise reflects"
+        "\nwhatever executed just before them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: profile one GEMM kernel with the FinGraV methodology.
+
+Runs the full nine-step methodology (paper Section IV-B) against the simulated
+MI300X backend for a compute-bound 4K GEMM, prints the profiling report, the
+SSE-vs-SSP measurement error, and an ASCII rendering of the whole-run power
+profile (the kind of view Figures 5/6/8 of the paper show).
+
+Usage::
+
+    python examples/quickstart.py [--runs N] [--size 2048|4096|8192]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import FinGraVProfiler, ProfilerConfig, SimulatedDeviceBackend, cb_gemm
+from repro.core.report import guidance_report, result_report
+from repro.core.guidance import paper_guidance_table
+from repro.viz.ascii import render_profile
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=80,
+                        help="number of instrumented runs (default: 80)")
+    parser.add_argument("--size", type=int, default=4096, choices=(2048, 4096, 8192),
+                        help="square GEMM size to profile")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("FinGraV profiling guidance (paper Table I):")
+    print(guidance_report(paper_guidance_table()))
+    print()
+
+    backend = SimulatedDeviceBackend(seed=args.seed)
+    profiler = FinGraVProfiler(backend, ProfilerConfig(seed=args.seed + 100))
+    kernel = cb_gemm(args.size)
+
+    print(f"Profiling {kernel.name} "
+          f"(op:byte ratio {kernel.arithmetic_intensity():.0f}, "
+          f"{'compute' if kernel.is_compute_bound() else 'memory'}-bound) ...")
+    result = profiler.profile(kernel, runs=args.runs)
+
+    print()
+    print(result_report(result))
+    print()
+    print("Component breakdown of the SSP profile (mean watts):")
+    for component, power in result.ssp_profile.component_summary().items():
+        print(f"  {component:>5s}: {power:7.1f} W")
+    print()
+    print(render_profile(result.run_profile, component="total", time_unit="ms"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""FinGraV reproduction: fine-grain GPU power visibility and insights.
+
+Reproduction of *FinGraV: Methodology for Fine-Grain GPU Power Visibility and
+Insights* (ISPASS 2025) as a Python library:
+
+* :mod:`repro.core`        -- the FinGraV methodology (time sync, binning,
+  SSE/SSP differentiation, stitching, the nine-step profiler).
+* :mod:`repro.gpu`         -- the simulated MI300X-class GPU, its power model,
+  DVFS firmware and 1 ms averaging power logger (hardware substitute).
+* :mod:`repro.kernels`     -- GEMM/GEMV and collective operator substrate.
+* :mod:`repro.analysis`    -- comparative, interleaving, proportionality and
+  insight analyses (paper Table II).
+* :mod:`repro.experiments` -- one driver per paper table and figure.
+
+Quickstart::
+
+    from repro import SimulatedDeviceBackend, FinGraVProfiler, cb_gemm
+
+    backend = SimulatedDeviceBackend(seed=0)
+    profiler = FinGraVProfiler(backend)
+    result = profiler.profile(cb_gemm(4096), runs=60)
+    print(result.ssp_profile.mean_power_w("total"))
+"""
+
+from .core import (
+    FineGrainProfile,
+    FinGraVProfiler,
+    FinGraVResult,
+    GuidanceTable,
+    ProfileKind,
+    ProfilerConfig,
+    paper_guidance_table,
+)
+from .gpu import (
+    GPUSpec,
+    InfinityPlatform,
+    PlatformSpec,
+    SimulatedDeviceBackend,
+    SimulatedGPU,
+    mi300x_platform_spec,
+    mi300x_spec,
+)
+from .kernels import (
+    CollectiveKernel,
+    GemmKernel,
+    GemvKernel,
+    RCCLLikeLibrary,
+    RocBLASLikeLibrary,
+    all_gather,
+    all_reduce,
+    cb_gemm,
+    cb_gemms,
+    collective_suite,
+    gemm_suite,
+    interleaving_scenarios,
+    mb_gemv,
+    mb_gemvs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "FineGrainProfile",
+    "FinGraVProfiler",
+    "FinGraVResult",
+    "GuidanceTable",
+    "ProfileKind",
+    "ProfilerConfig",
+    "paper_guidance_table",
+    "GPUSpec",
+    "InfinityPlatform",
+    "PlatformSpec",
+    "SimulatedDeviceBackend",
+    "SimulatedGPU",
+    "mi300x_platform_spec",
+    "mi300x_spec",
+    "CollectiveKernel",
+    "GemmKernel",
+    "GemvKernel",
+    "RCCLLikeLibrary",
+    "RocBLASLikeLibrary",
+    "all_gather",
+    "all_reduce",
+    "cb_gemm",
+    "cb_gemms",
+    "collective_suite",
+    "gemm_suite",
+    "interleaving_scenarios",
+    "mb_gemv",
+    "mb_gemvs",
+]

@@ -1,0 +1,54 @@
+"""Analyses built on top of FinGraV profiles.
+
+Comparative component analysis (Figs 7/10), interleaved-kernel studies
+(Fig 9), power-proportionality assessment, SSE-vs-SSP measurement-error
+summaries, trend fitting, and the programmatic Table II takeaway derivation.
+"""
+
+from .comparative import (
+    ComponentComparison,
+    KernelComponentSummary,
+    compare_kernels,
+    summary_from_profile,
+    summary_from_result,
+)
+from .energy import ApplicationEnergyModel, EnergyBreakdown, KernelInvocation
+from .errors import ErrorRecord, ErrorSummary, error_record_from_result, summarize_errors
+from .insights import Takeaway, derive_takeaways
+from .outliers import OutlierStudy, profile_outlier_executions
+from .interleaving import InterleavedMeasurement, InterleavingStudy
+from .proportionality import (
+    ProportionalityAssessment,
+    ProportionalityRecord,
+    assess_proportionality,
+)
+from .trends import TrendFit, fit_trend, linear_trend, profile_spread, trend_agreement
+
+__all__ = [
+    "ApplicationEnergyModel",
+    "EnergyBreakdown",
+    "KernelInvocation",
+    "OutlierStudy",
+    "profile_outlier_executions",
+    "ComponentComparison",
+    "KernelComponentSummary",
+    "compare_kernels",
+    "summary_from_profile",
+    "summary_from_result",
+    "ErrorRecord",
+    "ErrorSummary",
+    "error_record_from_result",
+    "summarize_errors",
+    "Takeaway",
+    "derive_takeaways",
+    "InterleavedMeasurement",
+    "InterleavingStudy",
+    "ProportionalityAssessment",
+    "ProportionalityRecord",
+    "assess_proportionality",
+    "TrendFit",
+    "fit_trend",
+    "linear_trend",
+    "profile_spread",
+    "trend_agreement",
+]

@@ -1,0 +1,160 @@
+"""Component-level comparative analysis across kernels (paper Figs 7 and 10).
+
+The paper compares the SSP power profiles of different kernels component by
+component (total / XCD / IOD / HBM), in relative terms, to reason about which
+GPU sub-component each class of computation stresses.  This module profiles a
+set of kernels with the FinGraV methodology and assembles those comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.profile import FineGrainProfile
+from ..core.profiler import FinGraVProfiler, FinGraVResult
+from ..core.records import COMPONENT_KEYS
+
+
+@dataclass(frozen=True)
+class KernelComponentSummary:
+    """Mean SSP power of one kernel, per component."""
+
+    kernel_name: str
+    execution_time_s: float
+    power_w: Mapping[str, float]
+    sse_vs_ssp_error: float | None = None
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def component(self, name: str) -> float:
+        try:
+            return float(self.power_w[name])
+        except KeyError as exc:
+            raise KeyError(f"summary has no component {name!r}") from exc
+
+    def relative_to(self, reference: "KernelComponentSummary") -> dict[str, float]:
+        """Component powers normalised to another kernel's (for relative plots)."""
+        return {
+            name: self.component(name) / reference.component(name)
+            for name in self.power_w
+            if name in reference.power_w and reference.component(name) > 0
+        }
+
+
+@dataclass(frozen=True)
+class ComponentComparison:
+    """The assembled comparison of several kernels."""
+
+    summaries: tuple[KernelComponentSummary, ...]
+    components: tuple[str, ...] = COMPONENT_KEYS
+
+    def __post_init__(self) -> None:
+        if not self.summaries:
+            raise ValueError("a comparison needs at least one kernel")
+
+    def kernel_names(self) -> list[str]:
+        return [summary.kernel_name for summary in self.summaries]
+
+    def summary_for(self, kernel_name: str) -> KernelComponentSummary:
+        for summary in self.summaries:
+            if summary.kernel_name == kernel_name:
+                return summary
+        raise KeyError(f"no summary for kernel {kernel_name!r}")
+
+    def series(self, component: str) -> dict[str, float]:
+        """Mapping kernel name -> mean power of one component."""
+        return {s.kernel_name: s.component(component) for s in self.summaries}
+
+    def normalized_series(self, component: str, reference_kernel: str | None = None) -> dict[str, float]:
+        """Component series normalised to a reference kernel (default: the max)."""
+        series = self.series(component)
+        if reference_kernel is None:
+            reference = max(series.values())
+        else:
+            reference = series[reference_kernel]
+        if reference <= 0:
+            raise ValueError("reference power must be positive")
+        return {name: value / reference for name, value in series.items()}
+
+    def ranking(self, component: str) -> list[str]:
+        """Kernel names sorted by descending power of one component."""
+        series = self.series(component)
+        return sorted(series, key=series.get, reverse=True)
+
+    def dominant_component(self, kernel_name: str) -> str:
+        """The breakdown component (not 'total') drawing the most power."""
+        summary = self.summary_for(kernel_name)
+        breakdown = {name: summary.component(name) for name in summary.power_w if name != "total"}
+        if not breakdown:
+            raise ValueError("summary has no component breakdown")
+        return max(breakdown, key=breakdown.get)
+
+    def to_rows(self) -> list[dict[str, object]]:
+        rows = []
+        for summary in self.summaries:
+            row: dict[str, object] = {
+                "kernel": summary.kernel_name,
+                "execution_time_s": summary.execution_time_s,
+            }
+            for component in self.components:
+                if component in summary.power_w:
+                    row[f"{component}_w"] = round(summary.component(component), 1)
+            if summary.sse_vs_ssp_error is not None:
+                row["sse_vs_ssp_error"] = round(summary.sse_vs_ssp_error, 3)
+            rows.append(row)
+        return rows
+
+
+def summary_from_result(result: FinGraVResult) -> KernelComponentSummary:
+    """Summarise one FinGraV result into its component means."""
+    profile = result.ssp_profile
+    if profile.is_empty:
+        raise ValueError(f"result for {result.kernel_name} has an empty SSP profile")
+    error: float | None
+    try:
+        error = result.sse_vs_ssp_error()
+    except ValueError:
+        error = None
+    return KernelComponentSummary(
+        kernel_name=result.kernel_name,
+        execution_time_s=result.execution_time_s,
+        power_w=profile.component_summary(),
+        sse_vs_ssp_error=error,
+        metadata=dict(result.metadata),
+    )
+
+
+def summary_from_profile(profile: FineGrainProfile) -> KernelComponentSummary:
+    """Summarise a stand-alone profile (used by the interleaving analysis)."""
+    if profile.is_empty:
+        raise ValueError(f"profile for {profile.kernel_name} is empty")
+    return KernelComponentSummary(
+        kernel_name=profile.kernel_name,
+        execution_time_s=profile.execution_time_s,
+        power_w=profile.component_summary(),
+        metadata=dict(profile.metadata),
+    )
+
+
+def compare_kernels(
+    profiler: FinGraVProfiler,
+    kernels: Sequence[object],
+    runs: int | None = None,
+) -> tuple[ComponentComparison, list[FinGraVResult]]:
+    """Profile each kernel with the FinGraV methodology and compare components."""
+    if not kernels:
+        raise ValueError("need at least one kernel to compare")
+    results = [profiler.profile(kernel, runs=runs) for kernel in kernels]
+    comparison = ComponentComparison(
+        summaries=tuple(summary_from_result(result) for result in results)
+    )
+    return comparison, results
+
+
+__all__ = [
+    "KernelComponentSummary",
+    "ComponentComparison",
+    "summary_from_result",
+    "summary_from_profile",
+    "compare_kernels",
+]

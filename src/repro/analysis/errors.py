@@ -1,0 +1,118 @@
+"""Power / energy measurement-error quantification (paper guidance #1).
+
+The headline cost of skipping FinGraV's power-profile differentiation is a
+power -- and therefore energy -- measurement error of up to 80 % for kernels
+much shorter than the logger's averaging window.  This module aggregates those
+errors across kernels and relates them to the ratio between kernel execution
+time and the averaging window, which is the paper's explanation for why the
+error shrinks as kernels grow (takeaway #1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.profiler import FinGraVResult
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """SSE-vs-SSP measurement error of one kernel."""
+
+    kernel_name: str
+    execution_time_s: float
+    averaging_window_s: float
+    sse_power_w: float
+    ssp_power_w: float
+
+    @property
+    def power_error(self) -> float:
+        """Relative power error of reporting SSE instead of SSP."""
+        if self.ssp_power_w <= 0:
+            raise ValueError("SSP power must be positive")
+        return abs(self.ssp_power_w - self.sse_power_w) / self.ssp_power_w
+
+    @property
+    def energy_error(self) -> float:
+        """Relative energy error (same execution time, so equal to the power error)."""
+        return self.power_error
+
+    @property
+    def window_fill_ratio(self) -> float:
+        """Kernel execution time relative to the averaging window."""
+        if self.averaging_window_s <= 0:
+            return float("inf")
+        return self.execution_time_s / self.averaging_window_s
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Measurement errors across a set of kernels."""
+
+    records: tuple[ErrorRecord, ...]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValueError("need at least one error record")
+
+    def max_error(self) -> float:
+        return max(record.power_error for record in self.records)
+
+    def record_for(self, kernel_name: str) -> ErrorRecord:
+        for record in self.records:
+            if record.kernel_name == kernel_name:
+                return record
+        raise KeyError(f"no error record for {kernel_name!r}")
+
+    def error_shrinks_with_execution_time(self) -> bool:
+        """Paper takeaway #1: longer kernels (relative to the window) err less.
+
+        Checked as: the kernel with the largest window-fill ratio has a smaller
+        error than the kernel with the smallest window-fill ratio.
+        """
+        ordered = sorted(self.records, key=lambda record: record.window_fill_ratio)
+        return ordered[-1].power_error < ordered[0].power_error
+
+    def to_rows(self) -> list[dict[str, object]]:
+        rows = []
+        for record in sorted(self.records, key=lambda r: r.window_fill_ratio):
+            rows.append(
+                {
+                    "kernel": record.kernel_name,
+                    "execution_time_us": round(record.execution_time_s * 1e6, 1),
+                    "window_fill": round(record.window_fill_ratio, 3),
+                    "sse_w": round(record.sse_power_w, 1),
+                    "ssp_w": round(record.ssp_power_w, 1),
+                    "error_pct": round(record.power_error * 100.0, 1),
+                }
+            )
+        return rows
+
+
+def error_record_from_result(result: FinGraVResult, averaging_window_s: float) -> ErrorRecord:
+    """Build an error record from a FinGraV profiling result."""
+    if result.sse_profile.is_empty or result.ssp_profile.is_empty:
+        raise ValueError(f"result for {result.kernel_name} lacks SSE or SSP points")
+    return ErrorRecord(
+        kernel_name=result.kernel_name,
+        execution_time_s=result.execution_time_s,
+        averaging_window_s=averaging_window_s,
+        sse_power_w=result.sse_profile.mean_power_w("total"),
+        ssp_power_w=result.ssp_profile.mean_power_w("total"),
+    )
+
+
+def summarize_errors(
+    results: Sequence[FinGraVResult], averaging_window_s: float
+) -> ErrorSummary:
+    """Aggregate SSE-vs-SSP errors over several profiling results."""
+    records = tuple(
+        error_record_from_result(result, averaging_window_s)
+        for result in results
+        if not result.sse_profile.is_empty and not result.ssp_profile.is_empty
+    )
+    return ErrorSummary(records=records)
+
+
+__all__ = ["ErrorRecord", "ErrorSummary", "error_record_from_result", "summarize_errors"]

@@ -1,0 +1,199 @@
+"""Programmatic derivation of the paper's Table II takeaways.
+
+Table II condenses the evaluation into five takeaways, each paired with a
+measurement guidance or a hardware/software recommendation.  This module
+re-derives each takeaway from the reproduced data (component comparisons,
+SSE-vs-SSP errors, interleaving measurements and the proportionality
+assessment) and reports whether it holds, together with the numeric evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .comparative import ComponentComparison
+from .errors import ErrorSummary
+from .interleaving import InterleavedMeasurement
+from .proportionality import ProportionalityAssessment
+
+
+@dataclass(frozen=True)
+class Takeaway:
+    """One row of Table II, evaluated against the reproduced data."""
+
+    number: int
+    statement: str
+    guidance: str
+    holds: bool
+    evidence: str
+
+    def to_row(self) -> dict[str, object]:
+        return {
+            "#": self.number,
+            "takeaway": self.statement,
+            "guidance/recommendation": self.guidance,
+            "holds": self.holds,
+            "evidence": self.evidence,
+        }
+
+
+def takeaway_1_profile_differentiation(errors: ErrorSummary) -> Takeaway:
+    """Similar execution times can manifest very different power profiles."""
+    max_error = errors.max_error()
+    shrinks = errors.error_shrinks_with_execution_time()
+    evidence = (
+        f"max SSE-vs-SSP error {max_error * 100:.0f}%; "
+        f"error {'shrinks' if shrinks else 'does not shrink'} as execution time grows "
+        "past the averaging window"
+    )
+    return Takeaway(
+        number=1,
+        statement=(
+            "Similar kernel execution times can manifest very different power "
+            "profiles depending on the kernel time vs the power-averaging window"
+        ),
+        guidance=(
+            "Measurement guidance 1: power profile differentiation (SSE vs SSP) "
+            "is crucial; skipping it can cause errors as high as 80%"
+        ),
+        holds=bool(max_error > 0.3 and shrinks),
+        evidence=evidence,
+    )
+
+
+def takeaway_2_power_scales_with_work(comparison: ComponentComparison,
+                                      cb_names: Sequence[str],
+                                      mb_names: Sequence[str]) -> Takeaway:
+    """Total power scales with work; components stressed per algorithm."""
+    cb_totals = [comparison.summary_for(name).component("total") for name in cb_names]
+    mb_totals = [comparison.summary_for(name).component("total") for name in mb_names]
+    mb_iods = [comparison.summary_for(name).component("iod") for name in mb_names]
+    cb_iods = [comparison.summary_for(name).component("iod") for name in cb_names]
+    cb_above_mb = min(cb_totals) > max(mb_totals)
+    mb_stress_iod = max(mb_iods) > max(cb_iods)
+    evidence = (
+        f"CB totals {min(cb_totals):.0f}-{max(cb_totals):.0f} W vs "
+        f"MB totals {min(mb_totals):.0f}-{max(mb_totals):.0f} W; "
+        f"max MB IOD {max(mb_iods):.0f} W vs max CB IOD {max(cb_iods):.0f} W"
+    )
+    return Takeaway(
+        number=2,
+        statement=(
+            "Total power scales with work done and different GPU components get "
+            "stressed based on the algorithmic nature of the computation"
+        ),
+        guidance=(
+            "Recommendation 1: exploit complementary power profiles by executing "
+            "such computations concurrently when power headroom allows"
+        ),
+        holds=bool(cb_above_mb and mb_stress_iod),
+        evidence=evidence,
+    )
+
+
+def takeaway_3_xcd_dominates_compute(comparison: ComponentComparison,
+                                     cb_names: Sequence[str]) -> Takeaway:
+    """Compute-heavy kernels are dominated by XCD component power."""
+    dominated = all(
+        comparison.dominant_component(name) == "xcd" for name in cb_names
+    )
+    shares = []
+    for name in cb_names:
+        summary = comparison.summary_for(name)
+        shares.append(summary.component("xcd") / summary.component("total"))
+    evidence = (
+        "XCD share of total for CB GEMMs: "
+        + ", ".join(f"{share * 100:.0f}%" for share in shares)
+    )
+    return Takeaway(
+        number=3,
+        statement="Compute-heavy kernels are dominated by XCD component power",
+        guidance=(
+            "Recommendation 2: prioritise techniques that optimise XCD power to "
+            "reduce total power of compute-heavy kernels"
+        ),
+        holds=bool(dominated and min(shares) > 0.6),
+        evidence=evidence,
+    )
+
+
+def takeaway_4_power_proportionality(proportionality: ProportionalityAssessment,
+                                     light_kernel: str,
+                                     heavy_kernel: str) -> Takeaway:
+    """Compute-light and compute-heavy kernels show similar XCD power."""
+    light = proportionality.record_for(light_kernel)
+    heavy = proportionality.record_for(heavy_kernel)
+    xcd_ratio = light.xcd_power_w / heavy.xcd_power_w
+    util_ratio = light.compute_utilization / heavy.compute_utilization
+    gap = proportionality.xcd_proportionality_gap(light_kernel, heavy_kernel)
+    evidence = (
+        f"{light_kernel} has {util_ratio * 100:.0f}% of {heavy_kernel}'s compute "
+        f"utilisation but {xcd_ratio * 100:.0f}% of its XCD power "
+        f"(proportionality gap {gap:.2f}x)"
+    )
+    return Takeaway(
+        number=4,
+        statement="Compute-light and compute-heavy kernels show similar XCD component power",
+        guidance=(
+            "Recommendation 3: GPU power proportionality needs attention, "
+            "especially for the XCD component of compute-light kernels"
+        ),
+        holds=bool(xcd_ratio > 0.75 and util_ratio < 0.75),
+        evidence=evidence,
+    )
+
+
+def takeaway_5_interleaving(measurements: Sequence[InterleavedMeasurement],
+                            unaffected_kernel: str) -> Takeaway:
+    """Short kernels inherit the power of their predecessors; long ones do not."""
+    affected = [m for m in measurements if m.kernel_name != unaffected_kernel]
+    unaffected = [m for m in measurements if m.kernel_name == unaffected_kernel]
+    short_affected = all(m.affected for m in affected) if affected else False
+    long_unaffected = all(not m.affected for m in unaffected) if unaffected else False
+    parts = [f"{m.label}: {m.ratio:.2f}x SSP ({m.direction()})" for m in measurements]
+    return Takeaway(
+        number=5,
+        statement=(
+            "Power of short kernels (memory-bound GEMVs, compute-light GEMMs) is "
+            "affected by the kernels preceding them; compute-heavy GEMMs are not"
+        ),
+        guidance=(
+            "Measurement guidance 2: use isolated executions to assess a kernel's "
+            "power when its execution time is shorter than the averaging window"
+        ),
+        holds=bool(short_affected and long_unaffected),
+        evidence="; ".join(parts),
+    )
+
+
+def derive_takeaways(
+    comparison: ComponentComparison,
+    errors: ErrorSummary,
+    proportionality: ProportionalityAssessment,
+    interleaving: Sequence[InterleavedMeasurement],
+    cb_names: Sequence[str],
+    mb_names: Sequence[str],
+    light_kernel: str,
+    heavy_kernel: str,
+    unaffected_kernel: str,
+) -> list[Takeaway]:
+    """Derive all five Table II takeaways from the reproduced data."""
+    return [
+        takeaway_1_profile_differentiation(errors),
+        takeaway_2_power_scales_with_work(comparison, cb_names, mb_names),
+        takeaway_3_xcd_dominates_compute(comparison, cb_names),
+        takeaway_4_power_proportionality(proportionality, light_kernel, heavy_kernel),
+        takeaway_5_interleaving(interleaving, unaffected_kernel),
+    ]
+
+
+__all__ = [
+    "Takeaway",
+    "takeaway_1_profile_differentiation",
+    "takeaway_2_power_scales_with_work",
+    "takeaway_3_xcd_dominates_compute",
+    "takeaway_4_power_proportionality",
+    "takeaway_5_interleaving",
+    "derive_takeaways",
+]

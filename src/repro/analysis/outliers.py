@@ -1,0 +1,111 @@
+"""Outlier-execution profiling (paper Section VI, "Outlier Executions").
+
+FinGraV's common-case profiles discard runs whose execution time falls outside
+the most populated bin.  The paper notes that the *outlier* executions are
+also worth studying and sketches how: apply the same methodology but focus the
+binning on a specific outlier execution time (changing step 6), accepting that
+more runs are needed to populate that bin.  This module implements that
+variant on top of an existing set of runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.binning import BinningResult, ExecutionTimeBinner
+from ..core.profile import FineGrainProfile
+from ..core.profiler import FinGraVResult
+from ..core.stitching import ProfileStitcher
+
+
+@dataclass(frozen=True)
+class OutlierStudy:
+    """Common-case vs outlier-bin profiles built from the same runs."""
+
+    kernel_name: str
+    common_profile: FineGrainProfile
+    outlier_profile: FineGrainProfile
+    common_execution_time_s: float
+    outlier_execution_time_s: float
+    outlier_runs: int
+
+    @property
+    def slowdown(self) -> float:
+        """How much slower the outlier executions are than the common case."""
+        if self.common_execution_time_s <= 0:
+            return 0.0
+        return self.outlier_execution_time_s / self.common_execution_time_s
+
+    def power_ratio(self, component: str = "total") -> float:
+        """Outlier power relative to the common-case power (same component)."""
+        if self.common_profile.is_empty or self.outlier_profile.is_empty:
+            raise ValueError("both profiles need points to compare power")
+        return self.outlier_profile.mean_power_w(component) / self.common_profile.mean_power_w(
+            component
+        )
+
+    def to_row(self) -> dict[str, object]:
+        row: dict[str, object] = {
+            "kernel": self.kernel_name,
+            "outlier_runs": self.outlier_runs,
+            "slowdown": round(self.slowdown, 3),
+        }
+        if not self.outlier_profile.is_empty and not self.common_profile.is_empty:
+            row["power_ratio"] = round(self.power_ratio(), 3)
+        return row
+
+
+def profile_outlier_executions(
+    result: FinGraVResult,
+    margin: float | None = None,
+    target_execution_time_s: float | None = None,
+) -> OutlierStudy:
+    """Build an outlier-bin SSP profile from an existing profiling result.
+
+    ``target_execution_time_s`` selects which outlier population to study; by
+    default the median execution time of the runs *excluded* by the original
+    golden-run selection is used.  Returns the common-case profile alongside
+    the outlier profile so they can be compared directly.
+    """
+    if result.binning is None:
+        raise ValueError("the result was produced without binning; no outliers to study")
+    margin = margin or result.binning.margin
+    durations = [run.ssp_execution.duration_s for run in result.runs]
+    run_indices = [run.run_index for run in result.runs]
+
+    outlier_positions = list(result.binning.outlier_indices)
+    if not outlier_positions:
+        raise ValueError("no outlier runs were recorded for this result")
+    if target_execution_time_s is None:
+        target_execution_time_s = float(
+            np.median([durations[i] for i in outlier_positions])
+        )
+
+    binner = ExecutionTimeBinner(margin)
+    outlier_bin: BinningResult = binner.bin_around(durations, target_execution_time_s)
+    outlier_runs = [run_indices[i] for i in outlier_bin.selected_indices]
+    if not outlier_runs:
+        raise ValueError(
+            "no runs fall within the margin of the requested outlier execution time"
+        )
+
+    stitcher = ProfileStitcher(calibration=result.calibration)
+    series = stitcher.collect(list(result.runs))
+    outlier_profile = stitcher.ssp_profile(
+        series, outlier_runs, min_execution_index=result.plan.ssp_index,
+        metadata={"outlier_bin": True, "target_execution_time_s": target_execution_time_s},
+    )
+    outlier_time = float(np.mean([durations[i] for i in outlier_bin.selected_indices]))
+    return OutlierStudy(
+        kernel_name=result.kernel_name,
+        common_profile=result.ssp_profile,
+        outlier_profile=outlier_profile,
+        common_execution_time_s=result.ssp_profile.execution_time_s,
+        outlier_execution_time_s=outlier_time,
+        outlier_runs=len(outlier_runs),
+    )
+
+
+__all__ = ["OutlierStudy", "profile_outlier_executions"]

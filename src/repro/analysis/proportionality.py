@@ -1,0 +1,145 @@
+"""GPU power proportionality analysis (paper takeaway #4, recommendation #3).
+
+The paper observes that CB-2K-GEMM achieves about half the compute utilisation
+of CB-4K/8K-GEMM yet draws similar XCD power -- the GPU is far from
+power proportional for compute-light kernels.  This module quantifies that:
+for each kernel it relates the rate of useful work (achieved fraction of peak
+compute, or of peak bandwidth for memory-bound kernels) to the power drawn by
+the corresponding component, and derives a proportionality index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..gpu.spec import GPUSpec, mi300x_spec
+from ..kernels.base import AIKernel
+from .comparative import KernelComponentSummary
+
+
+@dataclass(frozen=True)
+class ProportionalityRecord:
+    """Work rate vs component power for one kernel."""
+
+    kernel_name: str
+    compute_utilization: float
+    xcd_power_w: float
+    iod_power_w: float
+    llc_utilization: float
+    total_power_w: float
+
+    @property
+    def xcd_power_per_utilization(self) -> float:
+        """XCD watts per unit of achieved compute utilisation (lower = more proportional)."""
+        if self.compute_utilization <= 0:
+            return float("inf")
+        return self.xcd_power_w / self.compute_utilization
+
+
+@dataclass(frozen=True)
+class ProportionalityAssessment:
+    """Proportionality comparison across a set of kernels."""
+
+    records: tuple[ProportionalityRecord, ...]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValueError("need at least one record")
+
+    def record_for(self, kernel_name: str) -> ProportionalityRecord:
+        for record in self.records:
+            if record.kernel_name == kernel_name:
+                return record
+        raise KeyError(f"no proportionality record for {kernel_name!r}")
+
+    def xcd_proportionality_gap(self, light_kernel: str, heavy_kernel: str) -> float:
+        """How disproportionate the light kernel's XCD power is vs the heavy one.
+
+        Returns the ratio of (XCD power ratio) to (compute-utilisation ratio);
+        1.0 means perfectly proportional, larger means the compute-light kernel
+        burns more XCD power than its work rate justifies.
+        """
+        light = self.record_for(light_kernel)
+        heavy = self.record_for(heavy_kernel)
+        if light.compute_utilization <= 0 or heavy.compute_utilization <= 0:
+            raise ValueError("both kernels need a positive compute utilisation")
+        power_ratio = light.xcd_power_w / heavy.xcd_power_w
+        work_ratio = light.compute_utilization / heavy.compute_utilization
+        return power_ratio / work_ratio
+
+    def iod_tracks_llc_bandwidth(self) -> float:
+        """Correlation between IOD power and LLC utilisation across kernels.
+
+        The paper notes that, unlike XCD power, IOD power tracks LLC bandwidth
+        well.  Returns the Pearson correlation (1.0 = perfect tracking); with
+        fewer than three kernels the correlation is not meaningful and 0.0 is
+        returned.
+        """
+        if len(self.records) < 3:
+            return 0.0
+        import numpy as np
+
+        iod = np.asarray([record.iod_power_w for record in self.records])
+        llc = np.asarray([record.llc_utilization for record in self.records])
+        if np.std(iod) == 0 or np.std(llc) == 0:
+            return 0.0
+        return float(np.corrcoef(iod, llc)[0, 1])
+
+    def to_rows(self) -> list[dict[str, object]]:
+        rows = []
+        for record in self.records:
+            rows.append(
+                {
+                    "kernel": record.kernel_name,
+                    "compute_utilization": round(record.compute_utilization, 3),
+                    "xcd_w": round(record.xcd_power_w, 1),
+                    "xcd_w_per_util": round(record.xcd_power_per_utilization, 1)
+                    if record.compute_utilization > 0
+                    else float("inf"),
+                    "llc_utilization": round(record.llc_utilization, 3),
+                    "iod_w": round(record.iod_power_w, 1),
+                    "total_w": round(record.total_power_w, 1),
+                }
+            )
+        return rows
+
+
+def assess_proportionality(
+    kernels: Sequence[AIKernel],
+    summaries: Sequence[KernelComponentSummary],
+    spec: GPUSpec | None = None,
+) -> ProportionalityAssessment:
+    """Join kernel work rates with measured component powers.
+
+    ``kernels`` and ``summaries`` are matched by kernel name; kernels without
+    a matching summary are skipped.
+    """
+    spec = spec or mi300x_spec()
+    by_name = {summary.kernel_name: summary for summary in summaries}
+    records: list[ProportionalityRecord] = []
+    for kernel in kernels:
+        summary = by_name.get(kernel.name)
+        if summary is None:
+            continue
+        descriptor = kernel.activity_descriptor(spec)
+        records.append(
+            ProportionalityRecord(
+                kernel_name=kernel.name,
+                compute_utilization=descriptor.compute_utilization,
+                xcd_power_w=summary.component("xcd"),
+                iod_power_w=summary.component("iod"),
+                llc_utilization=descriptor.llc_utilization,
+                total_power_w=summary.component("total"),
+            )
+        )
+    if not records:
+        raise ValueError("no kernels matched the provided summaries")
+    return ProportionalityAssessment(records=tuple(records))
+
+
+__all__ = [
+    "ProportionalityRecord",
+    "ProportionalityAssessment",
+    "assess_proportionality",
+]

@@ -1,0 +1,103 @@
+"""Trend fitting and series helpers used by the figure reproductions.
+
+The paper overlays linear-regression trend lines on its component comparison
+figures and uses a degree-4 polynomial fit to show that ~50 runs already
+recover the overall power trend (Figure 5).  These helpers provide the fits
+and the goodness-of-fit measure used to compare a reduced-run profile against
+the full-run reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.profile import FineGrainProfile
+
+
+@dataclass(frozen=True)
+class TrendFit:
+    """A polynomial trend fitted to a profile."""
+
+    degree: int
+    coefficients: tuple[float, ...]
+    times_s: tuple[float, ...]
+    fitted_w: tuple[float, ...]
+
+    def evaluate(self, times_s: np.ndarray) -> np.ndarray:
+        return np.polyval(np.asarray(self.coefficients), np.asarray(times_s, dtype=float))
+
+    @property
+    def mean_w(self) -> float:
+        return float(np.mean(self.fitted_w))
+
+
+def fit_trend(
+    profile: FineGrainProfile,
+    component: str = "total",
+    degree: int = 4,
+    num_points: int = 100,
+) -> TrendFit:
+    """Polynomial trend of a profile (paper Figure 5 dashed line)."""
+    if profile.is_empty:
+        raise ValueError("cannot fit a trend to an empty profile")
+    times = profile.times()
+    powers = profile.series(component)
+    effective_degree = min(degree, max(len(times) - 1, 0))
+    grid = np.linspace(float(times.min()), float(times.max()), num_points)
+    if effective_degree == 0 or float(times.max()) == float(times.min()):
+        coefficients = np.asarray([float(np.mean(powers))])
+    else:
+        coefficients = np.polyfit(times, powers, deg=effective_degree)
+    fitted = np.polyval(coefficients, grid)
+    return TrendFit(
+        degree=effective_degree,
+        coefficients=tuple(float(c) for c in coefficients),
+        times_s=tuple(float(t) for t in grid),
+        fitted_w=tuple(float(p) for p in fitted),
+    )
+
+
+def linear_trend(profile: FineGrainProfile, component: str = "total") -> TrendFit:
+    """Linear regression line (the overlays of Figures 7 and 10)."""
+    return fit_trend(profile, component=component, degree=1)
+
+
+def trend_agreement(reference: TrendFit, candidate: TrendFit) -> float:
+    """How well a candidate trend matches a reference trend, in [0, 1].
+
+    Both trends are evaluated on the reference grid; the score is
+    ``1 - mean(|difference|) / mean(reference)``, clamped to [0, 1].  The
+    Figure-5 resiliency claim is that a 50-run degree-4 trend still agrees
+    closely with the 200-run profile.
+    """
+    grid = np.asarray(reference.times_s)
+    ref_values = reference.evaluate(grid)
+    cand_values = candidate.evaluate(grid)
+    ref_mean = float(np.mean(np.abs(ref_values)))
+    if ref_mean == 0:
+        return 1.0 if np.allclose(ref_values, cand_values) else 0.0
+    score = 1.0 - float(np.mean(np.abs(ref_values - cand_values))) / ref_mean
+    return float(min(max(score, 0.0), 1.0))
+
+
+def profile_spread(profile: FineGrainProfile, component: str = "total") -> float:
+    """Residual spread of profile points around their own degree-4 trend.
+
+    Used to show that execution-time binning tightens the profile: the golden
+    runs' points scatter less around the trend than the full, unbinned cloud.
+    """
+    if len(profile) < 3:
+        return 0.0
+    trend = fit_trend(profile, component=component)
+    times = profile.times()
+    powers = profile.series(component)
+    residuals = powers - trend.evaluate(times)
+    mean_power = float(np.mean(powers))
+    if mean_power == 0:
+        return 0.0
+    return float(np.std(residuals) / mean_power)
+
+
+__all__ = ["TrendFit", "fit_trend", "linear_trend", "trend_agreement", "profile_spread"]

@@ -1,0 +1,137 @@
+"""Baseline profilers used to evaluate the FinGraV methodology (paper V-B).
+
+Each baseline removes one ingredient of the methodology so its contribution is
+visible in the methodology-evaluation figure (Fig. 5) and in the ablation
+benchmarks:
+
+* :func:`unsynchronized_profiler` -- skips CPU-GPU time synchronisation and
+  places power logs by buffer index (the red profile in Fig. 5).
+* :func:`no_binning_profiler` -- keeps every run, including outliers
+  (the transparent dots in Fig. 5).
+* :func:`sse_only_profiler` -- stops at the SSE execution and reports its
+  profile as *the* kernel power, i.e. what a typical user measures without
+  power-profile differentiation.
+* :func:`reduced_runs_profiler` -- follows the methodology but with a much
+  smaller run budget (the 50-run dashed trend in Fig. 5).
+* :class:`CoarseSamplerEstimator` -- the challenge-C1 baseline: a tens-of-
+  milliseconds sampler that can miss sub-millisecond kernels entirely; it
+  reports how many samples even landed inside kernel executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .backend import ProfilingBackend
+from .profiler import FinGraVProfiler, ProfilerConfig
+from .records import RunRecord
+from .timesync import synchronizer_for_run
+
+
+def full_methodology_profiler(
+    backend: ProfilingBackend, runs: int | None = None, seed: int = 2024
+) -> FinGraVProfiler:
+    """The complete FinGraV methodology (reference configuration)."""
+    return FinGraVProfiler(backend, ProfilerConfig(runs=runs, seed=seed))
+
+
+def unsynchronized_profiler(
+    backend: ProfilingBackend, runs: int | None = None, seed: int = 2024
+) -> FinGraVProfiler:
+    """FinGraV minus CPU-GPU time synchronisation (paper Fig. 5, red)."""
+    return FinGraVProfiler(backend, ProfilerConfig(runs=runs, seed=seed, synchronize=False))
+
+
+def no_binning_profiler(
+    backend: ProfilingBackend, runs: int | None = None, seed: int = 2024
+) -> FinGraVProfiler:
+    """FinGraV minus execution-time binning (keeps outlier runs)."""
+    return FinGraVProfiler(backend, ProfilerConfig(runs=runs, seed=seed, apply_binning=False))
+
+
+def sse_only_profiler(
+    backend: ProfilingBackend, runs: int | None = None, seed: int = 2024
+) -> FinGraVProfiler:
+    """No power-profile differentiation: every run stops at the SSE execution."""
+    return FinGraVProfiler(
+        backend,
+        ProfilerConfig(
+            runs=runs, seed=seed, differentiate=False, refine_ssp_with_power_search=False
+        ),
+    )
+
+
+def reduced_runs_profiler(
+    backend: ProfilingBackend, runs: int = 50, seed: int = 2024
+) -> FinGraVProfiler:
+    """The methodology on a small run budget (Fig. 5 resiliency study)."""
+    return FinGraVProfiler(
+        backend, ProfilerConfig(runs=runs, seed=seed, max_additional_runs=0)
+    )
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """How well a sampler's readings covered the kernel executions of a run set."""
+
+    total_readings: int
+    readings_in_executions: int
+    executions: int
+    executions_with_readings: int
+
+    @property
+    def reading_hit_rate(self) -> float:
+        return self.readings_in_executions / self.total_readings if self.total_readings else 0.0
+
+    @property
+    def execution_coverage(self) -> float:
+        return self.executions_with_readings / self.executions if self.executions else 0.0
+
+
+class CoarseSamplerEstimator:
+    """Quantifies how much of a kernel a coarse (amd-smi-like) sampler sees.
+
+    The paper's challenge C1: with sampling periods of tens of milliseconds
+    and sub-millisecond kernels, most samples miss the kernel execution
+    entirely.  The estimator synchronises each run (sync is not the problem
+    here) and counts how many readings landed inside any execution and how
+    many executions received at least one reading.
+    """
+
+    def coverage(self, runs: list[RunRecord]) -> CoverageReport:
+        if not runs:
+            raise ValueError("need at least one run")
+        total_readings = 0
+        readings_in_executions = 0
+        executions = 0
+        executions_with_readings = 0
+        for run in runs:
+            synchronizer = synchronizer_for_run(run)
+            executions += len(run.executions)
+            hit_indices: set[int] = set()
+            for reading in run.readings:
+                total_readings += 1
+                window_end = synchronizer.cpu_time_of(reading.gpu_timestamp_ticks)
+                for execution in run.executions:
+                    if execution.contains(window_end):
+                        readings_in_executions += 1
+                        hit_indices.add(execution.index)
+                        break
+            executions_with_readings += len(hit_indices)
+        return CoverageReport(
+            total_readings=total_readings,
+            readings_in_executions=readings_in_executions,
+            executions=executions,
+            executions_with_readings=executions_with_readings,
+        )
+
+
+__all__ = [
+    "full_methodology_profiler",
+    "unsynchronized_profiler",
+    "no_binning_profiler",
+    "sse_only_profiler",
+    "reduced_runs_profiler",
+    "CoverageReport",
+    "CoarseSamplerEstimator",
+]

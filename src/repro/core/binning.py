@@ -1,0 +1,153 @@
+"""Kernel execution-time binning and golden-run selection (paper S3).
+
+Sub-millisecond kernels show run-to-run execution-time variation (challenge
+C3), which makes it unsafe to correlate power measurements across runs
+directly.  FinGraV bins runs by the execution time of their SSP execution and
+keeps only the *golden runs*: the runs falling in the most populated bin,
+where all execution times lie within the binning margin of each other
+(methodology step 6).  Outlier runs are excluded from the common-case profile
+(the paper discusses profiling outliers separately in Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BinningResult:
+    """Outcome of binning a set of per-run execution times."""
+
+    margin: float
+    selected_indices: tuple[int, ...]
+    outlier_indices: tuple[int, ...]
+    bin_low_s: float
+    bin_high_s: float
+    values_s: tuple[float, ...]
+
+    @property
+    def num_selected(self) -> int:
+        return len(self.selected_indices)
+
+    @property
+    def num_outliers(self) -> int:
+        return len(self.outlier_indices)
+
+    @property
+    def selection_ratio(self) -> float:
+        total = len(self.values_s)
+        return self.num_selected / total if total else 0.0
+
+    @property
+    def bin_center_s(self) -> float:
+        return 0.5 * (self.bin_low_s + self.bin_high_s)
+
+    def selected_values(self) -> list[float]:
+        return [self.values_s[i] for i in self.selected_indices]
+
+    def spread(self) -> float:
+        """Relative spread (max/min - 1) of the selected execution times."""
+        values = self.selected_values()
+        if not values:
+            return 0.0
+        low, high = min(values), max(values)
+        return high / low - 1.0 if low > 0 else 0.0
+
+
+class ExecutionTimeBinner:
+    """Selects the most-populated execution-time bin within a relative margin."""
+
+    def __init__(self, margin: float) -> None:
+        if margin <= 0:
+            raise ValueError("binning margin must be positive")
+        self._margin = margin
+
+    @property
+    def margin(self) -> float:
+        return self._margin
+
+    def bin(self, values_s: Sequence[float]) -> BinningResult:
+        """Bin execution times and return the golden selection.
+
+        The bin is found with a sliding window over the sorted values: the
+        largest contiguous group whose extremes differ by at most ``margin``
+        (relative to the group's minimum) wins.  Ties prefer the group with
+        the smaller internal spread, which favours the tighter cluster.
+        """
+        if not values_s:
+            raise ValueError("cannot bin an empty set of execution times")
+        for value in values_s:
+            if value <= 0:
+                raise ValueError("execution times must be positive")
+
+        order = np.argsort(values_s)
+        sorted_values = np.asarray(values_s, dtype=float)[order]
+        n = len(sorted_values)
+
+        best_start, best_end = 0, 1
+        best_count = 1
+        best_spread = 0.0
+        start = 0
+        for end in range(1, n + 1):
+            # Shrink the window until it satisfies the margin.
+            while sorted_values[end - 1] > sorted_values[start] * (1.0 + self._margin):
+                start += 1
+            count = end - start
+            spread = sorted_values[end - 1] / sorted_values[start] - 1.0
+            if count > best_count or (count == best_count and spread < best_spread):
+                best_count = count
+                best_spread = spread
+                best_start, best_end = start, end
+
+        selected_sorted_positions = range(best_start, best_end)
+        selected = tuple(sorted(int(order[pos]) for pos in selected_sorted_positions))
+        outliers = tuple(i for i in range(n) if i not in set(selected))
+        return BinningResult(
+            margin=self._margin,
+            selected_indices=selected,
+            outlier_indices=outliers,
+            bin_low_s=float(sorted_values[best_start]),
+            bin_high_s=float(sorted_values[best_end - 1]),
+            values_s=tuple(float(v) for v in values_s),
+        )
+
+    def bin_around(self, values_s: Sequence[float], target_s: float) -> BinningResult:
+        """Select runs whose execution time lies within the margin of ``target_s``.
+
+        This is the variant the paper suggests for profiling *outlier*
+        executions (Section VI): instead of the most populated bin, focus on a
+        specific execution time.
+        """
+        if target_s <= 0:
+            raise ValueError("target execution time must be positive")
+        if not values_s:
+            raise ValueError("cannot bin an empty set of execution times")
+        low = target_s / (1.0 + self._margin)
+        high = target_s * (1.0 + self._margin)
+        selected = tuple(i for i, v in enumerate(values_s) if low <= v <= high)
+        outliers = tuple(i for i in range(len(values_s)) if i not in set(selected))
+        chosen = [values_s[i] for i in selected]
+        return BinningResult(
+            margin=self._margin,
+            selected_indices=selected,
+            outlier_indices=outliers,
+            bin_low_s=min(chosen) if chosen else target_s,
+            bin_high_s=max(chosen) if chosen else target_s,
+            values_s=tuple(float(v) for v in values_s),
+        )
+
+
+def histogram_of_durations(
+    values_s: Sequence[float], bins: int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of execution times (counts, bin edges); convenience for reports."""
+    if not values_s:
+        raise ValueError("cannot histogram an empty set of execution times")
+    counts, edges = np.histogram(np.asarray(values_s, dtype=float), bins=bins)
+    return counts, edges
+
+
+__all__ = ["BinningResult", "ExecutionTimeBinner", "histogram_of_durations"]

@@ -1,0 +1,296 @@
+"""Power-profile differentiation: warm-ups, SSE and SSP (paper S4).
+
+The trailing-window averaging of the power logger means that the measured
+power of a kernel keeps changing over the first executions of a run even once
+its execution time has stabilised.  FinGraV therefore distinguishes:
+
+* **warm-up executions** -- executions from GPU-idle state until the execution
+  time stops improving (typically three);
+* the **SSE (steady-state execution) profile** -- the first execution past the
+  warm-ups.  This is what a naive measurement reports as "the" kernel power;
+* the **SSP (steady-state power) profile** -- the execution past which the
+  measured power stops changing, because the averaging window is finally full
+  of this kernel's activity (and, for power-limited kernels, because the DVFS
+  controller has settled after its throttle response).
+
+This module determines how many executions a run needs for each profile:
+the paper's ``max(ceil(window / execution_time), executions_for_SSE)`` rule,
+plus the binary search the paper prescribes when frequency throttling during
+the warm-ups means power has not yet stabilised at that count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .backend import ProfilingBackend
+from .records import RunRecord
+from .timesync import synchronizer_for_run
+
+
+@dataclass(frozen=True)
+class WarmupAnalysis:
+    """Result of the empirical warm-up count search (methodology step 3)."""
+
+    warmup_executions: int
+    durations_s: tuple[float, ...]
+    tolerance: float
+
+    @property
+    def sse_index(self) -> int:
+        """Zero-based index of the SSE execution within a run."""
+        return self.warmup_executions
+
+    @property
+    def sse_executions(self) -> int:
+        """Executions per run needed to reach the SSE execution."""
+        return self.warmup_executions + 1
+
+
+@dataclass(frozen=True)
+class DifferentiationPlan:
+    """How many executions a run needs for each profile of a kernel."""
+
+    kernel_name: str
+    execution_time_s: float
+    warmup_executions: int
+    sse_executions: int
+    ssp_executions: int
+    throttling_detected: bool = False
+
+    def __post_init__(self) -> None:
+        if self.execution_time_s <= 0:
+            raise ValueError("execution time must be positive")
+        if self.warmup_executions < 0:
+            raise ValueError("warm-up count must be non-negative")
+        if self.sse_executions <= self.warmup_executions:
+            raise ValueError("the SSE execution comes after the warm-ups")
+        if self.ssp_executions < self.sse_executions:
+            raise ValueError("SSP needs at least as many executions as SSE")
+
+    @property
+    def sse_index(self) -> int:
+        return self.warmup_executions
+
+    @property
+    def ssp_index(self) -> int:
+        return self.ssp_executions - 1
+
+
+def analyze_warmups(durations_s: Sequence[float], tolerance: float = 0.05) -> WarmupAnalysis:
+    """Deduce the warm-up count from the execution times of a probe run.
+
+    The warm-up count is the index of the first execution whose duration is
+    within ``tolerance`` of the best duration seen from that point on -- i.e.
+    the first execution past which execution time no longer lowers
+    substantially (paper Section IV-A).
+    """
+    if not durations_s:
+        raise ValueError("need at least one execution duration")
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    values = np.asarray(durations_s, dtype=float)
+    if np.any(values <= 0):
+        raise ValueError("durations must be positive")
+    # Steady execution time estimated robustly from the tail of the probe so
+    # that host-side timing jitter on short kernels does not inflate the
+    # warm-up count: the median of the second half of the probe.
+    tail = values[len(values) // 2:]
+    steady = float(np.median(tail)) if len(tail) else float(values[-1])
+    warmups = len(values) - 1
+    for index, duration in enumerate(values):
+        if duration <= steady * (1.0 + tolerance):
+            warmups = index
+            break
+    return WarmupAnalysis(
+        warmup_executions=warmups,
+        durations_s=tuple(float(v) for v in values),
+        tolerance=tolerance,
+    )
+
+
+def ssp_execution_count(
+    averaging_window_s: float, execution_time_s: float, sse_executions: int
+) -> int:
+    """The paper's step-4 rule: ``max(ceil(window / exec_time), executions_for_SSE)``."""
+    if averaging_window_s < 0:
+        raise ValueError("averaging window cannot be negative")
+    if execution_time_s <= 0:
+        raise ValueError("execution time must be positive")
+    if sse_executions <= 0:
+        raise ValueError("SSE execution count must be positive")
+    fill_count = math.ceil(averaging_window_s / execution_time_s) if averaging_window_s > 0 else 1
+    return max(fill_count, sse_executions)
+
+
+def _execution_span_readings(run: RunRecord) -> list[tuple[float, float]]:
+    """(window-end CPU time, total watts) for readings inside the execution span."""
+    if not run.executions:
+        return []
+    synchronizer = synchronizer_for_run(run)
+    span_start = run.first_execution.cpu_start_s
+    span_end = run.last_execution.cpu_end_s
+    in_span: list[tuple[float, float]] = []
+    for reading in run.readings:
+        window_end = synchronizer.cpu_time_of(reading.gpu_timestamp_ticks)
+        if span_start <= window_end <= span_end:
+            in_span.append((window_end, reading.total_w))
+    return in_span
+
+
+def detect_throttling(run: RunRecord, drop_fraction: float = 0.10) -> bool:
+    """Detect the rise-followed-by-fall power signature of a throttled warm-up.
+
+    The paper (step 4) notes that when power (frequency) throttling occurs
+    during warm-up runs -- power rises and then falls -- a binary search is
+    needed to find the SSP execution count.  We detect that signature directly
+    on the power readings that fall inside the run's execution span: a reading
+    in the first half of the span exceeds some *later* reading by more than
+    ``drop_fraction``.  A profile that merely rises monotonically toward its
+    steady state (the averaging-window fill of short kernels) never matches,
+    because no later reading is substantially below an earlier one.
+    """
+    in_span = _execution_span_readings(run)
+    if len(in_span) < 3:
+        return False
+    totals = np.asarray([power for _, power in in_span])
+    first_half = totals[: max(len(totals) // 2, 1)]
+    for index, early in enumerate(first_half):
+        if index + 1 >= len(totals):
+            break
+        later_min = float(np.min(totals[index + 1:]))
+        if early > later_min * (1.0 + drop_fraction):
+            return True
+    return False
+
+
+def _tail_power(run: RunRecord, tail_fraction: float = 0.25) -> float:
+    """Mean total power over the trailing part of the run's execution span."""
+    in_span = _execution_span_readings(run)
+    if not in_span:
+        return 0.0
+    totals = [power for _, power in in_span]
+    count = max(int(len(totals) * tail_fraction), 1)
+    return float(np.mean(totals[-count:]))
+
+
+@dataclass(frozen=True)
+class StabilitySearchResult:
+    """Outcome of the binary search for the power-stable execution count."""
+
+    ssp_executions: int
+    probes: tuple[tuple[int, float], ...]
+    converged: bool
+
+
+def search_power_stable_executions(
+    backend: ProfilingBackend,
+    kernel: object,
+    start_executions: int,
+    tolerance: float = 0.03,
+    max_executions: int = 96,
+    pre_delay_s: float = 0.0,
+) -> StabilitySearchResult:
+    """Binary search (paper step 4) for the execution count where power stabilises.
+
+    Starting from ``start_executions``, the count is doubled until the
+    tail-of-run power stops increasing by more than ``tolerance``; a binary
+    search between the last two probes then finds the smallest stable count.
+    Each probe costs one instrumented run.
+    """
+    if start_executions <= 0:
+        raise ValueError("start_executions must be positive")
+    probes: list[tuple[int, float]] = []
+
+    def probe(count: int) -> float:
+        record = backend.run(kernel, executions=count, pre_delay_s=pre_delay_s, run_index=-1)
+        power = _tail_power(record)
+        probes.append((count, power))
+        return power
+
+    low = start_executions
+    low_power = probe(low)
+    high = low
+    high_power = low_power
+    converged = False
+    while high < max_executions:
+        candidate = min(high * 2, max_executions)
+        candidate_power = probe(candidate)
+        if candidate_power <= high_power * (1.0 + tolerance):
+            low, low_power = high, high_power
+            high, high_power = candidate, candidate_power
+            converged = True
+            break
+        low, low_power = candidate, candidate_power
+        high, high_power = candidate, candidate_power
+    if not converged:
+        return StabilitySearchResult(
+            ssp_executions=high, probes=tuple(probes), converged=False
+        )
+
+    # Binary search in (low, high] for the smallest count whose power is within
+    # tolerance of the stable (high) power.
+    while high - low > 1:
+        mid = (low + high) // 2
+        mid_power = probe(mid)
+        if mid_power >= high_power * (1.0 - tolerance):
+            high, high_power = mid, mid_power
+        else:
+            low, low_power = mid, mid_power
+    return StabilitySearchResult(ssp_executions=high, probes=tuple(probes), converged=True)
+
+
+def build_plan(
+    backend: ProfilingBackend,
+    kernel: object,
+    execution_time_s: float,
+    warmup_probe_executions: int = 8,
+    warmup_tolerance: float = 0.05,
+    stability_tolerance: float = 0.03,
+    refine_with_power_search: bool = True,
+) -> DifferentiationPlan:
+    """Build the differentiation plan for a kernel (methodology steps 3-4)."""
+    probe_durations = backend.time_kernel(kernel, executions=warmup_probe_executions)
+    warmups = analyze_warmups(probe_durations, tolerance=warmup_tolerance)
+    sse_executions = warmups.sse_executions
+    ssp_executions = ssp_execution_count(
+        backend.power_sample_period_s, execution_time_s, sse_executions
+    )
+    throttling = False
+    if refine_with_power_search:
+        probe_run = backend.run(
+            kernel, executions=ssp_executions, pre_delay_s=0.0, run_index=-1
+        )
+        throttling = detect_throttling(probe_run)
+        if throttling:
+            search = search_power_stable_executions(
+                backend,
+                kernel,
+                start_executions=ssp_executions,
+                tolerance=stability_tolerance,
+            )
+            ssp_executions = max(search.ssp_executions, ssp_executions)
+    return DifferentiationPlan(
+        kernel_name=backend.kernel_name(kernel),
+        execution_time_s=execution_time_s,
+        warmup_executions=warmups.warmup_executions,
+        sse_executions=sse_executions,
+        ssp_executions=ssp_executions,
+        throttling_detected=throttling,
+    )
+
+
+__all__ = [
+    "WarmupAnalysis",
+    "DifferentiationPlan",
+    "analyze_warmups",
+    "ssp_execution_count",
+    "detect_throttling",
+    "search_power_stable_executions",
+    "StabilitySearchResult",
+    "build_plan",
+]

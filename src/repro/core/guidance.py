@@ -1,0 +1,144 @@
+"""FinGraV profiling guidance (paper Table I).
+
+The paper distils its empirical experience into a small lookup table: given a
+kernel's execution time, how many runs to execute, how many logs of interest
+(LOIs) to aim for, and what execution-time binning margin to allow.  This
+module encodes that table and the lookup, and also provides the machinery the
+Table-I benchmark uses to *re-derive* the guidance empirically (LOI yield per
+run and profile smoothness as a function of #runs and margin).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class GuidanceEntry:
+    """One row of the guidance table.
+
+    ``loi_per_s`` expresses the paper's "1/5us" and "1/10us" notation: the
+    recommended number of LOIs per second of kernel execution time, i.e. the
+    target time resolution of the stitched profile.
+    """
+
+    min_execution_s: float
+    max_execution_s: float
+    runs: int
+    loi_per_s: float
+    binning_margin: float
+
+    def covers(self, execution_s: float) -> bool:
+        return self.min_execution_s <= execution_s < self.max_execution_s
+
+    def recommended_lois(self, execution_s: float) -> int:
+        """Number of LOIs to collect for a kernel of the given execution time.
+
+        At least four LOIs are always recommended so that even kernels much
+        shorter than the LOI resolution get a statistically usable profile.
+        """
+        return max(int(math.ceil(execution_s * self.loi_per_s)), 4)
+
+    @property
+    def loi_resolution_s(self) -> float:
+        """Target spacing between LOIs along the kernel execution (seconds)."""
+        return 1.0 / self.loi_per_s
+
+    def describe(self) -> str:
+        lo = _format_duration(self.min_execution_s)
+        hi = _format_duration(self.max_execution_s)
+        res = _format_duration(self.loi_resolution_s)
+        return (
+            f"{lo}-{hi}: {self.runs} runs, 1 LOI per {res}, "
+            f"{self.binning_margin * 100:.0f}% binning margin"
+        )
+
+
+def _format_duration(value_s: float) -> str:
+    if math.isinf(value_s):
+        return "inf"
+    if value_s >= 1e-3:
+        return f"{value_s * 1e3:g}ms"
+    return f"{value_s * 1e6:g}us"
+
+
+#: Paper Table I.  Execution-time ranges are half-open ``[min, max)``.
+PAPER_GUIDANCE: tuple[GuidanceEntry, ...] = (
+    GuidanceEntry(min_execution_s=25e-6, max_execution_s=50e-6,
+                  runs=400, loi_per_s=1.0 / 5e-6, binning_margin=0.05),
+    GuidanceEntry(min_execution_s=50e-6, max_execution_s=200e-6,
+                  runs=200, loi_per_s=1.0 / 10e-6, binning_margin=0.05),
+    GuidanceEntry(min_execution_s=200e-6, max_execution_s=1e-3,
+                  runs=200, loi_per_s=1.0 / 10e-6, binning_margin=0.02),
+    GuidanceEntry(min_execution_s=1e-3, max_execution_s=math.inf,
+                  runs=200, loi_per_s=1.0 / 10e-6, binning_margin=0.02),
+)
+
+
+class GuidanceTable:
+    """Lookup over a set of :class:`GuidanceEntry` rows (paper Table I)."""
+
+    def __init__(self, entries: Sequence[GuidanceEntry] = PAPER_GUIDANCE) -> None:
+        if not entries:
+            raise ValueError("guidance table cannot be empty")
+        self._entries = tuple(sorted(entries, key=lambda entry: entry.min_execution_s))
+        self._validate()
+
+    def _validate(self) -> None:
+        for earlier, later in zip(self._entries, self._entries[1:]):
+            if earlier.max_execution_s > later.min_execution_s + 1e-12:
+                raise ValueError("guidance entries must not overlap")
+
+    @property
+    def entries(self) -> tuple[GuidanceEntry, ...]:
+        return self._entries
+
+    @property
+    def min_supported_execution_s(self) -> float:
+        return self._entries[0].min_execution_s
+
+    def lookup(self, execution_s: float) -> GuidanceEntry:
+        """Return the guidance row for a kernel execution time.
+
+        Kernels faster than the smallest supported range fall back to the
+        first row (the paper's table starts at 25 us because that is the
+        shortest GEMM it measures; shorter kernels need at least as many runs).
+        """
+        if execution_s <= 0:
+            raise ValueError("execution time must be positive")
+        if execution_s < self.min_supported_execution_s:
+            return self._entries[0]
+        for entry in self._entries:
+            if entry.covers(execution_s):
+                return entry
+        return self._entries[-1]
+
+    def rows(self) -> list[dict[str, object]]:
+        """Table I as a list of dictionaries (used by reports and benchmarks)."""
+        rows = []
+        for entry in self._entries:
+            rows.append(
+                {
+                    "range": f"{_format_duration(entry.min_execution_s)}"
+                             f"-{_format_duration(entry.max_execution_s)}",
+                    "runs": entry.runs,
+                    "loi_resolution": _format_duration(entry.loi_resolution_s),
+                    "binning_margin": entry.binning_margin,
+                }
+            )
+        return rows
+
+
+def paper_guidance_table() -> GuidanceTable:
+    """The guidance table exactly as printed in the paper."""
+    return GuidanceTable(PAPER_GUIDANCE)
+
+
+__all__ = [
+    "GuidanceEntry",
+    "GuidanceTable",
+    "PAPER_GUIDANCE",
+    "paper_guidance_table",
+]

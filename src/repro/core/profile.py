@@ -1,0 +1,293 @@
+"""Fine-grain power profiles: the output of the FinGraV methodology.
+
+A profile is a cloud of (time, power) points stitched together from the logs
+of interest of many runs (paper step 9).  Three kinds are produced:
+
+* ``ssp`` -- power at different times of interest within the steady-state-power
+  execution.  This is the time-series view of average power the paper treats
+  as *the* power profile of a kernel.
+* ``sse`` -- same, for the steady-state-execution (first post-warm-up)
+  execution; the naive profile a typical user would report.
+* ``run`` -- power over the whole run (warm-ups through SSP), used for the
+  methodology-evaluation figures (Figs 5, 6, 8).
+
+Profiles carry per-component series (total / xcd / iod / hbm), support
+polynomial smoothing (the paper's degree-4 regression for low-run-count
+profiles), and expose the power / energy summary statistics the analysis and
+insight layers consume.
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .records import COMPONENT_KEYS, LogOfInterest
+
+
+class ProfileKind(str, enum.Enum):
+    """Which execution a profile describes."""
+
+    SSP = "ssp"
+    SSE = "sse"
+    RUN = "run"
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One stitched point of a fine-grain power profile."""
+
+    time_s: float
+    powers_w: Mapping[str, float]
+    run_index: int = -1
+    execution_index: int = -1
+
+    def power(self, component: str = "total") -> float:
+        try:
+            return float(self.powers_w[component])
+        except KeyError as exc:
+            raise KeyError(f"profile point has no component {component!r}") from exc
+
+    def has_component(self, component: str) -> bool:
+        return component in self.powers_w
+
+
+def point_from_loi(loi: LogOfInterest, components: Sequence[str] = COMPONENT_KEYS) -> ProfilePoint:
+    """Convert a log of interest into a profile point keyed by TOI."""
+    powers = {}
+    for component in components:
+        if loi.reading.has_component(component):
+            powers[component] = loi.reading.component(component)
+    return ProfilePoint(
+        time_s=loi.toi_s,
+        powers_w=powers,
+        run_index=loi.run_index,
+        execution_index=loi.execution_index,
+    )
+
+
+@dataclass(frozen=True)
+class FineGrainProfile:
+    """A stitched fine-grain power profile of one kernel."""
+
+    kernel_name: str
+    kind: ProfileKind
+    points: tuple[ProfilePoint, ...]
+    execution_time_s: float
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(sorted(self.points, key=lambda p: p.time_s)))
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors.
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.points
+
+    @property
+    def components(self) -> tuple[str, ...]:
+        if not self.points:
+            return ()
+        present = [c for c in COMPONENT_KEYS if self.points[0].has_component(c)]
+        extra = [c for c in self.points[0].powers_w if c not in present]
+        return tuple(present + sorted(extra))
+
+    def times(self) -> np.ndarray:
+        return np.asarray([point.time_s for point in self.points], dtype=float)
+
+    def series(self, component: str = "total") -> np.ndarray:
+        return np.asarray([point.power(component) for point in self.points], dtype=float)
+
+    def run_indices(self) -> list[int]:
+        return [point.run_index for point in self.points]
+
+    # ------------------------------------------------------------------ #
+    # Statistics.
+    # ------------------------------------------------------------------ #
+    def mean_power_w(self, component: str = "total") -> float:
+        if self.is_empty:
+            raise ValueError("profile has no points")
+        return float(np.mean(self.series(component)))
+
+    def median_power_w(self, component: str = "total") -> float:
+        if self.is_empty:
+            raise ValueError("profile has no points")
+        return float(np.median(self.series(component)))
+
+    def max_power_w(self, component: str = "total") -> float:
+        if self.is_empty:
+            raise ValueError("profile has no points")
+        return float(np.max(self.series(component)))
+
+    def min_power_w(self, component: str = "total") -> float:
+        if self.is_empty:
+            raise ValueError("profile has no points")
+        return float(np.min(self.series(component)))
+
+    def power_std_w(self, component: str = "total") -> float:
+        if len(self.points) < 2:
+            return 0.0
+        return float(np.std(self.series(component), ddof=1))
+
+    def energy_j(self, component: str = "total") -> float:
+        """Energy of one kernel execution implied by the profile.
+
+        Energy is power integrated over time (paper Section I); for a profile
+        of a single execution this is the mean profile power multiplied by the
+        kernel execution time.
+        """
+        return self.mean_power_w(component) * self.execution_time_s
+
+    def component_summary(self) -> dict[str, float]:
+        """Mean power per component (the quantity plotted in Figs 7 and 10)."""
+        return {component: self.mean_power_w(component) for component in self.components}
+
+    # ------------------------------------------------------------------ #
+    # Smoothing / resampling.
+    # ------------------------------------------------------------------ #
+    def smoothed(
+        self, component: str = "total", degree: int = 4, num_points: int = 100
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Polynomial-regression trend of the profile (paper Figure 5, 50-run fit).
+
+        Returns ``(times, fitted_power)`` with ``num_points`` evenly spaced
+        times across the profile's span.  Falls back to a lower degree when
+        there are too few points to support the requested one.
+        """
+        if self.is_empty:
+            raise ValueError("cannot smooth an empty profile")
+        if degree < 0:
+            raise ValueError("degree must be non-negative")
+        times = self.times()
+        powers = self.series(component)
+        effective_degree = min(degree, max(len(times) - 1, 0))
+        grid = np.linspace(float(times.min()), float(times.max()), num_points)
+        if effective_degree == 0 or float(times.max()) == float(times.min()):
+            return grid, np.full(num_points, float(np.mean(powers)))
+        coefficients = np.polyfit(times, powers, deg=effective_degree)
+        return grid, np.polyval(coefficients, grid)
+
+    def binned_mean(
+        self, component: str = "total", bins: int = 20
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Mean power in equal-width time bins (a robust alternative to polyfit)."""
+        if self.is_empty:
+            raise ValueError("cannot bin an empty profile")
+        times = self.times()
+        powers = self.series(component)
+        edges = np.linspace(float(times.min()), float(times.max()) + 1e-12, bins + 1)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        means = np.full(bins, np.nan)
+        which = np.digitize(times, edges) - 1
+        which = np.clip(which, 0, bins - 1)
+        for b in range(bins):
+            mask = which == b
+            if np.any(mask):
+                means[b] = float(np.mean(powers[mask]))
+        valid = ~np.isnan(means)
+        return centers[valid], means[valid]
+
+    # ------------------------------------------------------------------ #
+    # Construction / transformation helpers.
+    # ------------------------------------------------------------------ #
+    def restricted_to_runs(self, run_indices: Iterable[int]) -> "FineGrainProfile":
+        wanted = set(run_indices)
+        return FineGrainProfile(
+            kernel_name=self.kernel_name,
+            kind=self.kind,
+            points=tuple(p for p in self.points if p.run_index in wanted),
+            execution_time_s=self.execution_time_s,
+            metadata=dict(self.metadata),
+        )
+
+    def subsampled(self, max_points: int, seed: int = 0) -> "FineGrainProfile":
+        """Randomly keep at most ``max_points`` points (used for #runs ablations)."""
+        if max_points <= 0:
+            raise ValueError("max_points must be positive")
+        if len(self.points) <= max_points:
+            return self
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(self.points), size=max_points, replace=False)
+        return FineGrainProfile(
+            kernel_name=self.kernel_name,
+            kind=self.kind,
+            points=tuple(self.points[i] for i in sorted(chosen)),
+            execution_time_s=self.execution_time_s,
+            metadata=dict(self.metadata),
+        )
+
+    def to_rows(self) -> list[dict[str, float]]:
+        """Flatten the profile to rows for CSV/JSON export."""
+        rows = []
+        for point in self.points:
+            row: dict[str, float] = {"time_s": point.time_s}
+            row.update({f"{name}_w": value for name, value in point.powers_w.items()})
+            row["run_index"] = point.run_index
+            row["execution_index"] = point.execution_index
+            rows.append(row)
+        return rows
+
+
+def profile_from_lois(
+    kernel_name: str,
+    kind: ProfileKind,
+    lois: Sequence[LogOfInterest],
+    execution_time_s: float,
+    components: Sequence[str] = COMPONENT_KEYS,
+    metadata: Mapping[str, object] | None = None,
+) -> FineGrainProfile:
+    """Build a profile directly from logs of interest (TOI on the x-axis)."""
+    points = tuple(point_from_loi(loi, components) for loi in lois)
+    return FineGrainProfile(
+        kernel_name=kernel_name,
+        kind=kind,
+        points=points,
+        execution_time_s=execution_time_s,
+        metadata=dict(metadata or {}),
+    )
+
+
+def measurement_error(
+    sse_profile: FineGrainProfile,
+    ssp_profile: FineGrainProfile,
+    component: str = "total",
+) -> float:
+    """Relative power/energy error of using the SSE profile instead of SSP.
+
+    The paper quantifies the cost of skipping power-profile differentiation as
+    the relative difference between the SSE and SSP profiles (up to 80 % for
+    CB-2K-GEMM, about 20 % for CB-8K-GEMM).
+    """
+    ssp_power = ssp_profile.mean_power_w(component)
+    sse_power = sse_profile.mean_power_w(component)
+    if ssp_power <= 0:
+        raise ValueError("SSP power must be positive to compute a relative error")
+    return abs(ssp_power - sse_power) / ssp_power
+
+
+def idle_normalized(value_w: float, idle_w: float, peak_w: float) -> float:
+    """Normalise a power value to the [idle, peak] range (for relative plots)."""
+    if peak_w <= idle_w:
+        raise ValueError("peak power must exceed idle power")
+    return (value_w - idle_w) / (peak_w - idle_w)
+
+
+__all__ = [
+    "ProfileKind",
+    "ProfilePoint",
+    "FineGrainProfile",
+    "point_from_loi",
+    "profile_from_lois",
+    "measurement_error",
+    "idle_normalized",
+]

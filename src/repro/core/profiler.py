@@ -1,0 +1,382 @@
+"""The FinGraV profiler: the nine-step methodology of paper Section IV-B.
+
+:class:`FinGraVProfiler` drives a :class:`~repro.core.backend.ProfilingBackend`
+through the full methodology:
+
+1.  Time the kernel a few times and look up the guidance table (Table I) for
+    the recommended #runs, binning margin and LOI target.
+2.  Calibrate the GPU-timestamp read delay (the CPU-side instrumentation).
+3.  Deduce the warm-up count empirically; SSE needs warm-ups + 1 executions.
+4.  Compute the SSP execution count with ``max(ceil(window / exec), SSE)``,
+    refining with a binary search when throttling is detected.
+5.  Execute the runs, each with a random delay before the executions so the
+    power-logger windows land at different times of interest.
+6.  Discard all but the golden runs via execution-time binning.
+7.  Synchronise CPU and GPU time per run and identify the LOIs/TOIs.
+8.  Execute additional runs if fewer LOIs than recommended were obtained.
+9.  Stitch the LOIs into the SSE/SSP/run fine-grain profiles.
+
+Baseline behaviours (no sync, no binning, SSE-only, coarse sampler) are
+expressed as configuration flags so that the methodology-evaluation figures
+compare like for like; see :mod:`repro.core.baselines` for ready-made presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .backend import PrecedingWork, ProfilingBackend
+from .binning import BinningResult, ExecutionTimeBinner
+from .differentiation import DifferentiationPlan, build_plan
+from .guidance import GuidanceEntry, GuidanceTable, paper_guidance_table
+from .profile import FineGrainProfile, measurement_error
+from .records import COMPONENT_KEYS, DelayCalibration, RunRecord
+from .stitching import ProfileStitcher, StitchedRunSeries
+
+
+@dataclass(frozen=True)
+class ProfilerConfig:
+    """Knobs of the FinGraV profiler.
+
+    The defaults implement the full methodology; the baseline profilers in
+    :mod:`repro.core.baselines` flip individual switches off to show what each
+    ingredient contributes (paper Section V-B).
+    """
+
+    #: Override the guidance table's #runs (None = follow Table I).
+    runs: int | None = None
+    #: Override the guidance table's binning margin (None = follow Table I).
+    binning_margin: float | None = None
+    #: Apply CPU-GPU time synchronisation when placing power logs.
+    synchronize: bool = True
+    #: Apply execution-time binning / golden-run selection.
+    apply_binning: bool = True
+    #: Differentiate SSE and SSP profiles (False = SSE-only, the naive view).
+    differentiate: bool = True
+    #: Upper bound on the random pre-execution delay, in power-logger periods.
+    max_random_delay_periods: float = 2.0
+    #: Number of timestamp reads used for delay calibration.
+    calibration_samples: int = 32
+    #: How many times step 1 times the kernel.
+    timing_executions: int = 5
+    #: Cap on additional runs collected by step 8.
+    max_additional_runs: int = 600
+    #: Components to carry through to the stitched profiles.
+    components: tuple[str, ...] = COMPONENT_KEYS
+    #: Seed of the profiler's own randomness (random delays).
+    seed: int = 2024
+    #: Tolerance used when deducing warm-ups from execution times.
+    warmup_tolerance: float = 0.05
+    #: Refine the SSP execution count with the power-stability binary search.
+    refine_ssp_with_power_search: bool = True
+    #: Extra executions appended after the SSP execution in every run.  Power
+    #: is stable from the SSP execution onward (that is its definition), so
+    #: LOIs from any of these tail executions belong to the SSP profile; the
+    #: tail multiplies the LOI yield of kernels much shorter than the
+    #: averaging window.  Sized as a fraction of the window-fill count.
+    ssp_tail_fraction: float = 0.25
+    min_ssp_tail_executions: int = 2
+    max_ssp_tail_executions: int = 12
+
+    def with_overrides(self, **kwargs: object) -> "ProfilerConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class FinGraVResult:
+    """Everything the profiler produced for one kernel."""
+
+    kernel_name: str
+    execution_time_s: float
+    guidance: GuidanceEntry
+    plan: DifferentiationPlan
+    calibration: DelayCalibration | None
+    runs: tuple[RunRecord, ...]
+    binning: BinningResult | None
+    ssp_profile: FineGrainProfile
+    sse_profile: FineGrainProfile
+    run_profile: FineGrainProfile
+    config: ProfilerConfig
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def golden_run_indices(self) -> tuple[int, ...]:
+        if self.binning is None:
+            return tuple(run.run_index for run in self.runs)
+        ordered = [run.run_index for run in self.runs]
+        return tuple(ordered[i] for i in self.binning.selected_indices)
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def num_golden_runs(self) -> int:
+        return len(self.golden_run_indices)
+
+    @property
+    def ssp_loi_count(self) -> int:
+        return len(self.ssp_profile)
+
+    def sse_vs_ssp_error(self, component: str = "total") -> float:
+        """Relative measurement error of reporting SSE instead of SSP power."""
+        if self.sse_profile.is_empty or self.ssp_profile.is_empty:
+            raise ValueError("both SSE and SSP profiles are needed for the error")
+        return measurement_error(self.sse_profile, self.ssp_profile, component)
+
+    def summary(self) -> dict[str, object]:
+        """Compact summary used by reports and the experiment drivers."""
+        summary: dict[str, object] = {
+            "kernel": self.kernel_name,
+            "execution_time_s": self.execution_time_s,
+            "runs": self.num_runs,
+            "golden_runs": self.num_golden_runs,
+            "warmup_executions": self.plan.warmup_executions,
+            "sse_executions": self.plan.sse_executions,
+            "ssp_executions": self.plan.ssp_executions,
+            "throttling_detected": self.plan.throttling_detected,
+            "ssp_lois": self.ssp_loi_count,
+        }
+        if not self.ssp_profile.is_empty:
+            summary["ssp_mean_total_w"] = self.ssp_profile.mean_power_w("total")
+        if not self.sse_profile.is_empty:
+            summary["sse_mean_total_w"] = self.sse_profile.mean_power_w("total")
+        if not self.ssp_profile.is_empty and not self.sse_profile.is_empty:
+            summary["sse_vs_ssp_error"] = self.sse_vs_ssp_error()
+        return summary
+
+
+class FinGraVProfiler:
+    """Drives a profiling backend through the FinGraV methodology."""
+
+    def __init__(
+        self,
+        backend: ProfilingBackend,
+        config: ProfilerConfig | None = None,
+        guidance: GuidanceTable | None = None,
+    ) -> None:
+        self._backend = backend
+        self._config = config or ProfilerConfig()
+        self._guidance = guidance or paper_guidance_table()
+        self._rng = np.random.default_rng(self._config.seed)
+
+    @property
+    def backend(self) -> ProfilingBackend:
+        return self._backend
+
+    @property
+    def config(self) -> ProfilerConfig:
+        return self._config
+
+    @property
+    def guidance_table(self) -> GuidanceTable:
+        return self._guidance
+
+    # ------------------------------------------------------------------ #
+    # Step 1: kernel timing and guidance lookup.
+    # ------------------------------------------------------------------ #
+    def time_kernel(self, kernel: object) -> float:
+        """Median steady execution time from a short timing probe."""
+        durations = self._backend.time_kernel(kernel, self._config.timing_executions)
+        if not durations:
+            raise ValueError("backend returned no timing samples")
+        steady = durations[len(durations) // 2:]
+        return float(np.median(steady))
+
+    # ------------------------------------------------------------------ #
+    # The full methodology.
+    # ------------------------------------------------------------------ #
+    def profile(
+        self,
+        kernel: object,
+        runs: int | None = None,
+        preceding: Sequence[PrecedingWork] = (),
+        metadata: Mapping[str, object] | None = None,
+    ) -> FinGraVResult:
+        """Collect the fine-grain power profiles of ``kernel``.
+
+        ``preceding`` optionally schedules other kernels inside every run just
+        before the kernel of interest (the interleaved-execution studies of
+        paper Section V-C3).
+        """
+        config = self._config
+
+        # Step 1: execution time and guidance.
+        execution_time = self.time_kernel(kernel)
+        guidance = self._guidance.lookup(execution_time)
+        planned_runs = runs if runs is not None else (config.runs or guidance.runs)
+        margin = config.binning_margin or guidance.binning_margin
+
+        # Step 2: instrumentation calibration.
+        calibration = self._backend.calibrate_read_delay(config.calibration_samples)
+
+        # Steps 3-4: differentiation plan (warm-ups, SSE, SSP executions).
+        plan = build_plan(
+            self._backend,
+            kernel,
+            execution_time,
+            warmup_tolerance=config.warmup_tolerance,
+            refine_with_power_search=(
+                config.differentiate and config.refine_ssp_with_power_search
+            ),
+        )
+        if config.differentiate:
+            window_fill = self._backend.power_sample_period_s / max(execution_time, 1e-9)
+            tail = int(np.ceil(window_fill * config.ssp_tail_fraction))
+            tail = min(max(tail, config.min_ssp_tail_executions), config.max_ssp_tail_executions)
+            executions_per_run = plan.ssp_executions + tail
+        else:
+            executions_per_run = plan.sse_executions
+
+        # Step 5: execute the runs with random delays.
+        records = self._collect_runs(kernel, planned_runs, executions_per_run, preceding, 0)
+
+        # Step 6: golden-run selection by execution-time binning.
+        binning: BinningResult | None = None
+        golden_indices: Sequence[int] | None = None
+        if config.apply_binning:
+            binner = ExecutionTimeBinner(margin)
+            binning = binner.bin([record.ssp_execution.duration_s for record in records])
+            golden_indices = [records[i].run_index for i in binning.selected_indices]
+
+        # Step 7: sync and LOI extraction (via the stitcher).
+        stitcher = ProfileStitcher(
+            components=config.components,
+            calibration=calibration if config.synchronize else None,
+            synchronize=config.synchronize,
+        )
+        series = stitcher.collect(records)
+
+        # Step 8: top up runs until the LOI target is met.  The batch size is
+        # scaled to the observed LOI yield per run so that short kernels (which
+        # yield an LOI only every few dozen runs) converge in few batches.
+        target_lois = guidance.recommended_lois(execution_time)
+        # The SSE profile draws from a single execution per run, so it needs a
+        # minimum number of LOIs of its own for the SSE/SSP comparison.
+        sse_target = min(4, target_lois) if config.differentiate else 0
+        extra_budget = config.max_additional_runs
+        ssp_start = self._ssp_start_index(plan) if config.differentiate else None
+
+        def shortfall() -> int:
+            ssp_have = len(self._golden_ssp_lois(series, golden_indices, ssp_start))
+            sse_have = len(
+                self._golden_lois_for_execution(series, golden_indices, plan.sse_index)
+            )
+            return max(target_lois - ssp_have, sse_target - sse_have)
+
+        while shortfall() > 0 and extra_budget > 0:
+            missing = shortfall()
+            have_total = max(
+                len(self._golden_ssp_lois(series, golden_indices, ssp_start)), 1
+            )
+            observed_yield = max(have_total / max(len(records), 1), 0.01)
+            needed = int(np.ceil(missing / observed_yield))
+            batch = min(max(needed, 16), extra_budget)
+            extra_records = self._collect_runs(
+                kernel, batch, executions_per_run, preceding, start_index=len(records)
+            )
+            records = records + extra_records
+            extra_budget -= batch
+            if config.apply_binning:
+                binner = ExecutionTimeBinner(margin)
+                binning = binner.bin([record.ssp_execution.duration_s for record in records])
+                golden_indices = [records[i].run_index for i in binning.selected_indices]
+            series = stitcher.collect(records)
+
+        # Step 9: stitch the profiles.
+        base_metadata = dict(metadata or {})
+        base_metadata.setdefault("preceding", [self._describe_preceding(p) for p in preceding])
+        ssp_profile = stitcher.ssp_profile(
+            series, golden_indices, min_execution_index=self._ssp_start_index(plan),
+            metadata=base_metadata,
+        )
+        sse_profile = stitcher.sse_profile(
+            series, plan.sse_index, golden_indices, metadata=base_metadata
+        )
+        run_profile = stitcher.run_profile(series, golden_indices, metadata=base_metadata)
+
+        return FinGraVResult(
+            kernel_name=self._backend.kernel_name(kernel),
+            execution_time_s=execution_time,
+            guidance=guidance,
+            plan=plan,
+            calibration=calibration,
+            runs=tuple(records),
+            binning=binning,
+            ssp_profile=ssp_profile,
+            sse_profile=sse_profile,
+            run_profile=run_profile,
+            config=config,
+            metadata=base_metadata,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals.
+    # ------------------------------------------------------------------ #
+    def _collect_runs(
+        self,
+        kernel: object,
+        count: int,
+        executions_per_run: int,
+        preceding: Sequence[PrecedingWork],
+        start_index: int,
+    ) -> tuple[RunRecord, ...]:
+        if count <= 0:
+            raise ValueError("run count must be positive")
+        period = self._backend.power_sample_period_s
+        max_delay = self._config.max_random_delay_periods * period
+        records: list[RunRecord] = []
+        for offset in range(count):
+            pre_delay = float(self._rng.uniform(0.0, max_delay))
+            records.append(
+                self._backend.run(
+                    kernel,
+                    executions=executions_per_run,
+                    pre_delay_s=pre_delay,
+                    run_index=start_index + offset,
+                    preceding=preceding,
+                )
+            )
+        return tuple(records)
+
+    def _golden_lois_for_execution(
+        self,
+        series: StitchedRunSeries,
+        golden_indices: Sequence[int] | None,
+        execution_index: int,
+    ) -> list[object]:
+        lois = series.lois_for_execution(execution_index)
+        if golden_indices is None:
+            return lois
+        wanted = set(golden_indices)
+        return [loi for loi in lois if loi.run_index in wanted]
+
+    def _ssp_start_index(self, plan: DifferentiationPlan) -> int:
+        """First execution index whose LOIs belong to the SSP profile."""
+        return plan.ssp_index if self._config.differentiate else plan.sse_index
+
+    def _golden_ssp_lois(
+        self,
+        series: StitchedRunSeries,
+        golden_indices: Sequence[int] | None,
+        ssp_start_index: int | None = None,
+    ) -> list[object]:
+        if ssp_start_index is None:
+            lois = series.lois_for_last_execution()
+        else:
+            lois = [loi for loi in series.all_lois() if loi.execution_index >= ssp_start_index]
+        if golden_indices is None:
+            return lois
+        wanted = set(golden_indices)
+        return [loi for loi in lois if loi.run_index in wanted]
+
+    def _describe_preceding(self, work: PrecedingWork) -> str:
+        kernel, executions = work
+        return f"{self._backend.kernel_name(kernel)} x{executions}"
+
+
+__all__ = ["ProfilerConfig", "FinGraVResult", "FinGraVProfiler"]

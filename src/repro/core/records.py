@@ -1,0 +1,233 @@
+"""Data records exchanged between a profiling backend and the FinGraV core.
+
+The FinGraV methodology (paper Section IV) is deliberately tool-agnostic: it
+consumes power-logger samples tagged with GPU timestamps, host-observed kernel
+start/end times, and a single CPU/GPU timestamp anchor per run.  These records
+define that contract.  The simulated MI300X backend
+(:mod:`repro.gpu.backend`) produces them; on real hardware a ROCm/amd-smi
+backend would produce the same shapes.
+
+Nothing in this module knows about the simulator -- the methodology never sees
+ground-truth GPU times.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+#: Canonical component names used throughout the reproduction.  ``total`` is
+#: always present; the breakdown keys mirror the MI300X chiplet organisation.
+COMPONENT_KEYS: tuple[str, ...] = ("total", "xcd", "iod", "hbm")
+
+
+@dataclass(frozen=True)
+class PowerReading:
+    """One sample reported by a power logger.
+
+    ``gpu_timestamp_ticks`` is the GPU timestamp-counter value associated with
+    the *end* of the averaging window; ``window_s`` is the averaging window
+    length (0 for an instantaneous sampler).  ``components`` maps component
+    names (e.g. ``xcd``/``iod``/``hbm``) to average watts over the window.
+    """
+
+    gpu_timestamp_ticks: int
+    window_s: float
+    total_w: float
+    components: Mapping[str, float] = field(default_factory=dict)
+
+    def component(self, name: str) -> float:
+        """Power of one component; ``total`` returns the board power."""
+        if name == "total":
+            return self.total_w
+        try:
+            return float(self.components[name])
+        except KeyError as exc:
+            raise KeyError(f"reading has no component {name!r}") from exc
+
+    def has_component(self, name: str) -> bool:
+        return name == "total" or name in self.components
+
+
+class ExecutionRole(str, enum.Enum):
+    """Role of an execution within a run (paper solution S4)."""
+
+    WARMUP = "warmup"
+    SSE = "sse"
+    INTERMEDIATE = "intermediate"
+    SSP = "ssp"
+
+
+@dataclass(frozen=True)
+class ExecutionTiming:
+    """Host-observed timing of one kernel execution within a run."""
+
+    index: int
+    cpu_start_s: float
+    cpu_end_s: float
+    kernel_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cpu_end_s < self.cpu_start_s:
+            raise ValueError("execution cannot end before it starts")
+        if self.index < 0:
+            raise ValueError("execution index must be non-negative")
+
+    @property
+    def duration_s(self) -> float:
+        return self.cpu_end_s - self.cpu_start_s
+
+    def contains(self, cpu_time_s: float) -> bool:
+        return self.cpu_start_s <= cpu_time_s <= self.cpu_end_s
+
+
+@dataclass(frozen=True)
+class TimestampAnchor:
+    """One CPU/GPU timestamp pair captured at the start of a run (solution S2).
+
+    ``cpu_time_after_s`` is the host time when the read returned;
+    ``round_trip_s`` is the host-measured duration of the read.  The capture
+    on the GPU happened roughly one way-delay before the return.
+    """
+
+    gpu_ticks: int
+    cpu_time_after_s: float
+    round_trip_s: float
+
+
+@dataclass(frozen=True)
+class DelayCalibration:
+    """Statistics of the GPU-timestamp read delay (methodology step 2)."""
+
+    mean_round_trip_s: float
+    std_round_trip_s: float
+    samples: int
+
+    def __post_init__(self) -> None:
+        if self.samples <= 0:
+            raise ValueError("calibration needs at least one sample")
+        if self.mean_round_trip_s < 0 or self.std_round_trip_s < 0:
+            raise ValueError("delay statistics must be non-negative")
+
+    @property
+    def one_way_delay_s(self) -> float:
+        """Estimate of the one-way (CPU to GPU) read delay."""
+        return self.mean_round_trip_s / 2.0
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Everything collected during one profiling run.
+
+    A *run* (paper Section IV-B) is: idle padding, GPU-timestamp anchor read,
+    a random delay, optional preceding (interleaved) kernels, then the
+    back-to-back executions of the kernel of interest, all while the power
+    logger records.
+    """
+
+    run_index: int
+    kernel_name: str
+    readings: tuple[PowerReading, ...]
+    executions: tuple[ExecutionTiming, ...]
+    anchor: TimestampAnchor
+    logger_period_s: float
+    counter_frequency_hz: float
+    pre_delay_s: float
+    preceding_executions: tuple[ExecutionTiming, ...] = ()
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.logger_period_s < 0:
+            raise ValueError("logger period cannot be negative")
+        if self.counter_frequency_hz <= 0:
+            raise ValueError("counter frequency must be positive")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_executions(self) -> int:
+        return len(self.executions)
+
+    @property
+    def first_execution(self) -> ExecutionTiming:
+        if not self.executions:
+            raise ValueError("run has no executions")
+        return self.executions[0]
+
+    @property
+    def last_execution(self) -> ExecutionTiming:
+        if not self.executions:
+            raise ValueError("run has no executions")
+        return self.executions[-1]
+
+    @property
+    def ssp_execution(self) -> ExecutionTiming:
+        """The execution used for the SSP profile (the last one of the run)."""
+        return self.last_execution
+
+    def execution(self, index: int) -> ExecutionTiming:
+        for execution in self.executions:
+            if execution.index == index:
+                return execution
+        raise KeyError(f"run {self.run_index} has no execution with index {index}")
+
+    def execution_durations(self) -> list[float]:
+        return [execution.duration_s for execution in self.executions]
+
+    def role_of(self, index: int, warmup_executions: int, sse_index: int) -> ExecutionRole:
+        """Classify an execution index into warmup / SSE / intermediate / SSP."""
+        last_index = self.executions[-1].index if self.executions else 0
+        if index < warmup_executions:
+            return ExecutionRole.WARMUP
+        if index == sse_index:
+            return ExecutionRole.SSE
+        if index == last_index:
+            return ExecutionRole.SSP
+        return ExecutionRole.INTERMEDIATE
+
+
+@dataclass(frozen=True)
+class LogOfInterest:
+    """A power reading attributed to a specific execution (paper LOI/TOI).
+
+    ``toi_s`` is the *time of interest*: how far into the matched execution
+    the averaging window ended.  ``toi_fraction`` normalises it by the
+    execution's duration.
+    """
+
+    run_index: int
+    execution_index: int
+    reading: PowerReading
+    window_end_cpu_s: float
+    toi_s: float
+    toi_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.toi_s < 0:
+            raise ValueError("time of interest cannot be negative")
+        if not math.isfinite(self.toi_fraction):
+            raise ValueError("toi_fraction must be finite")
+
+    def power(self, component: str = "total") -> float:
+        return self.reading.component(component)
+
+
+def mean_duration(executions: Sequence[ExecutionTiming]) -> float:
+    """Arithmetic mean of execution durations (0.0 for an empty sequence)."""
+    if not executions:
+        return 0.0
+    return sum(execution.duration_s for execution in executions) / len(executions)
+
+
+__all__ = [
+    "COMPONENT_KEYS",
+    "PowerReading",
+    "ExecutionRole",
+    "ExecutionTiming",
+    "TimestampAnchor",
+    "DelayCalibration",
+    "RunRecord",
+    "LogOfInterest",
+    "mean_duration",
+]

@@ -1,0 +1,138 @@
+"""Textual reports of FinGraV results.
+
+The experiments and benchmark harnesses print the same rows/series the paper
+reports; this module holds the shared formatting helpers: fixed-width tables,
+profile summaries, and guidance-table rendering.  Output is deliberately plain
+text so it reads the same in pytest output, CI logs and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .guidance import GuidanceTable
+from .profile import FineGrainProfile
+from .profiler import FinGraVResult
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width text table."""
+    if not headers:
+        raise ValueError("a table needs headers")
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_duration(value_s: float) -> str:
+    """Human-friendly duration (us / ms / s)."""
+    if value_s < 0:
+        raise ValueError("durations cannot be negative")
+    if value_s < 1e-3:
+        return f"{value_s * 1e6:.1f}us"
+    if value_s < 1.0:
+        return f"{value_s * 1e3:.2f}ms"
+    return f"{value_s:.3f}s"
+
+
+def profile_summary_row(profile: FineGrainProfile) -> dict[str, object]:
+    """One-line summary of a profile (used in comparative tables)."""
+    row: dict[str, object] = {
+        "kernel": profile.kernel_name,
+        "kind": profile.kind.value,
+        "points": len(profile),
+        "execution_time": format_duration(profile.execution_time_s)
+        if profile.execution_time_s
+        else "n/a",
+    }
+    for component in profile.components:
+        row[f"{component}_w"] = round(profile.mean_power_w(component), 1)
+    return row
+
+
+def guidance_report(table: GuidanceTable) -> str:
+    """Render Table I."""
+    rows = []
+    for entry in table.entries:
+        rows.append(
+            [
+                entry.describe().split(":")[0],
+                entry.runs,
+                f"1/{format_duration(entry.loi_resolution_s)}",
+                f"{entry.binning_margin * 100:.0f}%",
+            ]
+        )
+    return format_table(["Exec range", "# Runs", "# LOI", "Binning margin"], rows)
+
+
+def result_report(result: FinGraVResult) -> str:
+    """Multi-line report of a single profiling result."""
+    lines = [f"FinGraV profile of {result.kernel_name}"]
+    lines.append(f"  execution time      : {format_duration(result.execution_time_s)}")
+    lines.append(f"  guidance            : {result.guidance.describe()}")
+    lines.append(
+        "  plan                : "
+        f"{result.plan.warmup_executions} warm-ups, SSE at execution "
+        f"{result.plan.sse_index + 1}, SSP at execution {result.plan.ssp_executions}"
+        + (" (throttling detected)" if result.plan.throttling_detected else "")
+    )
+    lines.append(
+        f"  runs                : {result.num_runs} collected, "
+        f"{result.num_golden_runs} golden, {result.ssp_loi_count} SSP LOIs"
+    )
+    if not result.ssp_profile.is_empty:
+        lines.append(
+            "  SSP power (total)   : "
+            f"{result.ssp_profile.mean_power_w('total'):.1f} W mean, "
+            f"{result.ssp_profile.max_power_w('total'):.1f} W max"
+        )
+    if not result.sse_profile.is_empty and not result.ssp_profile.is_empty:
+        lines.append(
+            f"  SSE vs SSP error    : {result.sse_vs_ssp_error() * 100:.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def comparative_report(
+    summaries: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render a list of per-kernel summary mappings as a table."""
+    if not summaries:
+        raise ValueError("nothing to report")
+    if columns is None:
+        columns = list(summaries[0].keys())
+    rows = [[summary.get(column, "") for column in columns] for summary in summaries]
+    return format_table(list(columns), rows)
+
+
+__all__ = [
+    "format_table",
+    "format_duration",
+    "profile_summary_row",
+    "guidance_report",
+    "result_report",
+    "comparative_report",
+]

@@ -1,0 +1,269 @@
+"""Stitching logs of interest from many runs into fine-grain profiles (step 9).
+
+With a 1 ms averaging logger and sub-millisecond kernels, each run contributes
+at best a single power log for the execution of interest.  The fine-grain view
+only appears when the logs of interest of many runs -- each taken at a
+different time of interest thanks to the per-run random delays -- are plotted
+together.  This module performs that stitching for the SSP/SSE profiles (TOI
+on the x-axis) and for the whole-run profiles used by the methodology figures
+(time since the first execution of the run on the x-axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .profile import FineGrainProfile, ProfileKind, ProfilePoint, profile_from_lois
+from .records import COMPONENT_KEYS, DelayCalibration, LogOfInterest, RunRecord, mean_duration
+from .timesync import ClockSynchronizer, extract_lois, extract_lois_unsynchronized, synchronizer_for_run
+
+
+@dataclass(frozen=True)
+class StitchedRunSeries:
+    """All per-run LOI collections needed to assemble the standard profiles."""
+
+    kernel_name: str
+    lois_by_run: Mapping[int, tuple[LogOfInterest, ...]]
+    runs: Mapping[int, RunRecord]
+
+    def all_lois(self) -> list[LogOfInterest]:
+        result: list[LogOfInterest] = []
+        for lois in self.lois_by_run.values():
+            result.extend(lois)
+        return result
+
+    def lois_for_execution(self, execution_index: int) -> list[LogOfInterest]:
+        return [loi for loi in self.all_lois() if loi.execution_index == execution_index]
+
+    def lois_for_last_execution(self) -> list[LogOfInterest]:
+        result: list[LogOfInterest] = []
+        for run_index, lois in self.lois_by_run.items():
+            run = self.runs[run_index]
+            last_index = run.last_execution.index
+            result.extend(loi for loi in lois if loi.execution_index == last_index)
+        return result
+
+
+class ProfileStitcher:
+    """Builds fine-grain profiles from run records."""
+
+    def __init__(
+        self,
+        components: Sequence[str] = COMPONENT_KEYS,
+        calibration: DelayCalibration | None = None,
+        synchronize: bool = True,
+    ) -> None:
+        self._components = tuple(components)
+        self._calibration = calibration
+        self._synchronize = synchronize
+
+    @property
+    def synchronize(self) -> bool:
+        return self._synchronize
+
+    # ------------------------------------------------------------------ #
+    # LOI extraction across runs.
+    # ------------------------------------------------------------------ #
+    def collect(self, runs: Sequence[RunRecord]) -> StitchedRunSeries:
+        """Extract LOIs for every execution of every run."""
+        if not runs:
+            raise ValueError("need at least one run to stitch")
+        lois_by_run: dict[int, tuple[LogOfInterest, ...]] = {}
+        runs_by_index: dict[int, RunRecord] = {}
+        for run in runs:
+            lois_by_run[run.run_index] = tuple(self._extract(run))
+            runs_by_index[run.run_index] = run
+        return StitchedRunSeries(
+            kernel_name=runs[0].kernel_name,
+            lois_by_run=lois_by_run,
+            runs=runs_by_index,
+        )
+
+    def _extract(self, run: RunRecord) -> list[LogOfInterest]:
+        if self._synchronize:
+            synchronizer = synchronizer_for_run(run, self._calibration)
+            return extract_lois(run, synchronizer)
+        logger_start = float(run.metadata.get("logger_start_cpu_s", run.anchor.cpu_time_after_s))
+        return extract_lois_unsynchronized(run, logger_start)
+
+    # ------------------------------------------------------------------ #
+    # Execution-level (SSP/SSE) profiles.
+    # ------------------------------------------------------------------ #
+    def ssp_profile(
+        self,
+        series: StitchedRunSeries,
+        golden_runs: Sequence[int] | None = None,
+        min_execution_index: int | None = None,
+        metadata: Mapping[str, object] | None = None,
+    ) -> FineGrainProfile:
+        """Profile of the steady-state-power executions across the selected runs.
+
+        By default only the last execution of each run contributes.  When
+        ``min_execution_index`` is given, every execution at or past that index
+        contributes -- power is stable from the SSP execution onward, so the
+        extra (tail) executions legitimately belong to the same profile and
+        multiply the LOI yield of very short kernels.
+        """
+        if min_execution_index is None:
+            lois = series.lois_for_last_execution()
+            which: int | str = "last"
+        else:
+            lois = [
+                loi for loi in series.all_lois()
+                if loi.execution_index >= min_execution_index
+            ]
+            which = min_execution_index
+        lois = self._filtered(lois, golden_runs)
+        execution_time = self._execution_time(series, golden_runs, which=which)
+        return profile_from_lois(
+            series.kernel_name, ProfileKind.SSP, lois, execution_time,
+            components=self._components, metadata=metadata,
+        )
+
+    def sse_profile(
+        self,
+        series: StitchedRunSeries,
+        sse_index: int,
+        golden_runs: Sequence[int] | None = None,
+        metadata: Mapping[str, object] | None = None,
+    ) -> FineGrainProfile:
+        """Profile of the SSE execution (first post-warm-up) across runs."""
+        lois = self._filtered(series.lois_for_execution(sse_index), golden_runs)
+        execution_time = self._execution_time(series, golden_runs, which=sse_index)
+        return profile_from_lois(
+            series.kernel_name, ProfileKind.SSE, lois, execution_time,
+            components=self._components, metadata=metadata,
+        )
+
+    def execution_profile(
+        self,
+        series: StitchedRunSeries,
+        execution_index: int,
+        golden_runs: Sequence[int] | None = None,
+    ) -> FineGrainProfile:
+        """Profile of an arbitrary execution index (used for outlier studies)."""
+        lois = self._filtered(series.lois_for_execution(execution_index), golden_runs)
+        execution_time = self._execution_time(series, golden_runs, which=execution_index)
+        return profile_from_lois(
+            series.kernel_name, ProfileKind.CUSTOM, lois, execution_time,
+            components=self._components,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Whole-run profile (Figures 5, 6 and 8).
+    # ------------------------------------------------------------------ #
+    def run_profile(
+        self,
+        series: StitchedRunSeries,
+        golden_runs: Sequence[int] | None = None,
+        include_non_execution_readings: bool = True,
+        metadata: Mapping[str, object] | None = None,
+    ) -> FineGrainProfile:
+        """Power over the whole run, time measured from the first execution start.
+
+        Readings that do not overlap any execution (idle lead-in / the random
+        delay) are included by default so the warm-up ramp from idle is
+        visible, exactly as in the paper's figures.
+        """
+        selected = set(golden_runs) if golden_runs is not None else None
+        points: list[ProfilePoint] = []
+        durations: list[float] = []
+        for run_index, run in series.runs.items():
+            if selected is not None and run_index not in selected:
+                continue
+            if not run.executions:
+                continue
+            origin = run.first_execution.cpu_start_s
+            durations.append(run.last_execution.cpu_end_s - origin)
+            points.extend(self._run_points(run, origin, include_non_execution_readings))
+        execution_time = mean_duration_or_zero(durations)
+        return FineGrainProfile(
+            kernel_name=series.kernel_name,
+            kind=ProfileKind.RUN,
+            points=tuple(points),
+            execution_time_s=execution_time,
+            metadata=dict(metadata or {}),
+        )
+
+    def _run_points(
+        self, run: RunRecord, origin_cpu_s: float, include_idle: bool
+    ) -> list[ProfilePoint]:
+        points: list[ProfilePoint] = []
+        if self._synchronize:
+            synchronizer = synchronizer_for_run(run, self._calibration)
+            times = [
+                synchronizer.cpu_time_of(reading.gpu_timestamp_ticks) for reading in run.readings
+            ]
+        else:
+            logger_start = float(
+                run.metadata.get("logger_start_cpu_s", run.anchor.cpu_time_after_s)
+            )
+            times = [
+                logger_start + (i + 1) * run.logger_period_s for i in range(len(run.readings))
+            ]
+        span_start = run.first_execution.cpu_start_s
+        span_end = run.last_execution.cpu_end_s
+        for reading, window_end in zip(run.readings, times):
+            inside = span_start <= window_end <= span_end
+            if not inside and not include_idle:
+                continue
+            powers = {}
+            for component in self._components:
+                if reading.has_component(component):
+                    powers[component] = reading.component(component)
+            execution_index = -1
+            for execution in run.executions:
+                if execution.contains(window_end):
+                    execution_index = execution.index
+                    break
+            points.append(
+                ProfilePoint(
+                    time_s=window_end - origin_cpu_s,
+                    powers_w=powers,
+                    run_index=run.run_index,
+                    execution_index=execution_index,
+                )
+            )
+        return points
+
+    # ------------------------------------------------------------------ #
+    # Helpers.
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _filtered(
+        lois: Sequence[LogOfInterest], golden_runs: Sequence[int] | None
+    ) -> list[LogOfInterest]:
+        if golden_runs is None:
+            return list(lois)
+        wanted = set(golden_runs)
+        return [loi for loi in lois if loi.run_index in wanted]
+
+    @staticmethod
+    def _execution_time(
+        series: StitchedRunSeries, golden_runs: Sequence[int] | None, which: int | str
+    ) -> float:
+        selected = set(golden_runs) if golden_runs is not None else None
+        durations: list[float] = []
+        for run_index, run in series.runs.items():
+            if selected is not None and run_index not in selected:
+                continue
+            if not run.executions:
+                continue
+            if which == "last":
+                durations.append(run.last_execution.duration_s)
+            else:
+                try:
+                    durations.append(run.execution(int(which)).duration_s)
+                except KeyError:
+                    continue
+        return mean_duration_or_zero(durations)
+
+
+def mean_duration_or_zero(durations: Sequence[float]) -> float:
+    if not durations:
+        return 0.0
+    return float(sum(durations) / len(durations))
+
+
+__all__ = ["StitchedRunSeries", "ProfileStitcher", "mean_duration_or_zero"]

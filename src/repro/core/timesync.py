@@ -1,0 +1,184 @@
+"""CPU-GPU time synchronisation and LOI/TOI identification (paper S2).
+
+The on-GPU power logger tags samples with GPU timestamp-counter values and is
+agnostic of kernel start/end events, which the host observes in its own clock
+domain.  FinGraV bridges the two domains with a single anchor per run -- a GPU
+timestamp read from the CPU just before the executions -- plus a separately
+benchmarked read delay:
+
+    capture_cpu_time ~= cpu_time_after_read - round_trip + one_way_delay
+    cpu_time(ticks)  = capture_cpu_time + (ticks - anchor_ticks) / counter_hz
+
+With the mapping in hand, each power reading's averaging window can be placed
+on the CPU timeline, matched to the execution it overlaps (the log of
+interest, LOI) and to the position within that execution where the window
+ended (the time of interest, TOI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .records import (
+    DelayCalibration,
+    ExecutionTiming,
+    LogOfInterest,
+    PowerReading,
+    RunRecord,
+    TimestampAnchor,
+)
+
+
+@dataclass(frozen=True)
+class ClockSynchronizer:
+    """Maps GPU timestamp-counter ticks to CPU time for one run."""
+
+    anchor: TimestampAnchor
+    counter_frequency_hz: float
+    calibration: DelayCalibration | None = None
+
+    def __post_init__(self) -> None:
+        if self.counter_frequency_hz <= 0:
+            raise ValueError("counter frequency must be positive")
+
+    @property
+    def anchor_capture_cpu_s(self) -> float:
+        """Estimated CPU time at which the anchor ticks were captured on the GPU.
+
+        The host observed the read *returning* at ``cpu_time_after_s`` after a
+        measured ``round_trip_s``; the capture happened roughly one calibrated
+        one-way delay after the read was issued.  Without a calibration we
+        fall back to the midpoint of the round trip.
+        """
+        issue_time = self.anchor.cpu_time_after_s - self.anchor.round_trip_s
+        if self.calibration is not None:
+            return issue_time + self.calibration.one_way_delay_s
+        return issue_time + self.anchor.round_trip_s / 2.0
+
+    def cpu_time_of(self, gpu_ticks: int) -> float:
+        """CPU time corresponding to a GPU timestamp-counter value."""
+        delta_ticks = gpu_ticks - self.anchor.gpu_ticks
+        return self.anchor_capture_cpu_s + delta_ticks / self.counter_frequency_hz
+
+    def gpu_ticks_of(self, cpu_time_s: float) -> int:
+        """Inverse mapping (useful for tests and for window placement)."""
+        delta_s = cpu_time_s - self.anchor_capture_cpu_s
+        return self.anchor.gpu_ticks + int(round(delta_s * self.counter_frequency_hz))
+
+
+@dataclass(frozen=True)
+class NaiveIndexSynchronizer:
+    """The *unsynchronised* baseline mapping (paper Figure 5, red profile).
+
+    A common shortcut is to ignore the GPU timestamps entirely and assume the
+    k-th sample in the collected buffer was taken k sampling periods after the
+    host started the logger.  Because the logger free-runs on its own grid
+    (and because of the CPU-GPU launch path), this mis-places samples by up to
+    a full sampling period, attributing power to the wrong executions.
+    """
+
+    logger_start_cpu_s: float
+    period_s: float
+
+    def cpu_time_of_index(self, sample_index: int) -> float:
+        if sample_index < 0:
+            raise ValueError("sample index must be non-negative")
+        return self.logger_start_cpu_s + (sample_index + 1) * self.period_s
+
+
+def match_execution(
+    executions: Sequence[ExecutionTiming], cpu_time_s: float
+) -> ExecutionTiming | None:
+    """Return the execution whose span contains ``cpu_time_s`` (None if idle)."""
+    for execution in executions:
+        if execution.contains(cpu_time_s):
+            return execution
+    return None
+
+
+def _loi_from(
+    run_index: int,
+    reading: PowerReading,
+    window_end_cpu_s: float,
+    execution: ExecutionTiming,
+) -> LogOfInterest:
+    toi = window_end_cpu_s - execution.cpu_start_s
+    duration = execution.duration_s
+    fraction = toi / duration if duration > 0 else 0.0
+    return LogOfInterest(
+        run_index=run_index,
+        execution_index=execution.index,
+        reading=reading,
+        window_end_cpu_s=window_end_cpu_s,
+        toi_s=toi,
+        toi_fraction=min(max(fraction, 0.0), 1.0),
+    )
+
+
+def extract_lois(
+    run: RunRecord,
+    synchronizer: ClockSynchronizer,
+    execution_indices: Iterable[int] | None = None,
+) -> list[LogOfInterest]:
+    """Identify the logs of interest of one run (methodology step 7).
+
+    A reading becomes an LOI when, after mapping its GPU timestamp into CPU
+    time, its averaging-window end falls inside one of the run's executions.
+    ``execution_indices`` optionally restricts the match to specific
+    executions (e.g. only the SSP execution).
+    """
+    wanted = set(execution_indices) if execution_indices is not None else None
+    lois: list[LogOfInterest] = []
+    for reading in run.readings:
+        window_end = synchronizer.cpu_time_of(reading.gpu_timestamp_ticks)
+        execution = match_execution(run.executions, window_end)
+        if execution is None:
+            continue
+        if wanted is not None and execution.index not in wanted:
+            continue
+        lois.append(_loi_from(run.run_index, reading, window_end, execution))
+    return lois
+
+
+def extract_lois_unsynchronized(
+    run: RunRecord,
+    logger_start_cpu_s: float,
+    execution_indices: Iterable[int] | None = None,
+) -> list[LogOfInterest]:
+    """LOI extraction using the naive index-based mapping (baseline)."""
+    naive = NaiveIndexSynchronizer(
+        logger_start_cpu_s=logger_start_cpu_s, period_s=run.logger_period_s
+    )
+    wanted = set(execution_indices) if execution_indices is not None else None
+    lois: list[LogOfInterest] = []
+    for sample_index, reading in enumerate(run.readings):
+        window_end = naive.cpu_time_of_index(sample_index)
+        execution = match_execution(run.executions, window_end)
+        if execution is None:
+            continue
+        if wanted is not None and execution.index not in wanted:
+            continue
+        lois.append(_loi_from(run.run_index, reading, window_end, execution))
+    return lois
+
+
+def synchronizer_for_run(
+    run: RunRecord, calibration: DelayCalibration | None = None
+) -> ClockSynchronizer:
+    """Build the per-run synchroniser from the run's anchor."""
+    return ClockSynchronizer(
+        anchor=run.anchor,
+        counter_frequency_hz=run.counter_frequency_hz,
+        calibration=calibration,
+    )
+
+
+__all__ = [
+    "ClockSynchronizer",
+    "NaiveIndexSynchronizer",
+    "match_execution",
+    "extract_lois",
+    "extract_lois_unsynchronized",
+    "synchronizer_for_run",
+]

@@ -1,0 +1,67 @@
+"""One driver per paper table/figure, plus ablations.
+
+Each module exposes ``run_<experiment>()`` returning a result object with the
+rows/series the paper reports and boolean checks for the paper's qualitative
+claims.  The matching benchmark under ``benchmarks/`` calls the driver and
+prints the regenerated table/figure data.
+"""
+
+from .ablations import (
+    BinningMarginSweep,
+    CoarseCoverageResult,
+    DriftSensitivityResult,
+    SamplerAblationResult,
+    run_binning_margin_sweep,
+    run_coarse_coverage,
+    run_drift_sensitivity,
+    run_sampler_ablation,
+)
+from .common import (
+    FAST_SCALE,
+    PAPER_SCALE,
+    ExperimentScale,
+    default_scale,
+    make_backend,
+    make_profiler,
+)
+from .fig5 import Fig5Result, run_fig5
+from .fig6 import Fig6Result, run_fig6
+from .fig7 import Fig7Result, run_fig7
+from .fig8 import Fig8Result, run_fig8
+from .fig9 import Fig9Result, run_fig9
+from .fig10 import Fig10Result, run_fig10
+from .table1 import Table1Result, run_table1
+from .table2 import Table2Result, run_table2
+
+__all__ = [
+    "BinningMarginSweep",
+    "CoarseCoverageResult",
+    "DriftSensitivityResult",
+    "SamplerAblationResult",
+    "run_binning_margin_sweep",
+    "run_coarse_coverage",
+    "run_drift_sensitivity",
+    "run_sampler_ablation",
+    "FAST_SCALE",
+    "PAPER_SCALE",
+    "ExperimentScale",
+    "default_scale",
+    "make_backend",
+    "make_profiler",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Result",
+    "run_fig6",
+    "Fig7Result",
+    "run_fig7",
+    "Fig8Result",
+    "run_fig8",
+    "Fig9Result",
+    "run_fig9",
+    "Fig10Result",
+    "run_fig10",
+    "Table1Result",
+    "run_table1",
+    "Table2Result",
+    "run_table2",
+]

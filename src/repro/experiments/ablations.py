@@ -1,0 +1,296 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures and probe the knobs the methodology (and
+the simulation substrate) depends on:
+
+* **Sampler ablation** -- replace the 1 ms averaging logger with an idealised
+  instantaneous sampler: the SSE/SSP split collapses, confirming that the
+  split is a consequence of trailing-window averaging (paper Section V-C3
+  notes that with an instantaneous sampler the interleaving caveat vanishes).
+* **Coarse-sampler coverage** -- the challenge-C1 baseline: an amd-smi-like
+  sampler with a tens-of-milliseconds period misses most sub-ms executions.
+* **Binning-margin sweep** -- tighter margins keep fewer runs but yield
+  tighter profiles (the Table I trade-off).
+* **Clock-drift sensitivity** -- with a drifting GPU clock, a single anchor
+  per run keeps LOI placement accurate only because runs are short; large
+  drift degrades TOI accuracy (the Lang et al. discussion in Section VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dataclass_replace
+
+import numpy as np
+
+from ..analysis.trends import profile_spread
+from ..core.baselines import CoarseSamplerEstimator, CoverageReport
+from ..core.binning import ExecutionTimeBinner
+from ..core.stitching import ProfileStitcher
+from ..core.timesync import extract_lois, synchronizer_for_run
+from ..gpu.spec import ClockSpec, GPUSpec, mi300x_spec
+from ..kernels.workloads import cb_gemm
+from .common import ExperimentScale, default_scale, make_backend, make_profiler
+
+
+# --------------------------------------------------------------------------- #
+# Sampler ablation.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SamplerAblationResult:
+    """SSE-vs-SSP error under the averaging logger vs an instantaneous sampler."""
+
+    kernel_name: str
+    averaging_error: float
+    instantaneous_error: float
+
+    def averaging_window_causes_split(self) -> bool:
+        """The SSE/SSP split should mostly vanish without window averaging."""
+        return self.instantaneous_error < self.averaging_error * 0.5
+
+    def to_row(self) -> dict[str, object]:
+        return {
+            "kernel": self.kernel_name,
+            "averaging_error_pct": round(self.averaging_error * 100, 1),
+            "instantaneous_error_pct": round(self.instantaneous_error * 100, 1),
+            "split_caused_by_averaging": self.averaging_window_causes_split(),
+        }
+
+
+def run_sampler_ablation(
+    scale: ExperimentScale | None = None, seed: int = 31, runs: int | None = None
+) -> SamplerAblationResult:
+    scale = scale or default_scale()
+    runs = runs or scale.gemm_runs
+    kernel = cb_gemm(2048)
+
+    averaging_backend = make_backend(seed=seed, sampler="averaging")
+    averaging_result = make_profiler(averaging_backend, seed=seed + 100).profile(kernel, runs=runs)
+
+    instant_backend = make_backend(seed=seed + 1, sampler="instantaneous")
+    instant_result = make_profiler(instant_backend, seed=seed + 101).profile(kernel, runs=runs)
+
+    return SamplerAblationResult(
+        kernel_name=kernel.name,
+        averaging_error=averaging_result.sse_vs_ssp_error(),
+        instantaneous_error=instant_result.sse_vs_ssp_error(),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Coarse-sampler coverage (challenge C1).
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CoarseCoverageResult:
+    """How much of a sub-ms kernel an amd-smi-like sampler actually sees."""
+
+    kernel_name: str
+    fine_coverage: CoverageReport
+    coarse_coverage: CoverageReport
+
+    def coarse_misses_kernels(self) -> bool:
+        return self.coarse_coverage.execution_coverage < 0.5 * max(
+            self.fine_coverage.execution_coverage, 1e-9
+        ) or self.coarse_coverage.execution_coverage < 0.2
+
+    def to_row(self) -> dict[str, object]:
+        return {
+            "kernel": self.kernel_name,
+            "fine_execution_coverage": round(self.fine_coverage.execution_coverage, 3),
+            "coarse_execution_coverage": round(self.coarse_coverage.execution_coverage, 3),
+            "coarse_misses_kernels": self.coarse_misses_kernels(),
+        }
+
+
+def run_coarse_coverage(
+    scale: ExperimentScale | None = None, seed: int = 32, runs: int = 30, executions: int = 8
+) -> CoarseCoverageResult:
+    del scale  # run count is intentionally small; coverage is a per-run property
+    kernel = cb_gemm(2048)
+    estimator = CoarseSamplerEstimator()
+    rng = np.random.default_rng(seed)
+
+    def collect(sampler: str, backend_seed: int) -> CoverageReport:
+        backend = make_backend(seed=backend_seed, sampler=sampler)
+        period = backend.power_sample_period_s
+        records = [
+            backend.run(
+                kernel,
+                executions=executions,
+                pre_delay_s=float(rng.uniform(0, 2 * period)),
+                run_index=i,
+            )
+            for i in range(runs)
+        ]
+        return estimator.coverage(records)
+
+    return CoarseCoverageResult(
+        kernel_name=kernel.name,
+        fine_coverage=collect("averaging", seed + 1),
+        coarse_coverage=collect("coarse", seed + 2),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Binning-margin sweep.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BinningMarginPoint:
+    margin: float
+    golden_fraction: float
+    profile_spread: float
+
+    def to_row(self) -> dict[str, object]:
+        return {
+            "margin_pct": round(self.margin * 100, 1),
+            "golden_fraction": round(self.golden_fraction, 3),
+            "profile_spread": round(self.profile_spread, 4),
+        }
+
+
+@dataclass(frozen=True)
+class BinningMarginSweep:
+    kernel_name: str
+    points: tuple[BinningMarginPoint, ...]
+
+    def rows(self) -> list[dict[str, object]]:
+        return [point.to_row() for point in self.points]
+
+    def tighter_margin_keeps_fewer_runs(self) -> bool:
+        fractions = [point.golden_fraction for point in self.points]
+        return all(a <= b + 1e-9 for a, b in zip(fractions, fractions[1:]))
+
+
+def run_binning_margin_sweep(
+    scale: ExperimentScale | None = None,
+    seed: int = 33,
+    runs: int | None = None,
+    margins: tuple[float, ...] = (0.005, 0.01, 0.02, 0.05, 0.10),
+) -> BinningMarginSweep:
+    scale = scale or default_scale()
+    runs = runs or scale.methodology_runs
+    kernel = cb_gemm(4096)
+    backend = make_backend(seed=seed)
+    profiler = make_profiler(backend, seed=seed + 100)
+    result = profiler.profile(kernel, runs=runs)
+
+    stitcher = ProfileStitcher(calibration=result.calibration)
+    series = stitcher.collect(list(result.runs))
+    durations = [run.ssp_execution.duration_s for run in result.runs]
+    run_indices = [run.run_index for run in result.runs]
+
+    points: list[BinningMarginPoint] = []
+    for margin in sorted(margins):
+        binning = ExecutionTimeBinner(margin).bin(durations)
+        golden = [run_indices[i] for i in binning.selected_indices]
+        profile = stitcher.ssp_profile(series, golden)
+        spread = profile_spread(profile) if len(profile) >= 3 else 0.0
+        points.append(
+            BinningMarginPoint(
+                margin=margin,
+                golden_fraction=binning.selection_ratio,
+                profile_spread=spread,
+            )
+        )
+    return BinningMarginSweep(kernel_name=kernel.name, points=tuple(points))
+
+
+# --------------------------------------------------------------------------- #
+# Clock-drift sensitivity.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DriftSensitivityPoint:
+    drift_ppm: float
+    mean_toi_error_s: float
+    loi_count: int
+
+    def to_row(self) -> dict[str, object]:
+        return {
+            "drift_ppm": self.drift_ppm,
+            "mean_toi_error_us": round(self.mean_toi_error_s * 1e6, 2),
+            "lois": self.loi_count,
+        }
+
+
+@dataclass(frozen=True)
+class DriftSensitivityResult:
+    kernel_name: str
+    points: tuple[DriftSensitivityPoint, ...]
+
+    def rows(self) -> list[dict[str, object]]:
+        return [point.to_row() for point in self.points]
+
+    def error_grows_with_drift(self) -> bool:
+        errors = [point.mean_toi_error_s for point in self.points]
+        return all(a <= b + 1e-9 for a, b in zip(errors, errors[1:]))
+
+
+def run_drift_sensitivity(
+    scale: ExperimentScale | None = None,
+    seed: int = 34,
+    runs: int = 30,
+    drifts_ppm: tuple[float, ...] = (0.0, 50.0, 500.0, 5000.0),
+) -> DriftSensitivityResult:
+    """Quantify LOI placement error as the GPU clock drifts vs the CPU clock.
+
+    The placement error of each LOI is measured against the ground-truth
+    sample time the simulator retains in its telemetry (never visible to the
+    methodology on real hardware, but available here for validation).
+    """
+    del scale
+    kernel = cb_gemm(8192)
+    rng = np.random.default_rng(seed)
+    points: list[DriftSensitivityPoint] = []
+    for drift in sorted(drifts_ppm):
+        base_spec = mi300x_spec()
+        clock_spec = dataclass_replace(base_spec.clocks, drift_ppm=drift)
+        spec = GPUSpec(
+            name=base_spec.name,
+            num_xcds=base_spec.num_xcds,
+            num_iods=base_spec.num_iods,
+            num_hbm_stacks=base_spec.num_hbm_stacks,
+            xcd=base_spec.xcd,
+            iod=base_spec.iod,
+            hbm=base_spec.hbm,
+            power=base_spec.power,
+            dvfs=base_spec.dvfs,
+            clocks=clock_spec,
+            telemetry=base_spec.telemetry,
+        )
+        backend = make_backend(seed=seed + int(drift), spec=spec)
+        calibration = backend.calibrate_read_delay(16)
+        period = backend.power_sample_period_s
+        errors: list[float] = []
+        loi_count = 0
+        for run_index in range(runs):
+            record = backend.run(
+                kernel,
+                executions=4,
+                pre_delay_s=float(rng.uniform(0, 2 * period)),
+                run_index=run_index,
+            )
+            synchronizer = synchronizer_for_run(record, calibration)
+            lois = extract_lois(record, synchronizer)
+            loi_count += len(lois)
+            counter = backend.device.timestamp_counter
+            for loi in lois:
+                true_time = counter.sim_time_of_ticks(loi.reading.gpu_timestamp_ticks)
+                errors.append(abs(loi.window_end_cpu_s - true_time))
+        mean_error = float(np.mean(errors)) if errors else 0.0
+        points.append(
+            DriftSensitivityPoint(drift_ppm=drift, mean_toi_error_s=mean_error, loi_count=loi_count)
+        )
+    return DriftSensitivityResult(kernel_name=kernel.name, points=tuple(points))
+
+
+__all__ = [
+    "SamplerAblationResult",
+    "run_sampler_ablation",
+    "CoarseCoverageResult",
+    "run_coarse_coverage",
+    "BinningMarginPoint",
+    "BinningMarginSweep",
+    "run_binning_margin_sweep",
+    "DriftSensitivityPoint",
+    "DriftSensitivityResult",
+    "run_drift_sensitivity",
+]

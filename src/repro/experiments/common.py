@@ -1,0 +1,114 @@
+"""Shared plumbing for the experiment drivers.
+
+Every paper table/figure has one driver module in this package.  They all
+build their backends and profilers through these helpers so that seeds, run
+budgets and sampler choices are controlled in one place, and so the benchmarks
+can switch between a *fast* scale (CI-friendly) and the *paper* scale
+(the run counts of Table I) with a single argument.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..core.profiler import FinGraVProfiler, ProfilerConfig
+from ..gpu.backend import BackendConfig, SimulatedDeviceBackend
+from ..gpu.spec import GPUSpec, mi300x_spec
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Run budgets for the experiment drivers."""
+
+    name: str
+    gemm_runs: int
+    gemv_runs: int
+    collective_runs: int
+    interleaved_runs: int
+    methodology_runs: int
+    reduced_runs: int
+
+    def validate(self) -> None:
+        for field_name in (
+            "gemm_runs", "gemv_runs", "collective_runs",
+            "interleaved_runs", "methodology_runs", "reduced_runs",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+#: Small budgets for unit/integration tests and quick local runs.
+FAST_SCALE = ExperimentScale(
+    name="fast",
+    gemm_runs=50,
+    gemv_runs=120,
+    collective_runs=50,
+    interleaved_runs=40,
+    methodology_runs=70,
+    reduced_runs=25,
+)
+
+#: The paper's run budgets (Table I) -- used by the benchmark harnesses.
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    gemm_runs=200,
+    gemv_runs=400,
+    collective_runs=200,
+    interleaved_runs=150,
+    methodology_runs=200,
+    reduced_runs=50,
+)
+
+
+def default_scale() -> ExperimentScale:
+    """Scale selected via the ``FINGRAV_SCALE`` environment variable.
+
+    ``FINGRAV_SCALE=paper`` selects the paper's run budgets; anything else
+    (including unset) selects the fast budgets.
+    """
+    if os.environ.get("FINGRAV_SCALE", "fast").lower() == "paper":
+        return PAPER_SCALE
+    return FAST_SCALE
+
+
+def make_backend(
+    seed: int = 0,
+    sampler: str = "averaging",
+    spec: GPUSpec | None = None,
+) -> SimulatedDeviceBackend:
+    """A simulated-MI300X backend with the standard configuration."""
+    return SimulatedDeviceBackend(
+        spec=spec or mi300x_spec(),
+        seed=seed,
+        config=BackendConfig(sampler=sampler),
+    )
+
+
+def make_profiler(
+    backend: SimulatedDeviceBackend,
+    seed: int = 2024,
+    synchronize: bool = True,
+    apply_binning: bool = True,
+    differentiate: bool = True,
+    max_additional_runs: int = 200,
+) -> FinGraVProfiler:
+    """A FinGraV profiler with the standard configuration."""
+    config = ProfilerConfig(
+        seed=seed,
+        synchronize=synchronize,
+        apply_binning=apply_binning,
+        differentiate=differentiate,
+        max_additional_runs=max_additional_runs,
+    )
+    return FinGraVProfiler(backend, config)
+
+
+__all__ = [
+    "ExperimentScale",
+    "FAST_SCALE",
+    "PAPER_SCALE",
+    "default_scale",
+    "make_backend",
+    "make_profiler",
+]

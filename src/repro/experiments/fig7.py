@@ -1,0 +1,132 @@
+"""Figure 7: component-level comparison of CB GEMMs vs MB GEMVs.
+
+The paper plots relative total / XCD / IOD / HBM power of the three
+compute-bound GEMMs and the three memory-bound GEMVs, using their SSP
+profiles.  The expected relationships are:
+
+* CB GEMMs draw considerably higher total and XCD power than MB GEMVs;
+* among CB GEMMs, CB-8K-GEMM is slightly higher in total/XCD power;
+* total power drops from MB-8K-GEMV to MB-2K-GEMV;
+* MB-8K-GEMV stresses IOD power more than any CB GEMM;
+* CB-8K-GEMM has the highest HBM power of the six kernels;
+* CB-2K-GEMM has roughly half the compute utilisation of CB-8K yet similar
+  XCD power (the power-proportionality gap of takeaway #4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.comparative import ComponentComparison, compare_kernels
+from ..analysis.errors import ErrorSummary, summarize_errors
+from ..analysis.proportionality import ProportionalityAssessment, assess_proportionality
+from ..core.profiler import FinGraVResult
+from ..kernels.workloads import cb_gemms, mb_gemvs
+from .common import ExperimentScale, default_scale, make_backend, make_profiler
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Everything the Figure-7 reproduction reports."""
+
+    comparison: ComponentComparison
+    results: tuple[FinGraVResult, ...]
+    errors: ErrorSummary
+    proportionality: ProportionalityAssessment
+    cb_names: tuple[str, ...]
+    mb_names: tuple[str, ...]
+
+    # ------------------------------------------------------------------ #
+    # The paper's claims as individual checks.
+    # ------------------------------------------------------------------ #
+    def cb_above_mb_total(self) -> bool:
+        cb = [self.comparison.summary_for(n).component("total") for n in self.cb_names]
+        mb = [self.comparison.summary_for(n).component("total") for n in self.mb_names]
+        return min(cb) > max(mb)
+
+    def cb_above_mb_xcd(self) -> bool:
+        cb = [self.comparison.summary_for(n).component("xcd") for n in self.cb_names]
+        mb = [self.comparison.summary_for(n).component("xcd") for n in self.mb_names]
+        return min(cb) > max(mb)
+
+    def cb8k_highest_cb_total(self) -> bool:
+        totals = {n: self.comparison.summary_for(n).component("total") for n in self.cb_names}
+        return max(totals, key=totals.get) == "CB-8K-GEMM"
+
+    def gemv_total_drops_with_size(self) -> bool:
+        ordered = [self.comparison.summary_for(n).component("total") for n in self.mb_names]
+        return ordered[0] > ordered[-1]
+
+    def mb8k_stresses_iod(self) -> bool:
+        mb8k_iod = self.comparison.summary_for("MB-8K-GEMV").component("iod")
+        cb_iods = [self.comparison.summary_for(n).component("iod") for n in self.cb_names]
+        return mb8k_iod > max(cb_iods)
+
+    def cb8k_highest_hbm(self) -> bool:
+        hbm = self.comparison.series("hbm")
+        return max(hbm, key=hbm.get) == "CB-8K-GEMM"
+
+    def xcd_similar_across_cb(self, tolerance: float = 0.35) -> bool:
+        xcd = [self.comparison.summary_for(n).component("xcd") for n in self.cb_names]
+        return (max(xcd) - min(xcd)) / max(xcd) <= tolerance
+
+    def all_claims(self) -> dict[str, bool]:
+        return {
+            "cb_above_mb_total": self.cb_above_mb_total(),
+            "cb_above_mb_xcd": self.cb_above_mb_xcd(),
+            "cb8k_highest_cb_total": self.cb8k_highest_cb_total(),
+            "gemv_total_drops_with_size": self.gemv_total_drops_with_size(),
+            "mb8k_stresses_iod": self.mb8k_stresses_iod(),
+            "cb8k_highest_hbm": self.cb8k_highest_hbm(),
+            "xcd_similar_across_cb": self.xcd_similar_across_cb(),
+        }
+
+    def rows(self) -> list[dict[str, object]]:
+        return self.comparison.to_rows()
+
+    def summary(self) -> dict[str, object]:
+        summary: dict[str, object] = {"kernels": len(self.comparison.summaries)}
+        summary.update(self.all_claims())
+        summary["max_sse_vs_ssp_error_pct"] = round(self.errors.max_error() * 100, 1)
+        return summary
+
+
+def run_fig7(
+    scale: ExperimentScale | None = None,
+    seed: int = 7,
+    gemm_runs: int | None = None,
+    gemv_runs: int | None = None,
+) -> Fig7Result:
+    """Reproduce Figure 7 (component comparison of the six GEMM/GEMV kernels)."""
+    scale = scale or default_scale()
+    gemm_runs = gemm_runs or scale.gemm_runs
+    gemv_runs = gemv_runs or scale.gemv_runs
+
+    gemms = cb_gemms()
+    gemvs = mb_gemvs()
+    backend = make_backend(seed=seed)
+    profiler = make_profiler(backend, seed=seed + 100)
+
+    gemm_comparison, gemm_results = compare_kernels(profiler, gemms, runs=gemm_runs)
+    gemv_comparison, gemv_results = compare_kernels(profiler, gemvs, runs=gemv_runs)
+    results = tuple(gemm_results + gemv_results)
+    comparison = ComponentComparison(
+        summaries=tuple(list(gemm_comparison.summaries) + list(gemv_comparison.summaries))
+    )
+    errors = summarize_errors(results, backend.power_sample_period_s)
+    proportionality = assess_proportionality(
+        kernels=[*gemms, *gemvs],
+        summaries=comparison.summaries,
+        spec=backend.device.spec,
+    )
+    return Fig7Result(
+        comparison=comparison,
+        results=results,
+        errors=errors,
+        proportionality=proportionality,
+        cb_names=tuple(k.name for k in gemms),
+        mb_names=tuple(k.name for k in gemvs),
+    )
+
+
+__all__ = ["Fig7Result", "run_fig7"]

@@ -1,0 +1,92 @@
+"""Figure 8: CB-2K-GEMM total and XCD power over a run.
+
+The compute-light 2K GEMM is much shorter than the 1 ms averaging window, so
+its measured power starts low (the window is mostly idle) and rises gradually
+as repeated executions fill the window, stabilising only at the SSP execution.
+The resulting SSE-vs-SSP spread is the paper's headline measurement-error
+number (~80 %), far larger than for CB-8K-GEMM (~20 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.profiler import FinGraVResult
+from ..kernels.workloads import cb_gemm
+from .common import ExperimentScale, default_scale, make_backend, make_profiler
+from .fig6 import RunShapeSeries, _binned_series
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Everything the Figure-8 reproduction reports."""
+
+    kernel_name: str
+    result: FinGraVResult
+    total_series: RunShapeSeries
+    xcd_series: RunShapeSeries
+    sse_power_w: float
+    ssp_power_w: float
+    sse_vs_ssp_error: float
+    ssp_executions: int
+
+    def gradual_rise(self) -> bool:
+        """The paper's qualitative shape for CB-2K-GEMM: a monotonic-ish climb.
+
+        Checked as: the early in-run power is well below the late in-run
+        power, and no early peak exceeds the final level (no throttle spike).
+        """
+        power = np.asarray(self.total_series.power_w)
+        if len(power) < 5:
+            return False
+        quarter = max(len(power) // 4, 1)
+        early = float(np.mean(power[:quarter]))
+        late = float(np.max(power[-quarter:]))
+        peak = float(np.max(power))
+        return early < 0.8 * late and peak <= late * 1.05
+
+    def rows(self) -> list[dict[str, object]]:
+        rows = []
+        for total_row, xcd_row in zip(self.total_series.rows(), self.xcd_series.rows()):
+            rows.append({**total_row, **xcd_row})
+        return rows
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "kernel": self.kernel_name,
+            "execution_time_us": round(self.result.execution_time_s * 1e6, 1),
+            "ssp_executions": self.ssp_executions,
+            "sse_total_w": round(self.sse_power_w, 1),
+            "ssp_total_w": round(self.ssp_power_w, 1),
+            "sse_vs_ssp_error_pct": round(self.sse_vs_ssp_error * 100, 1),
+            "gradual_rise_shape": self.gradual_rise(),
+        }
+
+
+def run_fig8(
+    scale: ExperimentScale | None = None,
+    seed: int = 8,
+    bins: int = 24,
+    runs: int | None = None,
+) -> Fig8Result:
+    """Reproduce Figure 8 (CB-2K-GEMM whole-run total and XCD power)."""
+    scale = scale or default_scale()
+    backend = make_backend(seed=seed)
+    profiler = make_profiler(backend, seed=seed + 100)
+    kernel = cb_gemm(2048)
+    result = profiler.profile(kernel, runs=runs or scale.gemm_runs)
+    return Fig8Result(
+        kernel_name=result.kernel_name,
+        result=result,
+        total_series=_binned_series(result, "total", bins),
+        xcd_series=_binned_series(result, "xcd", bins),
+        sse_power_w=result.sse_profile.mean_power_w("total"),
+        ssp_power_w=result.ssp_profile.mean_power_w("total"),
+        sse_vs_ssp_error=result.sse_vs_ssp_error(),
+        ssp_executions=result.plan.ssp_executions,
+    )
+
+
+__all__ = ["Fig8Result", "run_fig8"]

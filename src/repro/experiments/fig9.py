@@ -1,0 +1,108 @@
+"""Figure 9: total power of interleaved GEMM/GEMV executions vs isolated SSP.
+
+The paper interleaves kernels and compares the measured power of the kernel of
+interest to its isolated SSP profile:
+
+* ``CB->8K``      -- 60 CB-2K-GEMMs before CB-8K-GEMM: only a slight rise;
+* ``MB->2K``      -- 40 MB-4K-GEMVs before CB-2K-GEMM: far lower than SSP;
+* ``CB->2K``      -- CB-8K/4K-GEMMs before CB-2K-GEMM: higher than SSP;
+* ``MB->8K gemv`` -- MB-4K/2K-GEMVs before MB-8K-GEMV: lower than SSP;
+* ``CB->4K gemv`` -- CB-8K/4K-GEMMs before MB-4K-GEMV: higher than SSP.
+
+The takeaway: kernels shorter than the averaging window inherit the power
+level of whatever ran before them, while CB-8K-GEMM (longer than the window)
+is essentially unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.interleaving import InterleavedMeasurement, InterleavingStudy
+from ..kernels.workloads import interleaving_scenarios
+from .common import ExperimentScale, default_scale, make_backend, make_profiler
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Everything the Figure-9 reproduction reports."""
+
+    measurements: tuple[InterleavedMeasurement, ...]
+
+    def measurement(self, label: str) -> InterleavedMeasurement:
+        for measurement in self.measurements:
+            if measurement.label == label:
+                return measurement
+        raise KeyError(f"no measurement labelled {label!r}")
+
+    # ------------------------------------------------------------------ #
+    # The paper's per-scenario expectations.
+    # ------------------------------------------------------------------ #
+    def expectations(self) -> dict[str, bool]:
+        checks: dict[str, bool] = {}
+        cb_to_8k = self.measurement("CB->8K")
+        checks["CB->8K only slightly changed"] = 0.92 <= cb_to_8k.ratio <= 1.15
+        checks["MB->2K far lower than SSP"] = self.measurement("MB->2K").ratio < 0.8
+        checks["CB->2K higher than SSP"] = self.measurement("CB->2K").ratio > 1.05
+        checks["MB->8K gemv lower than SSP"] = self.measurement("MB->8K gemv").ratio < 0.95
+        checks["CB->4K gemv higher than SSP"] = self.measurement("CB->4K gemv").ratio > 1.05
+        return checks
+
+    def short_kernels_affected_long_not(self) -> bool:
+        """Takeaway #5: short kernels inherit preceding power; CB-8K does not."""
+        checks = self.expectations()
+        return all(checks.values())
+
+    def rows(self) -> list[dict[str, object]]:
+        rows = []
+        for measurement in self.measurements:
+            rows.append(
+                {
+                    "scenario": measurement.label,
+                    "kernel": measurement.kernel_name,
+                    "preceded_by": " + ".join(measurement.preceding_description),
+                    "isolated_ssp_w": round(measurement.isolated_ssp_w, 1),
+                    "interleaved_w": round(measurement.interleaved_w, 1),
+                    "ratio_to_ssp": round(measurement.ratio, 3),
+                    "direction": measurement.direction(),
+                    "lois": measurement.lois,
+                }
+            )
+        return rows
+
+    def summary(self) -> dict[str, object]:
+        summary: dict[str, object] = dict(self.expectations())
+        summary["all_expectations_hold"] = self.short_kernels_affected_long_not()
+        return summary
+
+
+def run_fig9(
+    scale: ExperimentScale | None = None,
+    seed: int = 9,
+    runs: int | None = None,
+    isolated_runs: int | None = None,
+) -> Fig9Result:
+    """Reproduce Figure 9 (interleaved GEMM/GEMV power comparison)."""
+    scale = scale or default_scale()
+    runs = runs or scale.interleaved_runs
+    backend = make_backend(seed=seed)
+    profiler = make_profiler(backend, seed=seed + 100)
+    study = InterleavingStudy(backend, profiler=profiler, runs=runs, seed=seed + 200)
+
+    scenarios = interleaving_scenarios()
+    # Profile each distinct kernel of interest once in isolation and share it.
+    isolated = {}
+    for scenario in scenarios:
+        name = backend.kernel_name(scenario.kernel_of_interest)
+        if name not in isolated:
+            kernel = scenario.kernel_of_interest
+            kernel_runs = isolated_runs
+            if kernel_runs is None:
+                kernel_runs = scale.gemv_runs if "GEMV" in name else scale.gemm_runs
+            isolated[name] = study.isolated_ssp(kernel, runs=kernel_runs)
+
+    measurements = study.run_scenarios(scenarios, isolated=isolated, runs=runs)
+    return Fig9Result(measurements=tuple(measurements))
+
+
+__all__ = ["Fig9Result", "run_fig9"]

@@ -1,0 +1,74 @@
+"""Table II: takeaways, measurement guidance and recommendations.
+
+Composes the Figure-7 component comparison, the SSE-vs-SSP error summary, the
+proportionality assessment and the Figure-9 interleaving measurements into the
+five Table II takeaways, each evaluated against the reproduced data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.insights import Takeaway, derive_takeaways
+from .common import ExperimentScale, default_scale
+from .fig7 import Fig7Result, run_fig7
+from .fig9 import Fig9Result, run_fig9
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """The re-derived Table II."""
+
+    takeaways: tuple[Takeaway, ...]
+    fig7: Fig7Result
+    fig9: Fig9Result
+
+    def rows(self) -> list[dict[str, object]]:
+        return [takeaway.to_row() for takeaway in self.takeaways]
+
+    def takeaway(self, number: int) -> Takeaway:
+        for takeaway in self.takeaways:
+            if takeaway.number == number:
+                return takeaway
+        raise KeyError(f"no takeaway #{number}")
+
+    def all_hold(self) -> bool:
+        return all(takeaway.holds for takeaway in self.takeaways)
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "takeaways": len(self.takeaways),
+            "holding": sum(1 for t in self.takeaways if t.holds),
+            "all_hold": self.all_hold(),
+        }
+
+
+def run_table2(
+    scale: ExperimentScale | None = None,
+    seed: int = 2,
+    fig7: Fig7Result | None = None,
+    fig9: Fig9Result | None = None,
+) -> Table2Result:
+    """Re-derive Table II.
+
+    ``fig7`` / ``fig9`` results can be passed in to avoid re-running those
+    experiments when they have already been produced in the same session.
+    """
+    scale = scale or default_scale()
+    fig7 = fig7 or run_fig7(scale=scale, seed=seed + 70)
+    fig9 = fig9 or run_fig9(scale=scale, seed=seed + 90)
+    takeaways = derive_takeaways(
+        comparison=fig7.comparison,
+        errors=fig7.errors,
+        proportionality=fig7.proportionality,
+        interleaving=fig9.measurements,
+        cb_names=fig7.cb_names,
+        mb_names=fig7.mb_names,
+        light_kernel="CB-2K-GEMM",
+        heavy_kernel="CB-8K-GEMM",
+        unaffected_kernel="CB-8K-GEMM",
+    )
+    return Table2Result(takeaways=tuple(takeaways), fig7=fig7, fig9=fig9)
+
+
+__all__ = ["Table2Result", "run_table2"]

@@ -1,0 +1,76 @@
+"""Simulated MI300X-class GPU substrate.
+
+This subpackage stands in for the hardware and vendor tooling the paper uses:
+the MI300X chiplet GPU (XCDs / IODs / HBM), its DVFS and power-cap firmware,
+the on-GPU 1 ms averaging power logger, the CPU-side launch path, and the
+8-GPU Infinity Platform.  See DESIGN.md for the substitution rationale.
+"""
+
+from .activity import (
+    KernelActivityDescriptor,
+    PhaseSpec,
+    VariationSpec,
+    XCDOccupancyMode,
+)
+from .backend import BackendConfig, SimulatedDeviceBackend
+from .clocks import CPUClock, GPUTimestampCounter, SimulationClock, TimestampReadResult
+from .device import KernelExecutionResult, PowerSegment, SimulatedGPU
+from .dvfs import FirmwareConfig, FirmwareState, PowerManagementFirmware
+from .platform import InfinityPlatform, TransferEstimate
+from .power_model import ComponentPower, OperatingPoint, PowerModel
+from .scheduler import KernelLauncher, LaunchConfig, ObservedExecution
+from .spec import (
+    GPUSpec,
+    PlatformSpec,
+    PowerBudget,
+    mi300x_platform_spec,
+    mi300x_spec,
+)
+from .telemetry import (
+    AveragingPowerLogger,
+    CoarsePowerSampler,
+    InstantaneousPowerSampler,
+    TelemetrySample,
+)
+from .thermal import ThermalModel, ThermalSpec
+from .variation import ExecutionTimeVariationModel, RunVariation
+
+__all__ = [
+    "KernelActivityDescriptor",
+    "PhaseSpec",
+    "VariationSpec",
+    "XCDOccupancyMode",
+    "BackendConfig",
+    "SimulatedDeviceBackend",
+    "CPUClock",
+    "GPUTimestampCounter",
+    "SimulationClock",
+    "TimestampReadResult",
+    "KernelExecutionResult",
+    "PowerSegment",
+    "SimulatedGPU",
+    "FirmwareConfig",
+    "FirmwareState",
+    "PowerManagementFirmware",
+    "InfinityPlatform",
+    "TransferEstimate",
+    "ComponentPower",
+    "OperatingPoint",
+    "PowerModel",
+    "KernelLauncher",
+    "LaunchConfig",
+    "ObservedExecution",
+    "GPUSpec",
+    "PlatformSpec",
+    "PowerBudget",
+    "mi300x_platform_spec",
+    "mi300x_spec",
+    "AveragingPowerLogger",
+    "CoarsePowerSampler",
+    "InstantaneousPowerSampler",
+    "TelemetrySample",
+    "ThermalModel",
+    "ThermalSpec",
+    "ExecutionTimeVariationModel",
+    "RunVariation",
+]

@@ -1,0 +1,253 @@
+"""Device-facing description of what a kernel does to the GPU.
+
+The simulated device does not understand GEMMs or collectives; it understands
+an :class:`KernelActivityDescriptor` -- a compact, physical description of how
+a kernel exercises each GPU component:
+
+* how long it runs at the nominal clock with warm caches,
+* how sensitive its duration is to the core clock (compute- vs memory-bound),
+* what fraction of peak compute / Infinity-Cache bandwidth / HBM bandwidth /
+  Infinity-Fabric bandwidth it sustains,
+* how it occupies the compute units (matrix-engine-heavy, vector, stalled on
+  memory, or DMA-like),
+* how those utilisations are shaped over the kernel's lifetime (phases), and
+* how much run-to-run execution-time variation it exhibits.
+
+The operator substrate (:mod:`repro.kernels`) derives descriptors from
+first-principles roofline and memory-traffic math; the device
+(:mod:`repro.gpu.device`) turns descriptors plus DVFS/thermal state into an
+instantaneous power timeline.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+
+class XCDOccupancyMode(str, enum.Enum):
+    """How a kernel occupies the compute units, for the XCD power floor.
+
+    ``MATRIX``
+        Matrix-engine (MFMA) heavy kernel: full issue activity, the large
+        non-proportional XCD floor applies (paper takeaway #4).
+    ``VECTOR``
+        Vector-ALU heavy kernel without matrix engines.
+    ``STALLED``
+        Wavefronts resident but mostly waiting on memory (GEMV-style).
+    ``DMA``
+        Copy-engine / fabric-transfer style kernels (collectives).
+    """
+
+    MATRIX = "matrix"
+    VECTOR = "vector"
+    STALLED = "stalled"
+    DMA = "dma"
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of a kernel's execution.
+
+    ``duration_fraction`` is the share of the total execution time the phase
+    occupies; the scale factors multiply the kernel's average component
+    utilisations during the phase.  A kernel's phases should roughly preserve
+    the average (the descriptor normalises them on construction).
+    """
+
+    duration_fraction: float
+    xcd_scale: float = 1.0
+    iod_scale: float = 1.0
+    hbm_scale: float = 1.0
+
+    def validate(self) -> None:
+        if not 0.0 < self.duration_fraction <= 1.0:
+            raise ValueError("phase duration fraction must be in (0, 1]")
+        for name, value in (
+            ("xcd_scale", self.xcd_scale),
+            ("iod_scale", self.iod_scale),
+            ("hbm_scale", self.hbm_scale),
+        ):
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+DEFAULT_PHASES: tuple[PhaseSpec, ...] = (
+    # Prologue: operand fetch dominates -- memory heavier, compute lighter.
+    PhaseSpec(duration_fraction=0.10, xcd_scale=0.80, iod_scale=1.25, hbm_scale=1.35),
+    # Main body.
+    PhaseSpec(duration_fraction=0.80, xcd_scale=1.05, iod_scale=0.97, hbm_scale=0.95),
+    # Epilogue: result drain.
+    PhaseSpec(duration_fraction=0.10, xcd_scale=0.80, iod_scale=1.00, hbm_scale=1.05),
+)
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Run-to-run execution-time variation of a kernel (paper challenge C3).
+
+    ``run_cv``
+        Coefficient of variation of a per-run multiplicative factor.  The paper
+        attributes this to slight differences in memory allocation, which are
+        fixed for the lifetime of a run, so the factor is drawn once per run.
+    ``execution_cv``
+        Additional per-execution jitter within a run.
+    ``outlier_probability`` / ``outlier_scale``
+        Probability that a run is an outlier, and the multiplicative slowdown
+        applied to all of its executions when it is.
+    """
+
+    run_cv: float = 0.02
+    execution_cv: float = 0.006
+    outlier_probability: float = 0.04
+    outlier_scale: float = 1.22
+
+    def validate(self) -> None:
+        if self.run_cv < 0 or self.execution_cv < 0:
+            raise ValueError("coefficients of variation must be non-negative")
+        if not 0 <= self.outlier_probability <= 1:
+            raise ValueError("outlier probability must be in [0, 1]")
+        if self.outlier_scale < 1:
+            raise ValueError("outlier scale must be >= 1 (outliers are slowdowns)")
+
+
+@dataclass(frozen=True)
+class KernelActivityDescriptor:
+    """Everything the simulated GPU needs to execute a kernel.
+
+    Utilisation fields are fractions of the corresponding peak at the nominal
+    core clock with warm on-chip caches; the device rescales them for the
+    actual frequency, cold caches and thermal state.
+    """
+
+    name: str
+    base_duration_s: float
+    xcd_mode: XCDOccupancyMode = XCDOccupancyMode.MATRIX
+    #: Achieved fraction of peak (matrix or vector) FLOP throughput.
+    compute_utilization: float = 0.0
+    #: Achieved fraction of peak Infinity-Cache bandwidth.
+    llc_utilization: float = 0.0
+    #: Achieved fraction of peak HBM bandwidth with warm caches.
+    hbm_utilization: float = 0.0
+    #: HBM utilisation during cold-cache executions (first touches).
+    hbm_utilization_cold: float | None = None
+    #: Achieved fraction of this GPU's aggregate Infinity-Fabric bandwidth.
+    fabric_utilization: float = 0.0
+    #: 1.0 = duration scales inversely with core clock (compute-bound),
+    #: 0.0 = duration independent of core clock (memory/fabric-bound).
+    frequency_sensitivity: float = 1.0
+    #: Duration multiplier while caches are cold.
+    cold_duration_multiplier: float = 1.0
+    #: Number of executions after a cold start before caches are warm.
+    cold_executions: int = 3
+    phases: tuple[PhaseSpec, ...] = DEFAULT_PHASES
+    variation: VariationSpec = field(default_factory=VariationSpec)
+    #: Free-form metadata (operator type, problem size, boundedness, ...).
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("kernel descriptor needs a name")
+        if self.base_duration_s <= 0:
+            raise ValueError("base duration must be positive")
+        for label, value in (
+            ("compute_utilization", self.compute_utilization),
+            ("llc_utilization", self.llc_utilization),
+            ("hbm_utilization", self.hbm_utilization),
+            ("fabric_utilization", self.fabric_utilization),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{label} must be within [0, 1], got {value}")
+        if self.hbm_utilization_cold is not None and not 0.0 <= self.hbm_utilization_cold <= 1.0:
+            raise ValueError("hbm_utilization_cold must be within [0, 1]")
+        if not 0.0 <= self.frequency_sensitivity <= 1.0:
+            raise ValueError("frequency_sensitivity must be within [0, 1]")
+        if self.cold_duration_multiplier < 1.0:
+            raise ValueError("cold caches cannot make a kernel faster")
+        if self.cold_executions < 0:
+            raise ValueError("cold_executions must be non-negative")
+        if not self.phases:
+            raise ValueError("a kernel needs at least one phase")
+        total = 0.0
+        for phase in self.phases:
+            phase.validate()
+            total += phase.duration_fraction
+        if not math.isclose(total, 1.0, rel_tol=1e-6, abs_tol=1e-9):
+            raise ValueError(f"phase duration fractions must sum to 1, got {total}")
+        self.variation.validate()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def effective_hbm_utilization_cold(self) -> float:
+        """Cold-cache HBM utilisation, defaulting to the warm value."""
+        if self.hbm_utilization_cold is None:
+            return self.hbm_utilization
+        return self.hbm_utilization_cold
+
+    def duration_at(self, frequency_ghz: float, nominal_frequency_ghz: float, cold: bool = False) -> float:
+        """Execution time at a given core clock (seconds).
+
+        Duration scales as ``(f_nominal / f) ** frequency_sensitivity`` -- a
+        fully compute-bound kernel speeds up linearly with the clock while a
+        fully memory-bound kernel does not speed up at all.
+        """
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        scale = (nominal_frequency_ghz / frequency_ghz) ** self.frequency_sensitivity
+        duration = self.base_duration_s * scale
+        if cold:
+            duration *= self.cold_duration_multiplier
+        return duration
+
+    def phase_at(self, fraction: float) -> PhaseSpec:
+        """Return the phase active at a normalised position in [0, 1]."""
+        if fraction < 0:
+            fraction = 0.0
+        if fraction >= 1.0:
+            return self.phases[-1]
+        cursor = 0.0
+        for phase in self.phases:
+            cursor += phase.duration_fraction
+            if fraction < cursor:
+                return phase
+        return self.phases[-1]
+
+    def with_variation(self, variation: VariationSpec) -> "KernelActivityDescriptor":
+        """Return a copy of the descriptor with a different variation model."""
+        return replace(self, variation=variation)
+
+    def scaled(self, duration_scale: float) -> "KernelActivityDescriptor":
+        """Return a copy with the base duration multiplied by ``duration_scale``."""
+        if duration_scale <= 0:
+            raise ValueError("duration scale must be positive")
+        return replace(self, base_duration_s=self.base_duration_s * duration_scale)
+
+
+def uniform_phases(count: int) -> tuple[PhaseSpec, ...]:
+    """Build ``count`` equal-length neutral phases (useful for tests)."""
+    if count <= 0:
+        raise ValueError("phase count must be positive")
+    fraction = 1.0 / count
+    return tuple(PhaseSpec(duration_fraction=fraction) for _ in range(count))
+
+
+def flat_profile_phases() -> tuple[PhaseSpec, ...]:
+    """A single neutral phase: no intra-kernel power shape."""
+    return (PhaseSpec(duration_fraction=1.0),)
+
+
+__all__ = [
+    "XCDOccupancyMode",
+    "PhaseSpec",
+    "VariationSpec",
+    "KernelActivityDescriptor",
+    "DEFAULT_PHASES",
+    "uniform_phases",
+    "flat_profile_phases",
+]

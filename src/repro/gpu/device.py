@@ -1,0 +1,366 @@
+"""The simulated GPU device.
+
+:class:`SimulatedGPU` is the stand-in for the MI300X used by the paper.  It
+executes kernels described by :class:`~repro.gpu.activity.KernelActivityDescriptor`
+objects against simulated time, while:
+
+* stepping the DVFS / power-cap firmware every control period,
+* stepping the thermal (warmth) model,
+* tracking per-kernel cache warmth (cold first executions),
+* applying run-to-run and execution-to-execution time variation, and
+* recording an instantaneous power timeline as a list of
+  :class:`PowerSegment` objects that the telemetry layer averages into the
+  1 ms power-logger samples the FinGraV methodology consumes.
+
+The device deliberately exposes *two* views of time: the CPU clock (what the
+host observes, used for kernel start/end instrumentation) and the GPU
+timestamp counter (what tags power-logger samples).  Only the simulator knows
+the exact relationship between them -- the methodology has to reconstruct it,
+exactly as on real hardware (paper challenge C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .activity import KernelActivityDescriptor
+from .clocks import CPUClock, GPUTimestampCounter, SimulationClock, TimestampReadResult
+from .dvfs import FirmwareConfig, FirmwareEvent, PowerManagementFirmware
+from .power_model import ComponentPower, OperatingPoint, PowerModel
+from .spec import GPUSpec, mi300x_spec
+from .thermal import ThermalModel, ThermalSpec
+from .variation import ExecutionTimeVariationModel, RunVariation
+
+
+@dataclass(frozen=True)
+class PowerSegment:
+    """A span of simulated time with constant per-component power."""
+
+    start_s: float
+    end_s: float
+    power: ComponentPower
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.power.total_w * self.duration_s
+
+
+@dataclass(frozen=True)
+class KernelExecutionResult:
+    """Ground-truth outcome of one kernel execution on the device."""
+
+    kernel_name: str
+    start_s: float
+    end_s: float
+    cold_caches: bool
+    mean_frequency_ghz: float
+    energy_j: float
+    mean_power: ComponentPower
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class _CacheState:
+    """Per-kernel cache warm-up bookkeeping."""
+
+    consecutive_executions: int = 0
+    last_end_s: float = -1.0
+
+
+@dataclass
+class _ControlAccumulator:
+    """Energy/time accumulated since the last firmware control step."""
+
+    energy_j: float = 0.0
+    time_s: float = 0.0
+    active_time_s: float = 0.0
+
+    def add(self, power_w: float, dt_s: float, active: bool) -> None:
+        self.energy_j += power_w * dt_s
+        self.time_s += dt_s
+        if active:
+            self.active_time_s += dt_s
+
+    def mean_power_w(self, idle_power_w: float) -> float:
+        if self.time_s <= 0:
+            return idle_power_w
+        return self.energy_j / self.time_s
+
+    def mostly_active(self) -> bool:
+        return self.time_s > 0 and self.active_time_s >= 0.5 * self.time_s
+
+    def reset(self) -> None:
+        self.energy_j = 0.0
+        self.time_s = 0.0
+        self.active_time_s = 0.0
+
+
+class SimulatedGPU:
+    """A single simulated MI300X-class GPU."""
+
+    #: Idle time after which a kernel's working set is considered evicted
+    #: from the on-chip caches (seconds).
+    CACHE_RETENTION_S = 4e-3
+
+    def __init__(
+        self,
+        spec: GPUSpec | None = None,
+        seed: int = 0,
+        thermal_spec: ThermalSpec | None = None,
+        firmware_config: FirmwareConfig | None = None,
+    ) -> None:
+        self._spec = spec or mi300x_spec()
+        self._spec.validate()
+        self._rng = np.random.default_rng(seed)
+        self._sim_clock = SimulationClock()
+        self._cpu_clock = CPUClock(self._sim_clock)
+        self._timestamp_counter = GPUTimestampCounter(self._spec.clocks, self._sim_clock, self._rng)
+        self._power_model = PowerModel(self._spec)
+        self._firmware = PowerManagementFirmware(
+            self._spec.dvfs, self._spec.power, firmware_config
+        )
+        self._thermal = ThermalModel(thermal_spec)
+        self._variation = ExecutionTimeVariationModel(self._rng)
+
+        self._recording = False
+        self._segments: list[PowerSegment] = []
+        self._cache_states: dict[str, _CacheState] = {}
+        self._control = _ControlAccumulator()
+        self._next_control_s = self._spec.dvfs.control_period_s
+        self._executions: list[KernelExecutionResult] = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection.
+    # ------------------------------------------------------------------ #
+    @property
+    def spec(self) -> GPUSpec:
+        return self._spec
+
+    @property
+    def power_model(self) -> PowerModel:
+        return self._power_model
+
+    @property
+    def cpu_clock(self) -> CPUClock:
+        return self._cpu_clock
+
+    @property
+    def timestamp_counter(self) -> GPUTimestampCounter:
+        return self._timestamp_counter
+
+    @property
+    def firmware(self) -> PowerManagementFirmware:
+        return self._firmware
+
+    @property
+    def thermal(self) -> ThermalModel:
+        return self._thermal
+
+    @property
+    def variation_model(self) -> ExecutionTimeVariationModel:
+        return self._variation
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def now_s(self) -> float:
+        """Current CPU/simulated time in seconds."""
+        return self._sim_clock.now_s
+
+    def firmware_events(self) -> list[FirmwareEvent]:
+        return self._firmware.events
+
+    def executions(self) -> list[KernelExecutionResult]:
+        """Ground-truth execution history since recording started."""
+        return list(self._executions)
+
+    # ------------------------------------------------------------------ #
+    # Power-trace recording.
+    # ------------------------------------------------------------------ #
+    def start_recording(self) -> float:
+        """Begin recording the instantaneous power timeline; returns start time."""
+        self._recording = True
+        self._segments = []
+        self._executions = []
+        return self._sim_clock.now_s
+
+    def stop_recording(self) -> list[PowerSegment]:
+        """Stop recording and return the captured power segments."""
+        self._recording = False
+        segments = self._segments
+        self._segments = []
+        return segments
+
+    @property
+    def is_recording(self) -> bool:
+        return self._recording
+
+    def _record(self, start_s: float, end_s: float, power: ComponentPower) -> None:
+        if self._recording and end_s > start_s:
+            self._segments.append(PowerSegment(start_s=start_s, end_s=end_s, power=power))
+
+    # ------------------------------------------------------------------ #
+    # Host-visible operations.
+    # ------------------------------------------------------------------ #
+    def read_timestamp(self) -> TimestampReadResult:
+        """Read the GPU timestamp counter from the host (advances CPU time).
+
+        The counter value captured corresponds to the moment the read reaches
+        the GPU (about one way into the round trip); the elapsed round trip is
+        spent at idle power so telemetry, thermal state and the firmware all
+        see the elapsed time consistently.
+        """
+        one_way = self._timestamp_counter.sample_read_delay_s()
+        return_way = self._timestamp_counter.sample_read_delay_s()
+        capture_time_s = self._sim_clock.now_s + one_way
+        ticks = self._timestamp_counter.ticks_at(capture_time_s)
+        self.idle(one_way + return_way)
+        return TimestampReadResult(
+            gpu_ticks=ticks,
+            cpu_time_after_s=self._sim_clock.now_s,
+            round_trip_s=one_way + return_way,
+        )
+
+    def idle(self, duration_s: float) -> None:
+        """Let the device sit idle for ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise ValueError("idle duration cannot be negative")
+        remaining = duration_s
+        idle_power = self._power_model.idle_power()
+        while remaining > 1e-12:
+            now = self._sim_clock.now_s
+            dt = min(remaining, max(self._next_control_s - now, 1e-9))
+            self._record(now, now + dt, idle_power)
+            self._control.add(idle_power.total_w, dt, active=False)
+            self._thermal.step(dt, active=False)
+            self._sim_clock.advance(dt)
+            remaining -= dt
+            self._maybe_step_firmware()
+
+    def park(self, duration_s: float = 12e-3) -> None:
+        """Idle long enough for clocks to drop, caches to expire and the die to cool."""
+        self.idle(duration_s)
+
+    def execute_kernel(
+        self,
+        descriptor: KernelActivityDescriptor,
+        run_variation: RunVariation | None = None,
+    ) -> KernelExecutionResult:
+        """Execute one kernel to completion and return its ground-truth timing.
+
+        The execution is advanced in slices bounded by the firmware control
+        period so that clock changes take effect mid-execution for kernels
+        longer than the control period (the mechanism behind the power
+        excursions and throttling of the largest GEMMs).
+        """
+        cold = self._consume_cache_state(descriptor)
+        jitter = self._variation.draw_execution_jitter(descriptor.variation)
+        time_factor = jitter if run_variation is None else run_variation.execution_factor(jitter)
+
+        start_s = self._sim_clock.now_s
+        self._firmware.notify_kernel_arrival(start_s)
+        work_remaining = 1.0
+        energy_j = 0.0
+        component_energy = np.zeros(3)
+        freq_time_weighted = 0.0
+
+        while work_remaining > 1e-9:
+            now = self._sim_clock.now_s
+            frequency = self._firmware.frequency_ghz
+            duration_full = (
+                descriptor.duration_at(
+                    frequency, self._spec.dvfs.nominal_frequency_ghz, cold=cold
+                )
+                * time_factor
+            )
+            dt_to_control = max(self._next_control_s - now, 1e-9)
+            dt = min(dt_to_control, work_remaining * duration_full)
+            frac_done = 1.0 - work_remaining
+            frac_mid = frac_done + 0.5 * dt / duration_full
+            phase = descriptor.phase_at(frac_mid)
+            point = OperatingPoint(
+                frequency_ghz=frequency, warmth=self._thermal.warmth, cold_caches=cold
+            )
+            power = self._power_model.kernel_power(descriptor, point, phase)
+
+            self._record(now, now + dt, power)
+            self._control.add(power.total_w, dt, active=True)
+            self._thermal.step(dt, active=True)
+            self._sim_clock.advance(dt)
+            energy_j += power.total_w * dt
+            component_energy += np.array([power.xcd_w, power.iod_w, power.hbm_w]) * dt
+            freq_time_weighted += frequency * dt
+            work_remaining -= dt / duration_full
+            self._maybe_step_firmware()
+
+        end_s = self._sim_clock.now_s
+        duration = end_s - start_s
+        self._update_cache_state(descriptor, end_s)
+        mean_power = ComponentPower(
+            xcd_w=float(component_energy[0] / duration),
+            iod_w=float(component_energy[1] / duration),
+            hbm_w=float(component_energy[2] / duration),
+        )
+        result = KernelExecutionResult(
+            kernel_name=descriptor.name,
+            start_s=start_s,
+            end_s=end_s,
+            cold_caches=cold,
+            mean_frequency_ghz=freq_time_weighted / duration,
+            energy_j=energy_j,
+            mean_power=mean_power,
+        )
+        if self._recording:
+            self._executions.append(result)
+        return result
+
+    def draw_run_variation(self, descriptor: KernelActivityDescriptor) -> RunVariation:
+        """Draw the per-run variation factors for ``descriptor``."""
+        return self._variation.draw_run(descriptor.variation)
+
+    # ------------------------------------------------------------------ #
+    # Internals.
+    # ------------------------------------------------------------------ #
+    def _maybe_step_firmware(self) -> None:
+        now = self._sim_clock.now_s
+        if now + 1e-12 < self._next_control_s:
+            return
+        idle_total = self._power_model.idle_power().total_w
+        mean_power = self._control.mean_power_w(idle_total)
+        kernel_resident = self._control.mostly_active()
+        self._firmware.step(now, self._control.time_s, mean_power, kernel_resident)
+        self._control.reset()
+        period = self._spec.dvfs.control_period_s
+        while self._next_control_s <= now + 1e-12:
+            self._next_control_s += period
+
+    def _consume_cache_state(self, descriptor: KernelActivityDescriptor) -> bool:
+        """Return whether this execution sees cold caches, updating bookkeeping."""
+        state = self._cache_states.get(descriptor.name)
+        now = self._sim_clock.now_s
+        if state is None or (now - state.last_end_s) > self.CACHE_RETENTION_S:
+            state = _CacheState()
+            self._cache_states[descriptor.name] = state
+        return state.consecutive_executions < descriptor.cold_executions
+
+    def _update_cache_state(self, descriptor: KernelActivityDescriptor, end_s: float) -> None:
+        state = self._cache_states.setdefault(descriptor.name, _CacheState())
+        state.consecutive_executions += 1
+        state.last_end_s = end_s
+
+    def reset_cache_state(self) -> None:
+        """Forget all cache warm-up state (as after a long idle period)."""
+        self._cache_states.clear()
+
+
+__all__ = ["PowerSegment", "KernelExecutionResult", "SimulatedGPU"]

@@ -1,0 +1,215 @@
+"""Per-component power model of the simulated GPU.
+
+The model maps *what the kernel is doing* (a :class:`KernelActivityDescriptor`
+plus the active phase) and *how the device is operating* (core clock, thermal
+warmth, cold/warm caches) to instantaneous power for each component class:
+
+* **XCD** (accelerator complex dies) -- dominated by issue activity.  A large
+  fraction of XCD dynamic power is burned merely by keeping the compute units
+  occupied (clock trees, sequencers, LDS), which is what makes compute-light
+  and compute-heavy GEMMs draw similar XCD power (paper takeaway #4).
+* **IOD** (I/O dies) -- driven by Infinity-Cache bandwidth and Infinity-Fabric
+  traffic; memory-bound GEMVs and bandwidth-bound collectives stress it.
+* **HBM** -- driven by HBM bandwidth; does not scale with the core clock.
+
+Dynamic power of the clocked components scales as ``(f / f_nominal) ** k``
+with ``k`` folding the voltage curve (f * V**2), so boosting raises power
+super-linearly -- this is what produces the power excursions of the largest
+GEMMs that invoke the throttling firmware (paper Section V-C1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .activity import KernelActivityDescriptor, PhaseSpec, XCDOccupancyMode
+from .spec import GPUSpec
+
+
+#: Fraction of the XCD frequency/voltage scaling applied to IOD dynamic power
+#: (the IODs run partly in their own clock domain).
+IOD_FREQUENCY_COUPLING = 0.5
+
+#: Small extra XCD issue activity attributed to address generation and control
+#: flow even for kernels that are stalled on memory most of the time.
+MEMORY_KERNEL_COMPUTE_OVERHEAD = 0.03
+
+
+@dataclass(frozen=True)
+class ComponentPower:
+    """Instantaneous power of each component class, in watts."""
+
+    xcd_w: float
+    iod_w: float
+    hbm_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.xcd_w + self.iod_w + self.hbm_w
+
+    def scaled(self, factor: float) -> "ComponentPower":
+        return ComponentPower(self.xcd_w * factor, self.iod_w * factor, self.hbm_w * factor)
+
+    def __add__(self, other: "ComponentPower") -> "ComponentPower":
+        return ComponentPower(
+            self.xcd_w + other.xcd_w,
+            self.iod_w + other.iod_w,
+            self.hbm_w + other.hbm_w,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "total": self.total_w,
+            "xcd": self.xcd_w,
+            "iod": self.iod_w,
+            "hbm": self.hbm_w,
+        }
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Device operating state relevant to power."""
+
+    frequency_ghz: float
+    #: Thermal/electrical settling state in [0, 1]; dynamic power rises a few
+    #: percent as the die warms up under sustained load.
+    warmth: float = 1.0
+    #: Whether the kernel's working set is still cold (first executions).
+    cold_caches: bool = False
+
+
+class PowerModel:
+    """Maps kernel activity and operating point to per-component power."""
+
+    #: Relative increase in dynamic power between a cold die and a fully
+    #: warmed-up die (leakage + voltage settling).
+    WARMTH_DYNAMIC_SWING = 0.06
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self._spec = spec
+        self._budget = spec.power
+        self._dvfs = spec.dvfs
+
+    @property
+    def spec(self) -> GPUSpec:
+        return self._spec
+
+    # ------------------------------------------------------------------ #
+    # Scaling helpers.
+    # ------------------------------------------------------------------ #
+    def frequency_power_scale(self, frequency_ghz: float) -> float:
+        """Dynamic power multiplier at a given core clock vs nominal."""
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        ratio = frequency_ghz / self._dvfs.nominal_frequency_ghz
+        return ratio ** self._dvfs.power_exponent
+
+    def warmth_scale(self, warmth: float) -> float:
+        """Dynamic power multiplier for a given warmth state in [0, 1]."""
+        warmth = min(max(warmth, 0.0), 1.0)
+        return 1.0 - self.WARMTH_DYNAMIC_SWING * (1.0 - warmth)
+
+    def xcd_activity(self, descriptor: KernelActivityDescriptor) -> float:
+        """Fraction of peak XCD dynamic power drawn by the kernel at nominal clock."""
+        budget = self._budget
+        mode = descriptor.xcd_mode
+        if mode is XCDOccupancyMode.MATRIX or mode is XCDOccupancyMode.VECTOR:
+            floor = budget.xcd_activity_floor
+            activity = floor + (1.0 - floor) * descriptor.compute_utilization
+        elif mode is XCDOccupancyMode.STALLED:
+            floor = budget.xcd_stalled_floor
+            activity = floor + descriptor.compute_utilization + MEMORY_KERNEL_COMPUTE_OVERHEAD
+        else:  # DMA
+            activity = 0.08 + 0.5 * descriptor.compute_utilization + 0.12 * descriptor.fabric_utilization
+        return min(max(activity, 0.0), 1.0)
+
+    def iod_utilization(self, descriptor: KernelActivityDescriptor) -> float:
+        """Fraction of peak IOD dynamic power drawn by the kernel at nominal clock."""
+        util = descriptor.llc_utilization + 0.85 * descriptor.fabric_utilization
+        return min(max(util, 0.0), 1.0)
+
+    def hbm_utilization(self, descriptor: KernelActivityDescriptor, cold_caches: bool) -> float:
+        if cold_caches:
+            return min(max(descriptor.effective_hbm_utilization_cold, 0.0), 1.0)
+        return min(max(descriptor.hbm_utilization, 0.0), 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Power synthesis.
+    # ------------------------------------------------------------------ #
+    def idle_power(self) -> ComponentPower:
+        """Power of an idle device (no kernels resident)."""
+        budget = self._budget
+        return ComponentPower(
+            xcd_w=budget.xcd_idle_w,
+            iod_w=budget.iod_idle_w,
+            hbm_w=budget.hbm_idle_w,
+        )
+
+    def kernel_power(
+        self,
+        descriptor: KernelActivityDescriptor,
+        operating_point: OperatingPoint,
+        phase: PhaseSpec | None = None,
+    ) -> ComponentPower:
+        """Instantaneous power while ``descriptor`` executes at ``operating_point``."""
+        budget = self._budget
+        phase = phase or PhaseSpec(duration_fraction=1.0)
+        freq_scale = self.frequency_power_scale(operating_point.frequency_ghz)
+        warm_scale = self.warmth_scale(operating_point.warmth)
+        iod_freq_scale = 1.0 + IOD_FREQUENCY_COUPLING * (freq_scale - 1.0)
+
+        xcd_activity = min(self.xcd_activity(descriptor) * phase.xcd_scale, 1.0)
+        iod_util = min(self.iod_utilization(descriptor) * phase.iod_scale, 1.0)
+        hbm_util = min(
+            self.hbm_utilization(descriptor, operating_point.cold_caches) * phase.hbm_scale, 1.0
+        )
+
+        xcd_w = budget.xcd_idle_w + budget.xcd_dynamic_w * xcd_activity * freq_scale * warm_scale
+        iod_w = budget.iod_idle_w + budget.iod_dynamic_w * iod_util * iod_freq_scale * warm_scale
+        hbm_w = budget.hbm_idle_w + budget.hbm_dynamic_w * hbm_util
+        return ComponentPower(xcd_w=xcd_w, iod_w=iod_w, hbm_w=hbm_w)
+
+    def estimate_peak_power(
+        self, descriptor: KernelActivityDescriptor, frequency_ghz: float | None = None
+    ) -> ComponentPower:
+        """Power estimate at a given clock (default: boost), warm die, warm caches.
+
+        Used by the firmware to reason about whether a kernel is power-limited
+        and by the analysis layer for roofline-style summaries.
+        """
+        frequency = frequency_ghz or self._dvfs.boost_frequency_ghz
+        point = OperatingPoint(frequency_ghz=frequency, warmth=1.0, cold_caches=False)
+        return self.kernel_power(descriptor, point)
+
+    def power_limited_frequency(self, descriptor: KernelActivityDescriptor) -> float:
+        """Highest clock at which the kernel stays within the board power limit.
+
+        Solves ``total_power(f) == board_limit`` analytically for the clocked
+        share of the power and clamps the result to the DVFS range.  Used for
+        analysis and for the firmware's steady-state target.
+        """
+        budget = self._budget
+        dvfs = self._dvfs
+        nominal_point = OperatingPoint(frequency_ghz=dvfs.nominal_frequency_ghz)
+        nominal = self.kernel_power(descriptor, nominal_point)
+        unclocked = budget.hbm_idle_w + budget.hbm_dynamic_w * self.hbm_utilization(descriptor, False)
+        unclocked += budget.xcd_idle_w + budget.iod_idle_w
+        clocked_at_nominal = nominal.total_w - unclocked
+        headroom = budget.board_limit_w - unclocked
+        if clocked_at_nominal <= 0:
+            return dvfs.boost_frequency_ghz
+        if headroom <= 0:
+            return dvfs.sustained_frequency_ghz
+        # clocked power ~ (f/f_nom)^k for the XCD part; the IOD coupling is
+        # weaker, so this slightly underestimates the allowed clock -- a safe
+        # direction for a power cap.
+        ratio = (headroom / clocked_at_nominal) ** (1.0 / dvfs.power_exponent)
+        frequency = dvfs.nominal_frequency_ghz * ratio
+        return float(min(max(frequency, dvfs.sustained_frequency_ghz), dvfs.boost_frequency_ghz))
+
+    def is_power_limited(self, descriptor: KernelActivityDescriptor) -> bool:
+        """True when running the kernel at boost would exceed the board limit."""
+        return self.estimate_peak_power(descriptor).total_w > self._budget.board_limit_w
+
+
+__all__ = ["ComponentPower", "OperatingPoint", "PowerModel", "IOD_FREQUENCY_COUPLING"]

@@ -1,0 +1,128 @@
+"""CPU-side kernel launch path.
+
+Kernel scheduling is controlled by the CPU (paper challenge C4/C2): the host
+enqueues a kernel, the launch takes a few microseconds to reach the GPU, and
+the host observes kernel start/end through events whose timestamps carry a
+small measurement error.  :class:`KernelLauncher` models this thin layer on
+top of :class:`~repro.gpu.device.SimulatedGPU` and is what the profiling
+backend (and therefore the FinGraV methodology) actually drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .activity import KernelActivityDescriptor
+from .device import KernelExecutionResult, SimulatedGPU
+from .variation import RunVariation
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Host-side launch overheads and instrumentation error."""
+
+    #: Mean latency between the host enqueueing a kernel and the GPU starting it.
+    launch_latency_s: float = 2.5e-6
+    #: Jitter (std-dev) of the launch latency.
+    launch_jitter_s: float = 0.5e-6
+    #: Std-dev of the error on host-observed kernel start/end timestamps.
+    event_timestamp_error_s: float = 0.6e-6
+    #: Host-side gap between back-to-back executions in the same run.
+    inter_execution_gap_s: float = 1.0e-6
+
+    def validate(self) -> None:
+        for name in ("launch_latency_s", "launch_jitter_s", "event_timestamp_error_s",
+                     "inter_execution_gap_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class ObservedExecution:
+    """What the host can see about one kernel execution.
+
+    ``cpu_start_s`` / ``cpu_end_s`` carry instrumentation error; the
+    ``ground_truth`` result is kept for validation in tests and is not used by
+    the methodology.
+    """
+
+    kernel_name: str
+    execution_index: int
+    cpu_submit_s: float
+    cpu_start_s: float
+    cpu_end_s: float
+    ground_truth: KernelExecutionResult
+
+    @property
+    def cpu_duration_s(self) -> float:
+        return self.cpu_end_s - self.cpu_start_s
+
+
+class KernelLauncher:
+    """Launches kernels on a device the way a host runtime would."""
+
+    def __init__(self, device: SimulatedGPU, config: LaunchConfig | None = None) -> None:
+        self._device = device
+        self._config = config or LaunchConfig()
+        self._config.validate()
+        self._rng = device.rng
+
+    @property
+    def device(self) -> SimulatedGPU:
+        return self._device
+
+    @property
+    def config(self) -> LaunchConfig:
+        return self._config
+
+    def _timestamp_error(self) -> float:
+        if self._config.event_timestamp_error_s <= 0:
+            return 0.0
+        return float(self._rng.normal(0.0, self._config.event_timestamp_error_s))
+
+    def launch(
+        self,
+        descriptor: KernelActivityDescriptor,
+        execution_index: int = 0,
+        run_variation: RunVariation | None = None,
+    ) -> ObservedExecution:
+        """Submit one kernel execution and wait for it to complete."""
+        device = self._device
+        submit_s = device.now_s()
+        launch_latency = device.variation_model.draw_launch_delay(
+            self._config.launch_latency_s, self._config.launch_jitter_s
+        )
+        device.idle(launch_latency)
+        result = device.execute_kernel(descriptor, run_variation=run_variation)
+        return ObservedExecution(
+            kernel_name=descriptor.name,
+            execution_index=execution_index,
+            cpu_submit_s=submit_s,
+            cpu_start_s=result.start_s + self._timestamp_error(),
+            cpu_end_s=result.end_s + self._timestamp_error(),
+            ground_truth=result,
+        )
+
+    def launch_sequence(
+        self,
+        descriptor: KernelActivityDescriptor,
+        executions: int,
+        run_variation: RunVariation | None = None,
+        start_index: int = 0,
+    ) -> list[ObservedExecution]:
+        """Launch ``executions`` back-to-back executions of the same kernel."""
+        if executions <= 0:
+            raise ValueError("need at least one execution")
+        observed: list[ObservedExecution] = []
+        for i in range(executions):
+            if i > 0 and self._config.inter_execution_gap_s > 0:
+                self._device.idle(self._config.inter_execution_gap_s)
+            observed.append(
+                self.launch(descriptor, execution_index=start_index + i, run_variation=run_variation)
+            )
+        return observed
+
+
+__all__ = ["LaunchConfig", "ObservedExecution", "KernelLauncher"]

@@ -1,0 +1,290 @@
+"""Hardware specification of the simulated GPU.
+
+The reproduction targets an AMD Instinct(tm) MI300X-like device (paper
+Section II-A).  The figures below follow the public CDNA3 white paper and the
+numbers quoted in the paper:
+
+* chiplet organisation: 8 accelerator complex dies (XCD), stacked in pairs on
+  4 I/O dies (IOD),
+* 38 active compute units (CU) per XCD, 304 CUs total,
+* 4 MB L2 per XCD (32 MB total), 256 MB memory-side Infinity Cache (LLC) on
+  the IODs,
+* 8 HBM stacks, 24 GB each (192 GB total), 5.3 TB/s aggregate bandwidth,
+* 8-GPU "Infinity Platform" node with a fully-connected topology and
+  64 GB/s unidirectional bandwidth per Infinity Fabric link.
+
+All power figures are *relative* model parameters, not silicon measurements --
+the paper itself only reports relative power.  They are chosen so that the
+component-level behaviours the paper reports (XCD-dominated compute kernels,
+IOD-heavy memory/communication kernels, power-cap throttling of the largest
+GEMMs) emerge from the model rather than being hard-coded per kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class XCDSpec:
+    """Specification of one accelerator complex die (XCD)."""
+
+    compute_units: int = 38
+    l2_capacity_bytes: int = 4 * 1024 * 1024
+    #: Peak matrix (MFMA) throughput of one XCD in FLOP/s at the nominal clock.
+    peak_matrix_flops: float = 1307e12 / 8
+    #: Peak vector (non-matrix) throughput of one XCD in FLOP/s.
+    peak_vector_flops: float = 163e12 / 8
+
+    @property
+    def l2_capacity_mib(self) -> float:
+        return self.l2_capacity_bytes / (1024 * 1024)
+
+
+@dataclass(frozen=True)
+class IODSpec:
+    """Specification of one I/O die (IOD)."""
+
+    llc_capacity_bytes: int = 64 * 1024 * 1024
+    #: Peak Infinity-Cache bandwidth served by one IOD (bytes/s).
+    peak_llc_bandwidth: float = 17.2e12 / 4
+    #: Peak fabric (inter-GPU) bandwidth routed through one IOD (bytes/s).
+    peak_fabric_bandwidth: float = 7 * 64e9 / 4
+
+    @property
+    def llc_capacity_mib(self) -> float:
+        return self.llc_capacity_bytes / (1024 * 1024)
+
+
+@dataclass(frozen=True)
+class HBMSpec:
+    """Specification of one HBM stack."""
+
+    capacity_bytes: int = 24 * 1024 ** 3
+    #: Peak bandwidth of one stack in bytes/s.
+    peak_bandwidth: float = 5.3e12 / 8
+
+    @property
+    def capacity_gib(self) -> float:
+        return self.capacity_bytes / 1024 ** 3
+
+
+@dataclass(frozen=True)
+class PowerBudget:
+    """Idle and peak-dynamic power of each component class (watts, relative).
+
+    ``xcd_activity_floor`` models the non-proportional part of XCD power: as
+    soon as a kernel occupies the CUs, clock trees, sequencers and the LDS
+    burn a large fraction of peak XCD dynamic power regardless of how many
+    FLOPs are actually retired.  This is what produces the paper's takeaway #4
+    (compute-light and compute-heavy kernels show similar XCD power).
+    """
+
+    board_limit_w: float = 620.0
+    #: Total idle power split per component class.
+    xcd_idle_w: float = 55.0
+    iod_idle_w: float = 35.0
+    hbm_idle_w: float = 25.0
+    #: Peak *dynamic* power (on top of idle) at nominal frequency/voltage.
+    xcd_dynamic_w: float = 490.0
+    iod_dynamic_w: float = 100.0
+    hbm_dynamic_w: float = 90.0
+    #: Fraction of peak XCD dynamic power burned merely by occupying the CUs
+    #: with an issue-active wavefront (matrix pipelines clock-gated or not).
+    xcd_activity_floor: float = 0.52
+    #: Same floor for kernels that keep CUs mostly stalled on memory
+    #: (GEMV-style): wavefronts resident but little issue activity.
+    xcd_stalled_floor: float = 0.22
+
+    @property
+    def idle_total_w(self) -> float:
+        return self.xcd_idle_w + self.iod_idle_w + self.hbm_idle_w
+
+    @property
+    def peak_total_w(self) -> float:
+        return (
+            self.idle_total_w
+            + self.xcd_dynamic_w
+            + self.iod_dynamic_w
+            + self.hbm_dynamic_w
+        )
+
+
+@dataclass(frozen=True)
+class DVFSSpec:
+    """Frequency/voltage operating points of the simulated GPU.
+
+    The firmware boosts to ``boost_frequency_ghz`` when a kernel arrives from
+    idle; if total power exceeds ``PowerBudget.board_limit_w`` it throttles
+    toward ``sustained_frequency_ghz`` (paper Section V-C1, Figure 6).
+    """
+
+    idle_frequency_ghz: float = 0.8
+    nominal_frequency_ghz: float = 2.1
+    boost_frequency_ghz: float = 2.25
+    sustained_frequency_ghz: float = 1.9
+    #: Dynamic power scales ~ f * V^2; we fold the voltage curve into a single
+    #: exponent so that power ~ (f / f_nominal) ** power_exponent.
+    power_exponent: float = 2.4
+    #: Time constant of the firmware power-management loop (seconds).
+    control_period_s: float = 250e-6
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """Clock-domain parameters (paper challenge C2 / solution S2)."""
+
+    #: GPU timestamp-counter frequency in Hz (ticks of the free-running
+    #: counter readable from the host).
+    timestamp_counter_hz: float = 100e6
+    #: Offset of the GPU counter epoch relative to the CPU monotonic epoch
+    #: (seconds).  Arbitrary and unknown to the profiler.
+    epoch_offset_s: float = 12.734251
+    #: Relative drift of the GPU clock vs the CPU clock (parts-per-million).
+    drift_ppm: float = 0.0
+    #: Mean one-way delay of reading the GPU timestamp from the CPU (seconds).
+    timestamp_read_delay_s: float = 12e-6
+    #: Jitter (std-dev) of the timestamp read delay (seconds).
+    timestamp_read_jitter_s: float = 1.5e-6
+
+
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """Power telemetry available on the simulated GPU."""
+
+    #: Averaging window / reporting period of the on-GPU power logger
+    #: (seconds).  The paper's internal logger averages over 1 ms.
+    averaging_period_s: float = 1e-3
+    #: Reporting period of the external (amd-smi-like) coarse sampler.
+    coarse_period_s: float = 20e-3
+    #: Internal integration step used when synthesising instantaneous power.
+    integration_step_s: float = 5e-6
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Full specification of one simulated GPU."""
+
+    name: str = "Simulated-MI300X"
+    num_xcds: int = 8
+    num_iods: int = 4
+    num_hbm_stacks: int = 8
+    xcd: XCDSpec = field(default_factory=XCDSpec)
+    iod: IODSpec = field(default_factory=IODSpec)
+    hbm: HBMSpec = field(default_factory=HBMSpec)
+    power: PowerBudget = field(default_factory=PowerBudget)
+    dvfs: DVFSSpec = field(default_factory=DVFSSpec)
+    clocks: ClockSpec = field(default_factory=ClockSpec)
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate, whole-GPU quantities.
+    # ------------------------------------------------------------------ #
+    @property
+    def total_compute_units(self) -> int:
+        return self.num_xcds * self.xcd.compute_units
+
+    @property
+    def peak_matrix_flops(self) -> float:
+        """Peak matrix-engine throughput of the whole GPU (FLOP/s)."""
+        return self.num_xcds * self.xcd.peak_matrix_flops
+
+    @property
+    def peak_vector_flops(self) -> float:
+        """Peak vector throughput of the whole GPU (FLOP/s)."""
+        return self.num_xcds * self.xcd.peak_vector_flops
+
+    @property
+    def peak_hbm_bandwidth(self) -> float:
+        """Aggregate HBM bandwidth (bytes/s)."""
+        return self.num_hbm_stacks * self.hbm.peak_bandwidth
+
+    @property
+    def peak_llc_bandwidth(self) -> float:
+        """Aggregate Infinity-Cache bandwidth (bytes/s)."""
+        return self.num_iods * self.iod.peak_llc_bandwidth
+
+    @property
+    def llc_capacity_bytes(self) -> int:
+        return self.num_iods * self.iod.llc_capacity_bytes
+
+    @property
+    def l2_capacity_bytes(self) -> int:
+        return self.num_xcds * self.xcd.l2_capacity_bytes
+
+    @property
+    def hbm_capacity_bytes(self) -> int:
+        return self.num_hbm_stacks * self.hbm.capacity_bytes
+
+    @property
+    def machine_op_to_byte(self) -> float:
+        """Machine balance: peak matrix FLOP/s divided by peak HBM B/s.
+
+        The paper classifies a kernel as compute-bound when its algorithmic
+        op:byte ratio exceeds this value (Section V-A).
+        """
+        return self.peak_matrix_flops / self.peak_hbm_bandwidth
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the specification is internally inconsistent."""
+        if self.num_xcds <= 0 or self.num_iods <= 0 or self.num_hbm_stacks <= 0:
+            raise ValueError("component counts must be positive")
+        if self.num_xcds % self.num_iods != 0:
+            raise ValueError(
+                "XCDs are stacked in equal groups on IODs; "
+                f"{self.num_xcds} XCDs cannot be divided over {self.num_iods} IODs"
+            )
+        if self.power.board_limit_w <= self.power.idle_total_w:
+            raise ValueError("board power limit must exceed idle power")
+        if self.telemetry.integration_step_s >= self.telemetry.averaging_period_s:
+            raise ValueError("integration step must be finer than averaging period")
+        if self.dvfs.sustained_frequency_ghz > self.dvfs.boost_frequency_ghz:
+            raise ValueError("sustained frequency cannot exceed boost frequency")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One Infinity-Fabric link between two GPUs."""
+
+    bandwidth_bytes_per_s: float = 64e9
+    latency_s: float = 1.5e-6
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """An 8-GPU Infinity-Platform node (paper Section II-A)."""
+
+    num_gpus: int = 8
+    gpu: GPUSpec = field(default_factory=GPUSpec)
+    link: LinkSpec = field(default_factory=LinkSpec)
+    #: Fixed software/launch latency of a collective operation (seconds).
+    collective_launch_latency_s: float = 9e-6
+
+    @property
+    def links_per_gpu(self) -> int:
+        """Each GPU connects directly to every other GPU."""
+        return self.num_gpus - 1
+
+    @property
+    def aggregate_fabric_bandwidth(self) -> float:
+        """Total unidirectional off-GPU bandwidth of one GPU (bytes/s)."""
+        return self.links_per_gpu * self.link.bandwidth_bytes_per_s
+
+    def validate(self) -> None:
+        if self.num_gpus < 2:
+            raise ValueError("a platform needs at least two GPUs")
+        self.gpu.validate()
+
+
+def mi300x_spec() -> GPUSpec:
+    """Return the default MI300X-like GPU specification."""
+    spec = GPUSpec()
+    spec.validate()
+    return spec
+
+
+def mi300x_platform_spec(num_gpus: int = 8) -> PlatformSpec:
+    """Return the default 8-GPU Infinity-Platform specification."""
+    spec = PlatformSpec(num_gpus=num_gpus)
+    spec.validate()
+    return spec

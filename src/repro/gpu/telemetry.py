@@ -1,0 +1,235 @@
+"""Power telemetry of the simulated GPU.
+
+Three samplers are modelled, mirroring the tooling landscape the paper
+describes:
+
+* :class:`AveragingPowerLogger` -- the on-GPU 1 ms logger the paper harnesses
+  (solution S1).  Every sample is the average of instantaneous power over the
+  trailing averaging window and is tagged with a GPU timestamp-counter value.
+  The averaging semantics are what create the SSE/SSP power-profile split and
+  the sensitivity of short kernels to whatever ran just before them.
+* :class:`CoarsePowerSampler` -- an amd-smi-like external sampler with a
+  period of tens of milliseconds (challenge C1 baseline).
+* :class:`InstantaneousPowerSampler` -- an idealised point sampler used for
+  ablations (paper Section V-C3 notes that with an instantaneous sampler the
+  interleaving caveat disappears).
+
+All samplers are *post-processing* views over the instantaneous power timeline
+(:class:`~repro.gpu.device.PowerSegment` lists) recorded by the device, which
+keeps the simulation simple while preserving the observable behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .clocks import GPUTimestampCounter
+from .device import PowerSegment
+from .power_model import ComponentPower
+
+
+@dataclass(frozen=True)
+class TelemetrySample:
+    """One sample emitted by a power sampler.
+
+    ``gpu_timestamp_ticks`` is what a real logger exposes; ``window_end_s`` is
+    the ground-truth simulated time of the sample and is retained only for
+    validation in tests -- the FinGraV methodology never reads it.
+    """
+
+    gpu_timestamp_ticks: int
+    window_end_s: float
+    window_s: float
+    power: ComponentPower
+
+    @property
+    def total_w(self) -> float:
+        return self.power.total_w
+
+
+def _average_power_over(
+    segments: Sequence[PowerSegment],
+    window_start_s: float,
+    window_end_s: float,
+    fill_power: ComponentPower,
+) -> ComponentPower:
+    """Time-weighted average power over a window, filling gaps with ``fill_power``."""
+    window = window_end_s - window_start_s
+    if window <= 0:
+        raise ValueError("averaging window must have positive length")
+    xcd = iod = hbm = 0.0
+    covered = 0.0
+    for segment in segments:
+        overlap_start = max(segment.start_s, window_start_s)
+        overlap_end = min(segment.end_s, window_end_s)
+        overlap = overlap_end - overlap_start
+        if overlap <= 0:
+            continue
+        xcd += segment.power.xcd_w * overlap
+        iod += segment.power.iod_w * overlap
+        hbm += segment.power.hbm_w * overlap
+        covered += overlap
+    uncovered = max(window - covered, 0.0)
+    if uncovered > 0:
+        xcd += fill_power.xcd_w * uncovered
+        iod += fill_power.iod_w * uncovered
+        hbm += fill_power.hbm_w * uncovered
+    return ComponentPower(xcd_w=xcd / window, iod_w=iod / window, hbm_w=hbm / window)
+
+
+def _instantaneous_power_at(
+    segments: Sequence[PowerSegment], time_s: float, fill_power: ComponentPower
+) -> ComponentPower:
+    """Instantaneous power at ``time_s`` (the segment covering it, else idle)."""
+    for segment in segments:
+        if segment.start_s <= time_s < segment.end_s:
+            return segment.power
+    return fill_power
+
+
+class AveragingPowerLogger:
+    """The on-GPU trailing-window averaging power logger (paper S1).
+
+    The logger free-runs: sample boundaries sit on a fixed absolute grid of
+    the simulated timeline (``phase_offset_s`` sets the grid phase), so the
+    position of a kernel execution relative to sample boundaries depends on
+    when the host happened to launch it -- which is precisely why FinGraV adds
+    random delays before kernel executions to cover different times of
+    interest (methodology step 5).
+    """
+
+    def __init__(
+        self,
+        counter: GPUTimestampCounter,
+        period_s: float,
+        idle_power: ComponentPower,
+        phase_offset_s: float = 0.0,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("logger period must be positive")
+        self._counter = counter
+        self._period_s = period_s
+        self._idle_power = idle_power
+        self._phase_offset_s = phase_offset_s % period_s
+
+    @property
+    def period_s(self) -> float:
+        return self._period_s
+
+    def sample_times_between(self, start_s: float, end_s: float) -> list[float]:
+        """Absolute times of the sample boundaries within ``(start_s, end_s]``.
+
+        A boundary coinciding exactly with the logger start is excluded: its
+        averaging window would lie entirely before the logger was running.
+        """
+        if end_s < start_s:
+            raise ValueError("end time must not precede start time")
+        first_index = math.ceil((start_s - self._phase_offset_s) / self._period_s)
+        times: list[float] = []
+        index = first_index
+        while True:
+            t = self._phase_offset_s + index * self._period_s
+            if t > end_s + 1e-12:
+                break
+            if t > start_s + 1e-12:
+                times.append(t)
+            index += 1
+        return times
+
+    def samples(
+        self,
+        segments: Sequence[PowerSegment],
+        logger_start_s: float,
+        logger_stop_s: float,
+    ) -> list[TelemetrySample]:
+        """Compute the samples the logger would have reported for a recording."""
+        samples: list[TelemetrySample] = []
+        for sample_time in self.sample_times_between(logger_start_s, logger_stop_s):
+            window_start = sample_time - self._period_s
+            power = _average_power_over(segments, window_start, sample_time, self._idle_power)
+            samples.append(
+                TelemetrySample(
+                    gpu_timestamp_ticks=self._counter.ticks_at(sample_time),
+                    window_end_s=sample_time,
+                    window_s=self._period_s,
+                    power=power,
+                )
+            )
+        return samples
+
+
+class CoarsePowerSampler(AveragingPowerLogger):
+    """An external, amd-smi-like sampler with a period of tens of milliseconds.
+
+    Functionally identical to the averaging logger but with a much longer
+    period; used as the challenge-C1 baseline showing that coarse sampling can
+    miss sub-millisecond kernels entirely.
+    """
+
+    DEFAULT_PERIOD_S = 20e-3
+
+    def __init__(
+        self,
+        counter: GPUTimestampCounter,
+        idle_power: ComponentPower,
+        period_s: float = DEFAULT_PERIOD_S,
+        phase_offset_s: float = 0.0,
+    ) -> None:
+        super().__init__(counter, period_s, idle_power, phase_offset_s)
+
+
+class InstantaneousPowerSampler:
+    """An idealised point sampler (no averaging), used for ablations."""
+
+    def __init__(
+        self,
+        counter: GPUTimestampCounter,
+        period_s: float,
+        idle_power: ComponentPower,
+        phase_offset_s: float = 0.0,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("sampler period must be positive")
+        self._counter = counter
+        self._period_s = period_s
+        self._idle_power = idle_power
+        self._phase_offset_s = phase_offset_s % period_s
+
+    @property
+    def period_s(self) -> float:
+        return self._period_s
+
+    def samples(
+        self,
+        segments: Sequence[PowerSegment],
+        start_s: float,
+        stop_s: float,
+    ) -> list[TelemetrySample]:
+        samples: list[TelemetrySample] = []
+        first_index = math.ceil((start_s - self._phase_offset_s) / self._period_s)
+        index = first_index
+        while True:
+            t = self._phase_offset_s + index * self._period_s
+            if t > stop_s + 1e-12:
+                break
+            power = _instantaneous_power_at(segments, t, self._idle_power)
+            samples.append(
+                TelemetrySample(
+                    gpu_timestamp_ticks=self._counter.ticks_at(t),
+                    window_end_s=t,
+                    window_s=0.0,
+                    power=power,
+                )
+            )
+            index += 1
+        return samples
+
+
+__all__ = [
+    "TelemetrySample",
+    "AveragingPowerLogger",
+    "CoarsePowerSampler",
+    "InstantaneousPowerSampler",
+]

@@ -1,0 +1,79 @@
+"""Execution-time variation model (paper challenge C3).
+
+Short kernels show run-to-run execution-time variation -- the paper attributes
+it to slight differences in memory allocation (and hence access patterns)
+between runs, plus occasional outlier runs.  FinGraV handles this with
+execution-time binning (solution S3); this module produces the variation that
+the binning has to clean up.
+
+The structure mirrors the paper's description:
+
+* a *per-run* multiplicative factor, drawn once per run (memory allocation is
+  fixed for the lifetime of a run),
+* a small *per-execution* jitter within the run,
+* a probability that the whole run is an *outlier* with a substantially longer
+  execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .activity import VariationSpec
+
+
+@dataclass(frozen=True)
+class RunVariation:
+    """Variation factors applying to one run of a kernel."""
+
+    run_factor: float
+    is_outlier: bool
+
+    def execution_factor(self, jitter: float) -> float:
+        """Combine the per-run factor with one execution's jitter factor."""
+        return self.run_factor * jitter
+
+
+class ExecutionTimeVariationModel:
+    """Draws run-level and execution-level variation factors."""
+
+    #: Lower clamp on any multiplicative factor, to keep durations positive
+    #: and avoid unphysically fast executions.
+    MIN_FACTOR = 0.85
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def draw_run(self, spec: VariationSpec) -> RunVariation:
+        """Draw the per-run factor (allocation effects + possible outlier)."""
+        spec.validate()
+        if spec.run_cv > 0:
+            factor = float(self._rng.lognormal(mean=0.0, sigma=spec.run_cv))
+        else:
+            factor = 1.0
+        is_outlier = bool(self._rng.random() < spec.outlier_probability)
+        if is_outlier:
+            # Outliers are slowdowns of varying severity around the nominal scale.
+            severity = float(self._rng.uniform(0.6, 1.4))
+            factor *= 1.0 + (spec.outlier_scale - 1.0) * severity
+        return RunVariation(run_factor=max(factor, self.MIN_FACTOR), is_outlier=is_outlier)
+
+    def draw_execution_jitter(self, spec: VariationSpec) -> float:
+        """Draw the per-execution jitter factor within a run."""
+        spec.validate()
+        if spec.execution_cv <= 0:
+            return 1.0
+        jitter = float(self._rng.lognormal(mean=0.0, sigma=spec.execution_cv))
+        return max(jitter, self.MIN_FACTOR)
+
+    def draw_launch_delay(self, mean_s: float, jitter_s: float) -> float:
+        """Draw a host-side kernel-launch latency."""
+        if mean_s < 0 or jitter_s < 0:
+            raise ValueError("launch delay parameters must be non-negative")
+        delay = float(self._rng.normal(mean_s, jitter_s))
+        return max(delay, 0.2e-6)
+
+
+__all__ = ["RunVariation", "ExecutionTimeVariationModel"]

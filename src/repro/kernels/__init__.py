@@ -1,0 +1,73 @@
+"""AI operator substrate: GEMM/GEMV kernels and communication collectives.
+
+Mirrors the operator space of the paper (Section V-A): rocBLAS-like GEMMs and
+GEMVs across compute-bound and memory-bound shapes, and RCCL-like all-gather /
+all-reduce collectives across latency-bound and bandwidth-bound payloads.
+"""
+
+from .base import AIKernel, KernelSummary
+from .collectives import (
+    CollectiveKernel,
+    CollectiveOp,
+    CollectiveTiming,
+    TransferRegime,
+    all_gather,
+    all_reduce,
+)
+from .gemm import (
+    GemmKernel,
+    GemmShape,
+    GemvKernel,
+    matrix_efficiency,
+    square_gemm,
+    streaming_bandwidth_efficiency,
+)
+from .library import RCCLLikeLibrary, RocBLASLikeLibrary
+from .memory_traffic import MemoryTrafficModel, TrafficEstimate
+from .roofline import Boundedness, MachineBalance, arithmetic_intensity
+from .workloads import (
+    COLLECTIVE_SIZES_BYTES,
+    GEMM_SIZES,
+    InterleavingScenario,
+    cb_gemm,
+    cb_gemms,
+    collective_suite,
+    gemm_suite,
+    interleaving_scenarios,
+    mb_gemv,
+    mb_gemvs,
+)
+
+__all__ = [
+    "AIKernel",
+    "KernelSummary",
+    "CollectiveKernel",
+    "CollectiveOp",
+    "CollectiveTiming",
+    "TransferRegime",
+    "all_gather",
+    "all_reduce",
+    "GemmKernel",
+    "GemmShape",
+    "GemvKernel",
+    "matrix_efficiency",
+    "square_gemm",
+    "streaming_bandwidth_efficiency",
+    "RCCLLikeLibrary",
+    "RocBLASLikeLibrary",
+    "MemoryTrafficModel",
+    "TrafficEstimate",
+    "Boundedness",
+    "MachineBalance",
+    "arithmetic_intensity",
+    "COLLECTIVE_SIZES_BYTES",
+    "GEMM_SIZES",
+    "InterleavingScenario",
+    "cb_gemm",
+    "cb_gemms",
+    "collective_suite",
+    "gemm_suite",
+    "interleaving_scenarios",
+    "mb_gemv",
+    "mb_gemvs",
+]

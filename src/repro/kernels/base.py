@@ -1,0 +1,88 @@
+"""Common abstraction over the AI operators profiled in the paper.
+
+An :class:`AIKernel` knows its algorithmic work (FLOPs, minimum data movement)
+and how to describe itself to the simulated GPU as a
+:class:`~repro.gpu.activity.KernelActivityDescriptor`.  The FinGraV core never
+sees these classes -- it receives descriptors through the opaque kernel handle
+of the backend protocol -- but the analysis layer uses the algorithmic
+quantities (op:byte ratio, achieved utilisation) for the power-proportionality
+and boundedness discussions of paper Section V.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..gpu.activity import KernelActivityDescriptor
+from ..gpu.spec import GPUSpec, mi300x_spec
+from .roofline import Boundedness, MachineBalance, arithmetic_intensity
+
+
+class AIKernel(abc.ABC):
+    """An AI operator that can be executed on the simulated GPU."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Stable, human-readable kernel name (used for binning and reports)."""
+
+    @abc.abstractmethod
+    def flops(self) -> float:
+        """Algorithmic floating-point operations per execution."""
+
+    @abc.abstractmethod
+    def bytes_moved(self) -> float:
+        """Algorithmic minimum data movement per execution (bytes)."""
+
+    @abc.abstractmethod
+    def activity_descriptor(self, spec: GPUSpec | None = None) -> KernelActivityDescriptor:
+        """Describe the kernel to the simulated device."""
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities shared by all operators.
+    # ------------------------------------------------------------------ #
+    def arithmetic_intensity(self) -> float:
+        """Algorithmic op-to-byte ratio."""
+        return arithmetic_intensity(self.flops(), self.bytes_moved())
+
+    def boundedness(self, spec: GPUSpec | None = None) -> Boundedness:
+        """Compute- vs memory-bound classification against a machine balance."""
+        balance = MachineBalance.from_spec(spec or mi300x_spec())
+        return balance.classify(self.flops(), self.bytes_moved())
+
+    def is_compute_bound(self, spec: GPUSpec | None = None) -> bool:
+        return self.boundedness(spec) is Boundedness.COMPUTE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}({self.name!r})"
+
+
+@dataclass(frozen=True)
+class KernelSummary:
+    """Algorithmic summary of a kernel, used by reports and insights."""
+
+    name: str
+    flops: float
+    bytes_moved: float
+    arithmetic_intensity: float
+    boundedness: Boundedness
+    base_duration_s: float
+    compute_utilization: float
+
+    @classmethod
+    def from_kernel(cls, kernel: AIKernel, spec: GPUSpec | None = None) -> "KernelSummary":
+        spec = spec or mi300x_spec()
+        descriptor = kernel.activity_descriptor(spec)
+        return cls(
+            name=kernel.name,
+            flops=kernel.flops(),
+            bytes_moved=kernel.bytes_moved(),
+            arithmetic_intensity=kernel.arithmetic_intensity(),
+            boundedness=kernel.boundedness(spec),
+            base_duration_s=descriptor.base_duration_s,
+            compute_utilization=descriptor.compute_utilization,
+        )
+
+
+__all__ = ["AIKernel", "KernelSummary"]

@@ -1,0 +1,245 @@
+"""Collective-communication kernels (the RCCL-like operator substrate).
+
+The paper profiles all-gather (AG) and all-reduce (AR) collectives on the
+8x MI300X Infinity Platform, in latency-bound (64 KB / 128 KB, relevant for
+inference) and bandwidth-bound (512 MB / 1 GB, relevant for training)
+regimes.  On the fully-connected topology each GPU exchanges its shard with
+every peer over a dedicated link, so:
+
+* ``all-gather``  moves one shard to each peer in a single phase;
+* ``all-reduce``  is modelled as reduce-scatter followed by all-gather
+  (two phases of shard exchange plus the on-GPU reduction math).
+
+The power signature on the profiled GPU is communication-shaped: the compute
+units mostly shuffle data (DMA-like occupancy), the IODs carry the Infinity
+Fabric traffic, and HBM sources/sinks the payload -- which is what places
+bandwidth-bound collectives between latency-bound collectives and
+compute-bound GEMMs in total power (paper Figure 10).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..gpu.activity import (
+    KernelActivityDescriptor,
+    PhaseSpec,
+    VariationSpec,
+    XCDOccupancyMode,
+)
+from ..gpu.platform import InfinityPlatform
+from ..gpu.spec import GPUSpec, PlatformSpec, mi300x_platform_spec
+from .base import AIKernel
+
+
+class CollectiveOp(str, enum.Enum):
+    """Collective operations studied in the paper."""
+
+    ALL_GATHER = "all_gather"
+    ALL_REDUCE = "all_reduce"
+
+
+class TransferRegime(str, enum.Enum):
+    """Latency- vs bandwidth-bound classification of a collective size."""
+
+    LATENCY_BOUND = "latency_bound"
+    BANDWIDTH_BOUND = "bandwidth_bound"
+
+
+COLLECTIVE_PHASES: tuple[PhaseSpec, ...] = (
+    PhaseSpec(duration_fraction=0.12, xcd_scale=1.10, iod_scale=0.80, hbm_scale=0.85),
+    PhaseSpec(duration_fraction=0.76, xcd_scale=0.97, iod_scale=1.05, hbm_scale=1.04),
+    PhaseSpec(duration_fraction=0.12, xcd_scale=1.05, iod_scale=0.88, hbm_scale=0.90),
+)
+
+COLLECTIVE_VARIATION = VariationSpec(
+    run_cv=0.025, execution_cv=0.01, outlier_probability=0.05, outlier_scale=1.35
+)
+
+
+@dataclass(frozen=True)
+class CollectiveTiming:
+    """Timing breakdown of one collective execution on the profiled GPU."""
+
+    duration_s: float
+    wire_time_s: float
+    fixed_overhead_s: float
+    phases: int
+
+    @property
+    def regime(self) -> TransferRegime:
+        """Latency-bound when the payload time does not dominate the fixed cost.
+
+        This mirrors the paper's operational definition: a size is
+        latency-bound if the collective latency at/before that size does not
+        increase commensurately with the data-transfer size.
+        """
+        if self.wire_time_s < self.fixed_overhead_s:
+            return TransferRegime.LATENCY_BOUND
+        return TransferRegime.BANDWIDTH_BOUND
+
+
+class CollectiveKernel(AIKernel):
+    """An all-gather or all-reduce over the Infinity Platform."""
+
+    #: Bytes each element occupies (the paper's collectives move BF16/FP16 data).
+    DTYPE_BYTES = 2
+
+    def __init__(
+        self,
+        op: CollectiveOp,
+        message_bytes: float,
+        platform: PlatformSpec | None = None,
+        name: str | None = None,
+    ) -> None:
+        if message_bytes <= 0:
+            raise ValueError("collective message size must be positive")
+        self._op = op
+        self._message_bytes = float(message_bytes)
+        self._platform_spec = platform or mi300x_platform_spec()
+        self._name = name or f"{op.value}_{format_size(message_bytes)}"
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def op(self) -> CollectiveOp:
+        return self._op
+
+    @property
+    def message_bytes(self) -> float:
+        return self._message_bytes
+
+    @property
+    def platform_spec(self) -> PlatformSpec:
+        return self._platform_spec
+
+    @property
+    def shard_bytes(self) -> float:
+        """Per-GPU shard of the payload."""
+        return self._message_bytes / self._platform_spec.num_gpus
+
+    @property
+    def phases(self) -> int:
+        """Number of shard-exchange phases (1 for AG, 2 for AR)."""
+        return 1 if self._op is CollectiveOp.ALL_GATHER else 2
+
+    # ------------------------------------------------------------------ #
+    # Algorithmic quantities.
+    # ------------------------------------------------------------------ #
+    def flops(self) -> float:
+        """Reduction math on the profiled GPU (zero for all-gather)."""
+        if self._op is CollectiveOp.ALL_GATHER:
+            return 0.0
+        # Reduce-scatter sums num_gpus contributions of one shard of elements.
+        elements = self.shard_bytes / self.DTYPE_BYTES
+        return elements * (self._platform_spec.num_gpus - 1)
+
+    def bytes_moved(self) -> float:
+        """Local-memory traffic on the profiled GPU per execution."""
+        # The GPU reads its own contribution and writes the gathered/reduced
+        # result; all-reduce touches the data once more for the reduction.
+        return self._message_bytes * (1.0 + 0.5 * (self.phases - 1))
+
+    def fabric_bytes(self) -> float:
+        """Bytes sent over the fabric by the profiled GPU per execution."""
+        peers = self._platform_spec.num_gpus - 1
+        return self.shard_bytes * peers * self.phases
+
+    # ------------------------------------------------------------------ #
+    # Timing.
+    # ------------------------------------------------------------------ #
+    def timing(self) -> CollectiveTiming:
+        platform = InfinityPlatform(self._platform_spec)
+        estimate = platform.parallel_peer_transfer(self.shard_bytes)
+        fixed = (
+            self._platform_spec.collective_launch_latency_s
+            + self._platform_spec.link.latency_s
+        ) * self.phases
+        wire = (estimate.duration_s - fixed / self.phases) * self.phases
+        wire = max(wire, 0.0)
+        return CollectiveTiming(
+            duration_s=fixed + wire,
+            wire_time_s=wire,
+            fixed_overhead_s=fixed,
+            phases=self.phases,
+        )
+
+    def regime(self) -> TransferRegime:
+        return self.timing().regime
+
+    def is_latency_bound(self) -> bool:
+        return self.regime() is TransferRegime.LATENCY_BOUND
+
+    # ------------------------------------------------------------------ #
+    # Device-facing description.
+    # ------------------------------------------------------------------ #
+    def activity_descriptor(self, spec: GPUSpec | None = None) -> KernelActivityDescriptor:
+        spec = spec or self._platform_spec.gpu
+        timing = self.timing()
+        duration = timing.duration_s
+        aggregate_fabric = (
+            self._platform_spec.links_per_gpu * self._platform_spec.link.bandwidth_bytes_per_s
+        )
+        fabric_util = min(self.fabric_bytes() / duration / aggregate_fabric, 1.0)
+        hbm_traffic = self.bytes_moved()
+        hbm_util = min(hbm_traffic / duration / spec.peak_hbm_bandwidth, 1.0)
+        llc_util = min(0.45 * hbm_util + 0.08 * fabric_util, 1.0)
+        compute_util = min(self.flops() / duration / spec.peak_vector_flops, 1.0)
+        return KernelActivityDescriptor(
+            name=self._name,
+            base_duration_s=duration,
+            xcd_mode=XCDOccupancyMode.DMA,
+            compute_utilization=compute_util,
+            llc_utilization=llc_util,
+            hbm_utilization=hbm_util,
+            hbm_utilization_cold=min(hbm_util * 1.15, 1.0),
+            fabric_utilization=fabric_util,
+            frequency_sensitivity=0.05,
+            cold_duration_multiplier=1.12,
+            cold_executions=3,
+            phases=COLLECTIVE_PHASES,
+            variation=COLLECTIVE_VARIATION,
+            metadata={
+                "operator": self._op.value,
+                "message_bytes": self._message_bytes,
+                "regime": self.regime().value,
+                "phases": self.phases,
+            },
+        )
+
+
+def format_size(size_bytes: float) -> str:
+    """Human-readable payload size (matches the paper's 64KB / 1GB labels)."""
+    if size_bytes < 0:
+        raise ValueError("size cannot be negative")
+    units = [("GB", 1024 ** 3), ("MB", 1024 ** 2), ("KB", 1024)]
+    for unit, scale in units:
+        if size_bytes >= scale:
+            value = size_bytes / scale
+            return f"{value:g}{unit}"
+    return f"{size_bytes:g}B"
+
+
+def all_gather(message_bytes: float, platform: PlatformSpec | None = None,
+               name: str | None = None) -> CollectiveKernel:
+    return CollectiveKernel(CollectiveOp.ALL_GATHER, message_bytes, platform, name)
+
+
+def all_reduce(message_bytes: float, platform: PlatformSpec | None = None,
+               name: str | None = None) -> CollectiveKernel:
+    return CollectiveKernel(CollectiveOp.ALL_REDUCE, message_bytes, platform, name)
+
+
+__all__ = [
+    "CollectiveOp",
+    "TransferRegime",
+    "CollectiveTiming",
+    "CollectiveKernel",
+    "all_gather",
+    "all_reduce",
+    "format_size",
+]

@@ -1,0 +1,313 @@
+"""GEMM and GEMV kernels (the rocBLAS-like operator substrate).
+
+The paper profiles square compute-bound GEMMs (M=N=K in {8192, 4096, 2048})
+and the corresponding memory-bound GEMVs (M=K, N=1) executed through rocBLAS.
+Here the kernels are modelled from first principles:
+
+* execution time from a roofline estimate with an empirical, size-dependent
+  efficiency curve (large GEMMs get closer to peak; small GEMMs and GEMVs are
+  dominated by launch/drain overhead and do not saturate bandwidth);
+* per-component utilisation from the memory-traffic model: a GEMM whose
+  working set exceeds the Infinity Cache keeps paying HBM traffic every
+  execution, while cache-resident kernels only stress the IOD/LLC once warm;
+* occupancy mode: GEMMs keep the matrix pipelines busy (large XCD power
+  floor); GEMVs keep wavefronts resident but stalled on memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..gpu.activity import (
+    KernelActivityDescriptor,
+    PhaseSpec,
+    VariationSpec,
+    XCDOccupancyMode,
+)
+from ..gpu.spec import GPUSpec, mi300x_spec
+from .base import AIKernel
+from .memory_traffic import MemoryTrafficModel
+from .roofline import MachineBalance
+
+
+#: Empirical (size, efficiency) anchors of the rocBLAS-like GEMM efficiency
+#: curve: ~0.42 of peak for a 2K square GEMM, ~0.64 for 4K, ~0.75 for 8K.
+_EFFICIENCY_ANCHORS: tuple[tuple[float, float], ...] = (
+    (10.236, 0.42),   # log10(2 * 2048**3)
+    (11.139, 0.64),   # log10(2 * 4096**3)
+    (12.042, 0.75),   # log10(2 * 8192**3)
+)
+
+
+def matrix_efficiency(flops: float) -> float:
+    """Achieved fraction of peak matrix throughput for a GEMM of ``flops`` work.
+
+    Empirical rocBLAS-like curve: piecewise-linear in the logarithm of the
+    problem size through the anchors above (larger GEMMs amortise prologue
+    and tile-quantisation losses better), clamped to a plausible range.
+    """
+    if flops <= 0:
+        raise ValueError("flops must be positive")
+    x = math.log10(flops)
+    anchors = _EFFICIENCY_ANCHORS
+    if x <= anchors[0][0]:
+        slope = (anchors[1][1] - anchors[0][1]) / (anchors[1][0] - anchors[0][0])
+        efficiency = anchors[0][1] + slope * (x - anchors[0][0])
+    elif x >= anchors[-1][0]:
+        efficiency = anchors[-1][1] + 0.02 * (x - anchors[-1][0])
+    else:
+        efficiency = anchors[0][1]
+        for (x0, y0), (x1, y1) in zip(anchors, anchors[1:]):
+            if x0 <= x <= x1:
+                efficiency = y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+                break
+    return min(max(efficiency, 0.22), 0.78)
+
+
+def streaming_bandwidth_efficiency(bytes_moved: float) -> float:
+    """Achieved fraction of peak cache bandwidth for a streaming kernel.
+
+    Small transfers cannot hide launch/drain latency or fill all channels, so
+    the achieved bandwidth fraction grows with the transfer size.
+    """
+    if bytes_moved < 0:
+        raise ValueError("bytes cannot be negative")
+    half_size = 24e6
+    return 0.68 * bytes_moved / (bytes_moved + half_size) if bytes_moved > 0 else 0.05
+
+
+#: Fixed wavefront launch/drain overhead of a kernel spanning all 304 CUs.
+KERNEL_OVERHEAD_S = 5e-6
+
+GEMM_PHASES: tuple[PhaseSpec, ...] = (
+    PhaseSpec(duration_fraction=0.08, xcd_scale=0.78, iod_scale=1.30, hbm_scale=1.40),
+    PhaseSpec(duration_fraction=0.84, xcd_scale=1.04, iod_scale=0.96, hbm_scale=0.93),
+    PhaseSpec(duration_fraction=0.08, xcd_scale=0.80, iod_scale=1.02, hbm_scale=1.15),
+)
+
+GEMV_PHASES: tuple[PhaseSpec, ...] = (
+    PhaseSpec(duration_fraction=0.15, xcd_scale=0.90, iod_scale=1.12, hbm_scale=1.20),
+    PhaseSpec(duration_fraction=0.85, xcd_scale=1.018, iod_scale=0.979, hbm_scale=0.965),
+)
+
+GEMV_VARIATION = VariationSpec(
+    run_cv=0.028, execution_cv=0.008, outlier_probability=0.05, outlier_scale=1.30
+)
+
+
+def gemm_variation(duration_s: float) -> VariationSpec:
+    """Run-to-run variation of a GEMM as a function of its execution time.
+
+    Allocation-induced variation has a roughly constant absolute magnitude
+    (fractions of a microsecond of extra memory-system latency), so its
+    *relative* effect shrinks as kernels grow -- short GEMMs vary by ~2 %
+    while millisecond-scale GEMMs vary well below 1 %.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    run_cv = min(0.006 + 0.45e-6 / duration_s, 0.022)
+    execution_cv = min(0.003 + 0.08e-6 / duration_s, 0.008)
+    return VariationSpec(
+        run_cv=run_cv, execution_cv=execution_cv,
+        outlier_probability=0.04, outlier_scale=1.22,
+    )
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Problem shape of a (possibly degenerate) GEMM: M x K times K x N."""
+
+    m: int
+    n: int
+    k: int
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype size must be positive")
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+    @property
+    def input_bytes(self) -> float:
+        return (self.m * self.k + self.k * self.n) * self.dtype_bytes
+
+    @property
+    def output_bytes(self) -> float:
+        return self.m * self.n * self.dtype_bytes
+
+    @property
+    def operand_bytes(self) -> float:
+        return self.input_bytes + self.output_bytes
+
+    @property
+    def is_gemv(self) -> bool:
+        return self.n == 1 or self.m == 1
+
+    def describe(self) -> str:
+        return f"{self.m}x{self.k} * {self.k}x{self.n}"
+
+
+class GemmKernel(AIKernel):
+    """A general matrix-matrix multiplication kernel (rocBLAS-like)."""
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        dtype_bytes: int = 2,
+        name: str | None = None,
+        efficiency: float | None = None,
+    ) -> None:
+        self._shape = GemmShape(m=m, n=n, k=k, dtype_bytes=dtype_bytes)
+        self._name = name or f"gemm_m{m}_n{n}_k{k}"
+        self._efficiency_override = efficiency
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def shape(self) -> GemmShape:
+        return self._shape
+
+    def flops(self) -> float:
+        return self._shape.flops
+
+    def bytes_moved(self) -> float:
+        return self._shape.operand_bytes
+
+    def efficiency(self) -> float:
+        if self._efficiency_override is not None:
+            return self._efficiency_override
+        return matrix_efficiency(self._shape.flops)
+
+    # ------------------------------------------------------------------ #
+    def activity_descriptor(self, spec: GPUSpec | None = None) -> KernelActivityDescriptor:
+        spec = spec or mi300x_spec()
+        if self._shape.is_gemv:
+            return self._gemv_descriptor(spec)
+        return self._gemm_descriptor(spec)
+
+    def _gemm_descriptor(self, spec: GPUSpec) -> KernelActivityDescriptor:
+        balance = MachineBalance.from_spec(spec)
+        traffic_model = MemoryTrafficModel(spec)
+        shape = self._shape
+        efficiency = self.efficiency()
+        duration = balance.compute_time_s(shape.flops, efficiency, matrix=True) + KERNEL_OVERHEAD_S
+        traffic = traffic_model.estimate(
+            operand_bytes=shape.operand_bytes, output_bytes=shape.output_bytes
+        )
+        llc_util = min(traffic.llc_bytes / duration / spec.peak_llc_bandwidth, 1.0)
+        hbm_util = min(traffic.hbm_bytes_warm / duration / spec.peak_hbm_bandwidth, 1.0)
+        cold_multiplier = 1.22
+        hbm_util_cold = min(
+            traffic.hbm_bytes_cold / (duration * cold_multiplier) / spec.peak_hbm_bandwidth, 1.0
+        )
+        # A GEMM whose working set spills out of the Infinity Cache is partially
+        # limited by the memory system, so its execution time varies only weakly
+        # with the core clock even though its power (~ f * V^2) varies strongly.
+        cache_resident = traffic_model.fits_in_llc(shape.operand_bytes)
+        frequency_sensitivity = 0.85 if cache_resident else 0.4
+        return KernelActivityDescriptor(
+            name=self._name,
+            base_duration_s=duration,
+            xcd_mode=XCDOccupancyMode.MATRIX,
+            compute_utilization=efficiency,
+            llc_utilization=llc_util,
+            hbm_utilization=hbm_util,
+            hbm_utilization_cold=max(hbm_util_cold, hbm_util),
+            fabric_utilization=0.0,
+            frequency_sensitivity=frequency_sensitivity,
+            cold_duration_multiplier=cold_multiplier,
+            cold_executions=3,
+            phases=GEMM_PHASES,
+            variation=gemm_variation(duration),
+            metadata={
+                "operator": "gemm",
+                "shape": self._shape.describe(),
+                "boundedness": self.boundedness(spec).value,
+                "arithmetic_intensity": self.arithmetic_intensity(),
+            },
+        )
+
+    def _gemv_descriptor(self, spec: GPUSpec) -> KernelActivityDescriptor:
+        balance = MachineBalance.from_spec(spec)
+        traffic_model = MemoryTrafficModel(spec)
+        shape = self._shape
+        operand = shape.operand_bytes
+        bandwidth_efficiency = streaming_bandwidth_efficiency(operand)
+        if traffic_model.fits_in_llc(operand):
+            stream_time = balance.llc_time_s(operand, bandwidth_efficiency)
+        else:
+            stream_time = balance.hbm_time_s(operand, bandwidth_efficiency)
+        duration = KERNEL_OVERHEAD_S + stream_time
+        traffic = traffic_model.estimate(
+            operand_bytes=operand, output_bytes=shape.output_bytes, llc_passes=1.0
+        )
+        llc_util = min(traffic.llc_bytes / duration / spec.peak_llc_bandwidth, 1.0)
+        hbm_util = min(traffic.hbm_bytes_warm / duration / spec.peak_hbm_bandwidth, 1.0)
+        cold_multiplier = 1.6
+        hbm_util_cold = min(
+            traffic.hbm_bytes_cold / (duration * cold_multiplier) / spec.peak_hbm_bandwidth, 1.0
+        )
+        compute_util = min(
+            shape.flops / duration / spec.peak_vector_flops, 1.0
+        )
+        return KernelActivityDescriptor(
+            name=self._name,
+            base_duration_s=duration,
+            xcd_mode=XCDOccupancyMode.STALLED,
+            compute_utilization=compute_util,
+            llc_utilization=llc_util,
+            hbm_utilization=hbm_util,
+            hbm_utilization_cold=max(hbm_util_cold, hbm_util),
+            fabric_utilization=0.0,
+            frequency_sensitivity=0.1,
+            cold_duration_multiplier=cold_multiplier,
+            cold_executions=3,
+            phases=GEMV_PHASES,
+            variation=GEMV_VARIATION,
+            metadata={
+                "operator": "gemv",
+                "shape": self._shape.describe(),
+                "boundedness": self.boundedness(spec).value,
+                "arithmetic_intensity": self.arithmetic_intensity(),
+            },
+        )
+
+
+class GemvKernel(GemmKernel):
+    """A matrix-vector multiplication (GEMV): M x K times K x 1."""
+
+    def __init__(self, size: int, dtype_bytes: int = 2, name: str | None = None) -> None:
+        super().__init__(
+            m=size, n=1, k=size, dtype_bytes=dtype_bytes,
+            name=name or f"gemv_{size}",
+        )
+
+    @property
+    def size(self) -> int:
+        return self.shape.m
+
+
+def square_gemm(size: int, dtype_bytes: int = 2, name: str | None = None) -> GemmKernel:
+    """A square (M=N=K) GEMM, the compute-bound shapes of the paper."""
+    return GemmKernel(m=size, n=size, k=size, dtype_bytes=dtype_bytes, name=name)
+
+
+__all__ = [
+    "GemmShape",
+    "GemmKernel",
+    "GemvKernel",
+    "square_gemm",
+    "matrix_efficiency",
+    "streaming_bandwidth_efficiency",
+    "KERNEL_OVERHEAD_S",
+]

@@ -1,0 +1,52 @@
+"""Kernel libraries: rocBLAS-like BLAS and RCCL-like collectives.
+
+The paper executes GEMMs through rocBLAS and collectives through RCCL.  These
+thin library facades mirror that structure: they own the tuning knobs (dtype,
+platform) and hand out ready-to-profile kernels, so the examples and the
+experiment drivers read like the corresponding host code would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.spec import PlatformSpec, mi300x_platform_spec
+from .collectives import CollectiveKernel, all_gather, all_reduce
+from .gemm import GemmKernel, GemvKernel, square_gemm
+
+
+@dataclass(frozen=True)
+class RocBLASLikeLibrary:
+    """Hands out GEMM/GEMV kernels with a fixed datatype (rocBLAS-like)."""
+
+    dtype_bytes: int = 2
+    version: str = "4.2.0-sim"
+
+    def gemm(self, m: int, n: int, k: int, name: str | None = None) -> GemmKernel:
+        """General matrix-matrix multiplication: M x K times K x N."""
+        return GemmKernel(m=m, n=n, k=k, dtype_bytes=self.dtype_bytes, name=name)
+
+    def square_gemm(self, size: int, name: str | None = None) -> GemmKernel:
+        """Square (M=N=K) GEMM, the compute-bound shapes of the paper."""
+        return square_gemm(size, dtype_bytes=self.dtype_bytes, name=name)
+
+    def gemv(self, size: int, name: str | None = None) -> GemvKernel:
+        """Matrix-vector multiplication (M=K=size, N=1), the memory-bound shapes."""
+        return GemvKernel(size, dtype_bytes=self.dtype_bytes, name=name)
+
+
+@dataclass(frozen=True)
+class RCCLLikeLibrary:
+    """Hands out collective kernels bound to one platform (RCCL-like)."""
+
+    platform: PlatformSpec = field(default_factory=mi300x_platform_spec)
+    version: str = "2.20.5-sim"
+
+    def all_gather(self, message_bytes: float, name: str | None = None) -> CollectiveKernel:
+        return all_gather(message_bytes, platform=self.platform, name=name)
+
+    def all_reduce(self, message_bytes: float, name: str | None = None) -> CollectiveKernel:
+        return all_reduce(message_bytes, platform=self.platform, name=name)
+
+
+__all__ = ["RocBLASLikeLibrary", "RCCLLikeLibrary"]

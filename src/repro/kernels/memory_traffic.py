@@ -1,0 +1,119 @@
+"""Memory-hierarchy traffic model.
+
+The paper's component-level observations hinge on *where* a kernel's data
+movement is served from: repeated executions bias data movement toward the
+on-chip caches (footnote 3), so memory-bound GEMVs stress the IOD (Infinity
+Cache) rather than HBM, and only the largest GEMM -- whose working set
+exceeds the 256 MB Infinity Cache -- keeps stressing HBM.  This module splits
+a kernel's data movement between the L2s, the Infinity Cache (LLC) and HBM for
+both cold (first-touch) and warm (steady repeated execution) conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.spec import GPUSpec
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """Per-execution data movement at each level of the hierarchy (bytes)."""
+
+    working_set_bytes: float
+    l2_bytes: float
+    llc_bytes: float
+    hbm_bytes_warm: float
+    hbm_bytes_cold: float
+
+    def validate(self) -> None:
+        for name in ("working_set_bytes", "l2_bytes", "llc_bytes",
+                     "hbm_bytes_warm", "hbm_bytes_cold"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+        if self.hbm_bytes_cold + 1e-9 < self.hbm_bytes_warm:
+            raise ValueError("cold executions cannot move less HBM data than warm ones")
+
+
+class MemoryTrafficModel:
+    """Splits kernel data movement across L2 / Infinity Cache / HBM."""
+
+    #: Fraction of the kernel's output that is written through to HBM every
+    #: execution even when the working set is cache resident.
+    WRITE_THROUGH_FRACTION = 0.5
+    #: Extra HBM traffic factor applied to the spilled portion of the working
+    #: set (spilled data thrashes: it is read, written back and re-read as the
+    #: blocked kernel cycles through tiles that no longer fit on chip).
+    SPILL_TRAFFIC_FACTOR = 2.2
+    #: How many times the operands stream through the Infinity Cache per
+    #: execution for a blocked kernel (tile reloads).
+    LLC_PASSES = 2.6
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self._spec = spec
+
+    @property
+    def spec(self) -> GPUSpec:
+        return self._spec
+
+    def estimate(
+        self,
+        operand_bytes: float,
+        output_bytes: float = 0.0,
+        working_set_bytes: float | None = None,
+        llc_passes: float | None = None,
+    ) -> TrafficEstimate:
+        """Estimate per-execution traffic for a kernel touching ``operand_bytes``.
+
+        ``output_bytes`` is the portion of the operands that is written (its
+        write-through keeps a trickle of HBM traffic even for cache-resident
+        kernels).  ``working_set_bytes`` defaults to the operand footprint;
+        ``llc_passes`` overrides the blocked-kernel tile-reload factor (a
+        streaming kernel passes its data through the Infinity Cache once).
+        """
+        if operand_bytes < 0:
+            raise ValueError("operand bytes cannot be negative")
+        if output_bytes < 0 or output_bytes > operand_bytes:
+            raise ValueError("output bytes must lie within [0, operand_bytes]")
+        working_set = operand_bytes if working_set_bytes is None else working_set_bytes
+        if working_set < 0:
+            raise ValueError("working set cannot be negative")
+        passes = self.LLC_PASSES if llc_passes is None else llc_passes
+        if passes <= 0:
+            raise ValueError("llc_passes must be positive")
+
+        llc_capacity = self._spec.llc_capacity_bytes
+        l2_capacity = self._spec.l2_capacity_bytes
+
+        l2_resident = min(working_set, l2_capacity)
+        llc_resident = min(max(working_set - l2_capacity, 0.0), llc_capacity)
+        spilled = max(working_set - l2_capacity - llc_capacity, 0.0)
+
+        write_through = self.WRITE_THROUGH_FRACTION * output_bytes
+        # Cold executions stream the whole working set from HBM at least once.
+        hbm_cold = working_set + write_through
+        # Warm executions only go to HBM for the spilled portion plus write-through.
+        hbm_warm = min(spilled * self.SPILL_TRAFFIC_FACTOR + write_through, hbm_cold)
+
+        llc_bytes = (llc_resident + spilled) * passes + 0.3 * l2_resident
+        l2_bytes = operand_bytes * passes
+
+        estimate = TrafficEstimate(
+            working_set_bytes=working_set,
+            l2_bytes=l2_bytes,
+            llc_bytes=llc_bytes,
+            hbm_bytes_warm=hbm_warm,
+            hbm_bytes_cold=hbm_cold,
+        )
+        estimate.validate()
+        return estimate
+
+    def fits_in_llc(self, working_set_bytes: float) -> bool:
+        """Whether a working set is fully cache resident (L2 + Infinity Cache)."""
+        return working_set_bytes <= self._spec.llc_capacity_bytes + self._spec.l2_capacity_bytes
+
+    def fits_in_l2(self, working_set_bytes: float) -> bool:
+        return working_set_bytes <= self._spec.l2_capacity_bytes
+
+
+__all__ = ["TrafficEstimate", "MemoryTrafficModel"]

@@ -1,0 +1,102 @@
+"""Roofline arithmetic and kernel boundedness classification.
+
+The paper classifies a kernel as *compute-bound* when its algorithmic
+op-to-byte ratio exceeds the machine's op-to-byte ratio (peak compute divided
+by peak memory throughput), and as *memory-bound* otherwise (Section V-A).
+This module provides that classification plus the simple roofline time
+estimates the operator substrate builds on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..gpu.spec import GPUSpec
+
+
+class Boundedness(str, enum.Enum):
+    """Which resource limits a kernel."""
+
+    COMPUTE = "compute"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class MachineBalance:
+    """Peak throughputs of a GPU relevant to the roofline model."""
+
+    peak_matrix_flops: float
+    peak_vector_flops: float
+    peak_hbm_bandwidth: float
+    peak_llc_bandwidth: float
+
+    @classmethod
+    def from_spec(cls, spec: GPUSpec) -> "MachineBalance":
+        return cls(
+            peak_matrix_flops=spec.peak_matrix_flops,
+            peak_vector_flops=spec.peak_vector_flops,
+            peak_hbm_bandwidth=spec.peak_hbm_bandwidth,
+            peak_llc_bandwidth=spec.peak_llc_bandwidth,
+        )
+
+    @property
+    def op_to_byte(self) -> float:
+        """Machine balance point: FLOPs per HBM byte at peak."""
+        return self.peak_matrix_flops / self.peak_hbm_bandwidth
+
+    def classify(self, flops: float, bytes_moved: float) -> Boundedness:
+        """Compute- vs memory-bound classification of a kernel's algorithm."""
+        intensity = arithmetic_intensity(flops, bytes_moved)
+        return Boundedness.COMPUTE if intensity > self.op_to_byte else Boundedness.MEMORY
+
+    def compute_time_s(self, flops: float, efficiency: float, matrix: bool = True) -> float:
+        """Time to retire ``flops`` at a fraction of peak compute throughput."""
+        if flops < 0:
+            raise ValueError("flops cannot be negative")
+        if not 0 < efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        peak = self.peak_matrix_flops if matrix else self.peak_vector_flops
+        return flops / (efficiency * peak)
+
+    def hbm_time_s(self, bytes_moved: float, efficiency: float) -> float:
+        """Time to move ``bytes_moved`` through HBM at a fraction of peak bandwidth."""
+        if bytes_moved < 0:
+            raise ValueError("bytes cannot be negative")
+        if not 0 < efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        return bytes_moved / (efficiency * self.peak_hbm_bandwidth)
+
+    def llc_time_s(self, bytes_moved: float, efficiency: float) -> float:
+        """Time to move ``bytes_moved`` through the Infinity Cache."""
+        if bytes_moved < 0:
+            raise ValueError("bytes cannot be negative")
+        if not 0 < efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        return bytes_moved / (efficiency * self.peak_llc_bandwidth)
+
+    def roofline_time_s(
+        self,
+        flops: float,
+        bytes_moved: float,
+        compute_efficiency: float = 1.0,
+        memory_efficiency: float = 1.0,
+        matrix: bool = True,
+    ) -> float:
+        """Classic roofline execution-time estimate: max of compute and memory time."""
+        return max(
+            self.compute_time_s(flops, compute_efficiency, matrix=matrix),
+            self.hbm_time_s(bytes_moved, memory_efficiency),
+        )
+
+
+def arithmetic_intensity(flops: float, bytes_moved: float) -> float:
+    """Algorithmic op-to-byte ratio of a kernel."""
+    if flops < 0 or bytes_moved < 0:
+        raise ValueError("flops and bytes must be non-negative")
+    if bytes_moved == 0:
+        return float("inf") if flops > 0 else 0.0
+    return flops / bytes_moved
+
+
+__all__ = ["Boundedness", "MachineBalance", "arithmetic_intensity"]

@@ -1,0 +1,165 @@
+"""The paper's workload suite (Section V-A) with its naming conventions.
+
+Six GEMM/GEMV kernels:
+
+* compute-bound square GEMMs:  ``CB-8K-GEMM``, ``CB-4K-GEMM``, ``CB-2K-GEMM``
+  (M = N = K in {8192, 4096, 2048}),
+* memory-bound GEMVs:          ``MB-8K-GEMV``, ``MB-4K-GEMV``, ``MB-2K-GEMV``
+  (M = K, N = 1 for the same sizes).
+
+Eight communication kernels: all-gather (AG) and all-reduce (AR) at 64 KB and
+128 KB (latency-bound, inference-like) and at 512 MB and 1 GB (bandwidth-
+bound, training-like).
+
+Plus the interleaving scenarios of Figure 9, expressed as (preceding kernels,
+kernel of interest) pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.spec import PlatformSpec, mi300x_platform_spec
+from .base import AIKernel
+from .collectives import CollectiveKernel
+from .gemm import GemmKernel, GemvKernel
+from .library import RCCLLikeLibrary, RocBLASLikeLibrary
+
+#: The square sizes studied by the paper, largest first.
+GEMM_SIZES: tuple[int, ...] = (8192, 4096, 2048)
+
+#: Collective payload sizes: latency-bound then bandwidth-bound.
+COLLECTIVE_SIZES_BYTES: tuple[int, ...] = (
+    64 * 1024,
+    128 * 1024,
+    512 * 1024 ** 2,
+    1024 ** 3,
+)
+
+
+def _size_tag(size: int) -> str:
+    return f"{size // 1024}K"
+
+
+def cb_gemm(size: int, dtype_bytes: int = 2) -> GemmKernel:
+    """One compute-bound square GEMM with the paper's naming (e.g. CB-8K-GEMM)."""
+    library = RocBLASLikeLibrary(dtype_bytes=dtype_bytes)
+    return library.square_gemm(size, name=f"CB-{_size_tag(size)}-GEMM")
+
+
+def mb_gemv(size: int, dtype_bytes: int = 2) -> GemvKernel:
+    """One memory-bound GEMV with the paper's naming (e.g. MB-8K-GEMV)."""
+    library = RocBLASLikeLibrary(dtype_bytes=dtype_bytes)
+    return library.gemv(size, name=f"MB-{_size_tag(size)}-GEMV")
+
+
+def cb_gemms(dtype_bytes: int = 2) -> list[GemmKernel]:
+    """The three compute-bound GEMMs of the paper."""
+    return [cb_gemm(size, dtype_bytes) for size in GEMM_SIZES]
+
+
+def mb_gemvs(dtype_bytes: int = 2) -> list[GemvKernel]:
+    """The three memory-bound GEMVs of the paper."""
+    return [mb_gemv(size, dtype_bytes) for size in GEMM_SIZES]
+
+
+def gemm_suite(dtype_bytes: int = 2) -> list[GemmKernel]:
+    """All six GEMM/GEMV kernels (Figure 7's x-axis)."""
+    return [*cb_gemms(dtype_bytes), *mb_gemvs(dtype_bytes)]
+
+
+def collective_suite(platform: PlatformSpec | None = None) -> list[CollectiveKernel]:
+    """All eight communication kernels (Figure 10's x-axis)."""
+    platform = platform or mi300x_platform_spec()
+    library = RCCLLikeLibrary(platform=platform)
+    kernels: list[CollectiveKernel] = []
+    for size in COLLECTIVE_SIZES_BYTES:
+        kernels.append(library.all_gather(size, name=f"AG-{_format_payload(size)}"))
+    for size in COLLECTIVE_SIZES_BYTES:
+        kernels.append(library.all_reduce(size, name=f"AR-{_format_payload(size)}"))
+    return kernels
+
+
+def _format_payload(size_bytes: int) -> str:
+    if size_bytes >= 1024 ** 3:
+        return f"{size_bytes // 1024 ** 3}GB"
+    if size_bytes >= 1024 ** 2:
+        return f"{size_bytes // 1024 ** 2}MB"
+    return f"{size_bytes // 1024}KB"
+
+
+@dataclass(frozen=True)
+class InterleavingScenario:
+    """One interleaved-execution study of Figure 9.
+
+    ``preceding`` lists (kernel, executions) pairs run immediately before a
+    single execution of ``kernel_of_interest`` within the same run; ``label``
+    matches the paper's series names (e.g. ``MB->2K``).
+    """
+
+    label: str
+    kernel_of_interest: AIKernel
+    preceding: tuple[tuple[AIKernel, int], ...]
+
+    def describe(self) -> str:
+        parts = [f"{kernel.name} x{count}" for kernel, count in self.preceding]
+        return f"{self.label}: {' + '.join(parts)} -> {self.kernel_of_interest.name}"
+
+
+def interleaving_scenarios(dtype_bytes: int = 2) -> list[InterleavingScenario]:
+    """The five interleaving scenarios plotted in Figure 9."""
+    gemm_8k = cb_gemm(8192, dtype_bytes)
+    gemm_4k = cb_gemm(4096, dtype_bytes)
+    gemm_2k = cb_gemm(2048, dtype_bytes)
+    gemv_8k = mb_gemv(8192, dtype_bytes)
+    gemv_4k = mb_gemv(4096, dtype_bytes)
+    gemv_2k = mb_gemv(2048, dtype_bytes)
+    return [
+        # 60 compute-light GEMMs before the compute-heavy GEMM.
+        InterleavingScenario(
+            label="CB->8K",
+            kernel_of_interest=gemm_8k,
+            preceding=((gemm_2k, 60),),
+        ),
+        # 40 memory-bound GEMVs before the compute-light GEMM.
+        InterleavingScenario(
+            label="MB->2K",
+            kernel_of_interest=gemm_2k,
+            preceding=((gemv_4k, 40),),
+        ),
+        # Compute-heavy GEMMs before the compute-light GEMM.  Enough CB-4K
+        # executions follow the CB-8K pair for the clock to recover from the
+        # CB-8K-induced throttle, so the window preceding the CB-2K execution
+        # reflects the compute-heavy kernels' steady power.
+        InterleavingScenario(
+            label="CB->2K",
+            kernel_of_interest=gemm_2k,
+            preceding=((gemm_8k, 2), (gemm_4k, 40)),
+        ),
+        # Other memory-bound GEMVs before MB-8K-GEMV.
+        InterleavingScenario(
+            label="MB->8K gemv",
+            kernel_of_interest=gemv_8k,
+            preceding=((gemv_4k, 20), (gemv_2k, 20)),
+        ),
+        # Compute-heavy GEMMs before MB-4K-GEMV.
+        InterleavingScenario(
+            label="CB->4K gemv",
+            kernel_of_interest=gemv_4k,
+            preceding=((gemm_8k, 2), (gemm_4k, 4)),
+        ),
+    ]
+
+
+__all__ = [
+    "GEMM_SIZES",
+    "COLLECTIVE_SIZES_BYTES",
+    "cb_gemm",
+    "mb_gemv",
+    "cb_gemms",
+    "mb_gemvs",
+    "gemm_suite",
+    "collective_suite",
+    "InterleavingScenario",
+    "interleaving_scenarios",
+]

@@ -1,0 +1,14 @@
+"""Plain-text visualisation and export helpers (no plotting dependencies)."""
+
+from .ascii import render_bar_chart, render_profile, render_series
+from .export import profile_to_csv, profile_to_json, rows_to_csv, rows_to_json
+
+__all__ = [
+    "render_bar_chart",
+    "render_profile",
+    "render_series",
+    "profile_to_csv",
+    "profile_to_json",
+    "rows_to_csv",
+    "rows_to_json",
+]

@@ -1,0 +1,113 @@
+"""ASCII rendering of power profiles.
+
+The offline environment has no plotting stack, so the examples and experiment
+drivers render profiles as plain-text scatter/line charts.  The goal is not
+beauty but being able to eyeball the same shapes the paper's figures show
+(warm-up ramp, throttle dip, SSE-to-SSP rise) straight from a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.profile import FineGrainProfile
+
+
+def render_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    x_label: str = "time",
+    y_label: str = "power (W)",
+    marker: str = "*",
+) -> str:
+    """Render an (x, y) scatter as an ASCII chart."""
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    if len(x) == 0:
+        return "(empty series)"
+    if width < 16 or height < 4:
+        raise ValueError("chart must be at least 16x4 characters")
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    x_min, x_max = float(xs.min()), float(xs.max())
+    y_min, y_max = float(ys.min()), float(ys.max())
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(xs, ys):
+        col = int((xi - x_min) / x_span * (width - 1))
+        row = height - 1 - int((yi - y_min) / y_span * (height - 1))
+        grid[row][col] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:8.1f} |"
+        elif row_index == height - 1:
+            label = f"{y_min:8.1f} |"
+        else:
+            label = " " * 9 + "|"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10
+        + f"{x_min:g}".ljust(width // 2)
+        + f"{x_max:g}".rjust(width // 2)
+    )
+    lines.append(" " * 10 + f"x: {x_label}    y: {y_label}")
+    return "\n".join(lines)
+
+
+def render_profile(
+    profile: FineGrainProfile,
+    component: str = "total",
+    width: int = 72,
+    height: int = 16,
+    time_unit: str = "ms",
+) -> str:
+    """Render a fine-grain profile as an ASCII scatter chart."""
+    if profile.is_empty:
+        return f"(profile of {profile.kernel_name} is empty)"
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}.get(time_unit)
+    if scale is None:
+        raise ValueError("time_unit must be one of 's', 'ms', 'us'")
+    times = profile.times() * scale
+    powers = profile.series(component)
+    header = (
+        f"{profile.kernel_name} [{profile.kind.value}] {component} power, "
+        f"{len(profile)} points"
+    )
+    chart = render_series(
+        times, powers, width=width, height=height,
+        x_label=f"time ({time_unit})", y_label=f"{component} power (W)",
+    )
+    return header + "\n" + chart
+
+
+def render_bar_chart(
+    values: dict[str, float],
+    width: int = 50,
+    value_format: str = "{:.1f}",
+) -> str:
+    """Render a labelled horizontal bar chart (used for component comparisons)."""
+    if not values:
+        return "(no values)"
+    label_width = max(len(label) for label in values)
+    maximum = max(values.values())
+    if maximum <= 0:
+        raise ValueError("bar chart needs at least one positive value")
+    lines = []
+    for label, value in values.items():
+        bar = "#" * max(int(round(value / maximum * width)), 0)
+        lines.append(
+            f"{label.ljust(label_width)} | {bar.ljust(width)} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["render_series", "render_profile", "render_bar_chart"]

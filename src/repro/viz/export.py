@@ -1,0 +1,71 @@
+"""CSV / JSON export of profiles and experiment tables.
+
+Keeps the experiment drivers and examples free of serialisation boilerplate:
+profiles and row-lists can be written to disk for downstream plotting with any
+external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..core.profile import FineGrainProfile
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
+    """Write a list of homogeneous row mappings to a CSV file."""
+    if not rows:
+        raise ValueError("nothing to export")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
+    return path
+
+
+def rows_to_json(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
+    """Write a list of row mappings to a JSON file."""
+    if not rows:
+        raise ValueError("nothing to export")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump([dict(row) for row in rows], handle, indent=2, default=float)
+    return path
+
+
+def profile_to_csv(profile: FineGrainProfile, path: str | Path) -> Path:
+    """Write a fine-grain profile's points to CSV."""
+    if profile.is_empty:
+        raise ValueError(f"profile of {profile.kernel_name} is empty")
+    return rows_to_csv(profile.to_rows(), path)
+
+
+def profile_to_json(profile: FineGrainProfile, path: str | Path) -> Path:
+    """Write a fine-grain profile (points + metadata) to JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "kernel": profile.kernel_name,
+        "kind": profile.kind.value,
+        "execution_time_s": profile.execution_time_s,
+        "metadata": dict(profile.metadata),
+        "points": profile.to_rows(),
+    }
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    return path
+
+
+__all__ = ["rows_to_csv", "rows_to_json", "profile_to_csv", "profile_to_json"]

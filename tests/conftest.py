@@ -1,0 +1,74 @@
+"""Shared fixtures for the FinGraV reproduction test suite.
+
+Expensive artefacts (full profiling results) are produced once per session at
+a reduced run budget and shared across test modules; unit tests build their
+own small objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiler import FinGraVProfiler, ProfilerConfig
+from repro.gpu.backend import BackendConfig, SimulatedDeviceBackend
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.spec import mi300x_platform_spec, mi300x_spec
+from repro.kernels.workloads import cb_gemm, mb_gemv
+
+
+@pytest.fixture(scope="session")
+def spec():
+    """The default simulated-MI300X specification."""
+    return mi300x_spec()
+
+
+@pytest.fixture(scope="session")
+def platform_spec():
+    return mi300x_platform_spec()
+
+
+@pytest.fixture()
+def device(spec):
+    """A fresh simulated GPU per test."""
+    return SimulatedGPU(spec, seed=123)
+
+
+@pytest.fixture()
+def backend(spec):
+    """A fresh simulated profiling backend per test."""
+    return SimulatedDeviceBackend(spec=spec, seed=123, config=BackendConfig())
+
+
+@pytest.fixture()
+def small_profiler(backend):
+    """A profiler with a small run budget for fast tests."""
+    return FinGraVProfiler(
+        backend, ProfilerConfig(seed=7, max_additional_runs=120)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Session-scoped profiling results shared across test modules.
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def cb2k_result():
+    """A full FinGraV result for CB-2K-GEMM at a reduced run budget."""
+    backend = SimulatedDeviceBackend(spec=mi300x_spec(), seed=11)
+    profiler = FinGraVProfiler(backend, ProfilerConfig(seed=211, max_additional_runs=300))
+    return profiler.profile(cb_gemm(2048), runs=40)
+
+
+@pytest.fixture(scope="session")
+def cb8k_result():
+    """A full FinGraV result for CB-8K-GEMM (throttled kernel)."""
+    backend = SimulatedDeviceBackend(spec=mi300x_spec(), seed=12)
+    profiler = FinGraVProfiler(backend, ProfilerConfig(seed=212, max_additional_runs=200))
+    return profiler.profile(cb_gemm(8192), runs=50)
+
+
+@pytest.fixture(scope="session")
+def gemv8k_result():
+    """A full FinGraV result for MB-8K-GEMV (memory-bound kernel)."""
+    backend = SimulatedDeviceBackend(spec=mi300x_spec(), seed=13)
+    profiler = FinGraVProfiler(backend, ProfilerConfig(seed=213, max_additional_runs=400))
+    return profiler.profile(mb_gemv(8192), runs=120)

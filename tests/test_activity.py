@@ -1,0 +1,136 @@
+"""Unit tests for kernel activity descriptors."""
+
+import pytest
+
+from repro.gpu.activity import (
+    DEFAULT_PHASES,
+    KernelActivityDescriptor,
+    PhaseSpec,
+    VariationSpec,
+    XCDOccupancyMode,
+    flat_profile_phases,
+    uniform_phases,
+)
+
+
+def make_descriptor(**overrides):
+    params = dict(
+        name="test-kernel",
+        base_duration_s=100e-6,
+        compute_utilization=0.5,
+        llc_utilization=0.1,
+        hbm_utilization=0.05,
+    )
+    params.update(overrides)
+    return KernelActivityDescriptor(**params)
+
+
+class TestPhaseSpec:
+    def test_default_phases_sum_to_one(self):
+        assert sum(p.duration_fraction for p in DEFAULT_PHASES) == pytest.approx(1.0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(duration_fraction=0.0).validate()
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(duration_fraction=0.5, xcd_scale=-1.0).validate()
+
+    def test_uniform_phases(self):
+        phases = uniform_phases(4)
+        assert len(phases) == 4
+        assert sum(p.duration_fraction for p in phases) == pytest.approx(1.0)
+
+    def test_uniform_phases_rejects_zero(self):
+        with pytest.raises(ValueError):
+            uniform_phases(0)
+
+    def test_flat_profile_single_phase(self):
+        assert len(flat_profile_phases()) == 1
+
+
+class TestVariationSpec:
+    def test_defaults_validate(self):
+        VariationSpec().validate()
+
+    def test_negative_cv_rejected(self):
+        with pytest.raises(ValueError):
+            VariationSpec(run_cv=-0.1).validate()
+
+    def test_outlier_probability_bounds(self):
+        with pytest.raises(ValueError):
+            VariationSpec(outlier_probability=1.5).validate()
+        VariationSpec(outlier_probability=1.0).validate()
+
+    def test_outlier_must_slow_down(self):
+        with pytest.raises(ValueError):
+            VariationSpec(outlier_scale=0.9).validate()
+
+
+class TestKernelActivityDescriptor:
+    def test_valid_descriptor_constructs(self):
+        descriptor = make_descriptor()
+        assert descriptor.name == "test-kernel"
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError):
+            make_descriptor(compute_utilization=1.5)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            make_descriptor(base_duration_s=0.0)
+
+    def test_rejects_cold_speedup(self):
+        with pytest.raises(ValueError):
+            make_descriptor(cold_duration_multiplier=0.5)
+
+    def test_rejects_unnormalised_phases(self):
+        phases = (PhaseSpec(duration_fraction=0.5), PhaseSpec(duration_fraction=0.3))
+        with pytest.raises(ValueError):
+            make_descriptor(phases=phases)
+
+    def test_duration_scales_with_frequency_for_compute_bound(self):
+        descriptor = make_descriptor(frequency_sensitivity=1.0)
+        slow = descriptor.duration_at(1.0, 2.0)
+        fast = descriptor.duration_at(2.0, 2.0)
+        assert slow == pytest.approx(2.0 * fast)
+
+    def test_duration_insensitive_for_memory_bound(self):
+        descriptor = make_descriptor(frequency_sensitivity=0.0)
+        assert descriptor.duration_at(1.0, 2.0) == pytest.approx(descriptor.duration_at(2.0, 2.0))
+
+    def test_cold_duration_multiplier_applied(self):
+        descriptor = make_descriptor(cold_duration_multiplier=1.5)
+        warm = descriptor.duration_at(2.0, 2.0, cold=False)
+        cold = descriptor.duration_at(2.0, 2.0, cold=True)
+        assert cold == pytest.approx(1.5 * warm)
+
+    def test_phase_lookup_spans_whole_execution(self):
+        descriptor = make_descriptor()
+        assert descriptor.phase_at(0.0) is descriptor.phases[0]
+        assert descriptor.phase_at(0.5) is descriptor.phases[1]
+        assert descriptor.phase_at(1.0) is descriptor.phases[-1]
+        assert descriptor.phase_at(1.7) is descriptor.phases[-1]
+
+    def test_cold_hbm_defaults_to_warm(self):
+        descriptor = make_descriptor(hbm_utilization=0.07, hbm_utilization_cold=None)
+        assert descriptor.effective_hbm_utilization_cold == pytest.approx(0.07)
+
+    def test_scaled_changes_duration_only(self):
+        descriptor = make_descriptor()
+        scaled = descriptor.scaled(2.0)
+        assert scaled.base_duration_s == pytest.approx(2 * descriptor.base_duration_s)
+        assert scaled.compute_utilization == descriptor.compute_utilization
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            make_descriptor().scaled(0.0)
+
+    def test_with_variation_replaces_model(self):
+        new_variation = VariationSpec(run_cv=0.1)
+        descriptor = make_descriptor().with_variation(new_variation)
+        assert descriptor.variation.run_cv == pytest.approx(0.1)
+
+    def test_occupancy_modes_enumerated(self):
+        assert {m.value for m in XCDOccupancyMode} == {"matrix", "vector", "stalled", "dma"}

@@ -1,0 +1,130 @@
+"""Unit tests for the simulated GPU device."""
+
+import pytest
+
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.dvfs import FirmwareState
+from repro.kernels.workloads import cb_gemm, mb_gemv
+
+
+@pytest.fixture()
+def gemm_descriptor(spec):
+    return cb_gemm(4096).activity_descriptor(spec)
+
+
+@pytest.fixture()
+def big_gemm_descriptor(spec):
+    return cb_gemm(8192).activity_descriptor(spec)
+
+
+class TestIdleAndRecording:
+    def test_idle_advances_time(self, device):
+        before = device.now_s()
+        device.idle(5e-3)
+        assert device.now_s() == pytest.approx(before + 5e-3)
+
+    def test_negative_idle_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.idle(-1.0)
+
+    def test_recording_captures_idle_power(self, device):
+        device.start_recording()
+        device.idle(2e-3)
+        segments = device.stop_recording()
+        assert segments
+        idle_total = device.power_model.idle_power().total_w
+        for segment in segments:
+            assert segment.power.total_w == pytest.approx(idle_total)
+
+    def test_segments_are_contiguous_and_ordered(self, device, gemm_descriptor):
+        device.start_recording()
+        device.idle(1e-3)
+        device.execute_kernel(gemm_descriptor)
+        device.idle(1e-3)
+        segments = device.stop_recording()
+        for a, b in zip(segments, segments[1:]):
+            assert b.start_s == pytest.approx(a.end_s, abs=1e-9)
+            assert a.end_s > a.start_s
+
+    def test_stop_without_recording_returns_empty(self, device):
+        assert device.stop_recording() == []
+
+
+class TestKernelExecution:
+    def test_execution_advances_time_by_duration(self, device, gemm_descriptor):
+        result = device.execute_kernel(gemm_descriptor)
+        assert result.duration_s > 0
+        assert device.now_s() == pytest.approx(result.end_s)
+
+    def test_cold_then_warm_executions(self, device, gemm_descriptor):
+        results = [device.execute_kernel(gemm_descriptor) for _ in range(5)]
+        assert results[0].cold_caches
+        assert not results[-1].cold_caches
+        assert results[-1].duration_s < results[0].duration_s
+
+    def test_cache_state_expires_after_long_idle(self, device, gemm_descriptor):
+        for _ in range(4):
+            device.execute_kernel(gemm_descriptor)
+        device.idle(device.CACHE_RETENTION_S * 2)
+        again = device.execute_kernel(gemm_descriptor)
+        assert again.cold_caches
+
+    def test_execution_energy_consistent_with_power(self, device, gemm_descriptor):
+        result = device.execute_kernel(gemm_descriptor)
+        assert result.energy_j == pytest.approx(
+            result.mean_power.total_w * result.duration_s, rel=1e-6
+        )
+
+    def test_kernel_power_above_idle(self, device, gemm_descriptor):
+        result = device.execute_kernel(gemm_descriptor)
+        assert result.mean_power.total_w > device.power_model.idle_power().total_w
+
+    def test_executions_recorded_only_while_recording(self, device, gemm_descriptor):
+        device.execute_kernel(gemm_descriptor)
+        assert device.executions() == []
+        device.start_recording()
+        device.execute_kernel(gemm_descriptor)
+        assert len(device.executions()) == 1
+
+    def test_frequency_boosts_on_kernel_arrival(self, device, gemm_descriptor):
+        device.park()
+        assert device.firmware.state is FirmwareState.IDLE
+        device.execute_kernel(gemm_descriptor)
+        assert device.firmware.frequency_ghz > device.spec.dvfs.idle_frequency_ghz
+
+
+class TestPowerCapBehaviour:
+    def test_large_gemm_triggers_throttle(self, device, big_gemm_descriptor):
+        device.park()
+        for _ in range(4):
+            device.execute_kernel(big_gemm_descriptor)
+        assert device.firmware.throttle_count() >= 1
+
+    def test_small_gemv_never_throttles(self, device, spec):
+        gemv = mb_gemv(4096).activity_descriptor(spec)
+        device.park()
+        for _ in range(30):
+            device.execute_kernel(gemv)
+        assert device.firmware.throttle_count() == 0
+
+    def test_throttled_execution_slower_than_recovered(self, device, big_gemm_descriptor):
+        device.park()
+        results = [device.execute_kernel(big_gemm_descriptor) for _ in range(10)]
+        frequencies = [result.mean_frequency_ghz for result in results]
+        # The post-throttle executions run below boost; later ones recover.
+        assert min(frequencies[2:6]) < max(frequencies[-2:])
+
+
+class TestTimestampRead:
+    def test_read_timestamp_advances_time(self, device):
+        before = device.now_s()
+        result = device.read_timestamp()
+        assert device.now_s() > before
+        assert result.round_trip_s > 0
+
+    def test_read_timestamp_ticks_map_back_to_read_window(self, device):
+        device.idle(1e-3)
+        before = device.now_s()
+        result = device.read_timestamp()
+        capture = device.timestamp_counter.sim_time_of_ticks(result.gpu_ticks)
+        assert before <= capture <= result.cpu_time_after_s

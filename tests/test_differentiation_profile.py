@@ -1,0 +1,230 @@
+"""Unit tests for SSE/SSP differentiation, profiles and stitching."""
+
+import numpy as np
+import pytest
+
+from repro.core.differentiation import (
+    analyze_warmups,
+    build_plan,
+    detect_throttling,
+    ssp_execution_count,
+)
+from repro.core.profile import (
+    FineGrainProfile,
+    ProfileKind,
+    ProfilePoint,
+    measurement_error,
+    profile_from_lois,
+)
+from repro.core.records import LogOfInterest, PowerReading
+from repro.core.stitching import ProfileStitcher
+from repro.kernels.workloads import cb_gemm, mb_gemv
+
+
+class TestWarmupAnalysis:
+    def test_three_warmups_detected(self):
+        durations = [130e-6, 128e-6, 126e-6, 100e-6, 100.5e-6, 99.8e-6, 100.2e-6, 100.1e-6]
+        analysis = analyze_warmups(durations, tolerance=0.05)
+        assert analysis.warmup_executions == 3
+        assert analysis.sse_index == 3
+        assert analysis.sse_executions == 4
+
+    def test_no_warmups_when_stable(self):
+        durations = [100e-6] * 6
+        assert analyze_warmups(durations).warmup_executions == 0
+
+    def test_robust_to_timing_jitter(self):
+        rng = np.random.default_rng(0)
+        steady = 20e-6
+        durations = [32e-6, 31e-6, 30e-6] + list(steady * rng.normal(1.0, 0.04, size=8))
+        assert analyze_warmups(durations, tolerance=0.1).warmup_executions == 3
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            analyze_warmups([])
+        with pytest.raises(ValueError):
+            analyze_warmups([1.0, -1.0])
+
+
+class TestSSPExecutionCount:
+    def test_paper_formula(self):
+        # max(ceil(window / exec), SSE executions)
+        assert ssp_execution_count(1e-3, 30e-6, 4) == 34
+        assert ssp_execution_count(1e-3, 1.2e-3, 4) == 4
+        assert ssp_execution_count(1e-3, 200e-6, 4) == 5
+
+    def test_zero_window_gives_sse(self):
+        assert ssp_execution_count(0.0, 30e-6, 4) == 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ssp_execution_count(1e-3, 0.0, 4)
+        with pytest.raises(ValueError):
+            ssp_execution_count(1e-3, 1e-6, 0)
+
+
+class TestThrottlingDetection:
+    def test_detected_for_power_limited_kernel(self, backend):
+        record = backend.run(cb_gemm(8192), executions=6, pre_delay_s=0.0)
+        assert detect_throttling(record)
+
+    def test_not_detected_for_light_kernel(self, backend):
+        record = backend.run(cb_gemm(2048), executions=30, pre_delay_s=0.0)
+        assert not detect_throttling(record)
+
+    def test_not_detected_for_memory_bound_kernel(self, backend):
+        record = backend.run(mb_gemv(8192), executions=40, pre_delay_s=0.0)
+        assert not detect_throttling(record)
+
+
+class TestBuildPlan:
+    def test_plan_for_short_kernel(self, backend):
+        kernel = cb_gemm(2048)
+        execution_time = float(np.median(backend.time_kernel(kernel, 5)[2:]))
+        plan = build_plan(backend, kernel, execution_time, refine_with_power_search=False)
+        assert plan.warmup_executions == 3
+        assert plan.sse_executions == 4
+        assert plan.ssp_executions >= 25
+        assert not plan.throttling_detected
+
+    def test_plan_for_throttled_kernel(self, backend):
+        kernel = cb_gemm(8192)
+        execution_time = float(np.median(backend.time_kernel(kernel, 5)[2:]))
+        plan = build_plan(backend, kernel, execution_time)
+        assert plan.throttling_detected
+        assert plan.ssp_executions > plan.sse_executions
+
+
+def make_profile(times, powers, kind=ProfileKind.SSP, execution_time=100e-6):
+    points = tuple(
+        ProfilePoint(time_s=t, powers_w={"total": p, "xcd": p * 0.7}, run_index=i)
+        for i, (t, p) in enumerate(zip(times, powers))
+    )
+    return FineGrainProfile(
+        kernel_name="k", kind=kind, points=points, execution_time_s=execution_time
+    )
+
+
+class TestFineGrainProfile:
+    def test_points_sorted_by_time(self):
+        profile = make_profile([3e-6, 1e-6, 2e-6], [10, 20, 30])
+        assert list(profile.times()) == pytest.approx([1e-6, 2e-6, 3e-6])
+
+    def test_statistics(self):
+        profile = make_profile([1e-6, 2e-6, 3e-6, 4e-6], [100, 200, 300, 400])
+        assert profile.mean_power_w() == pytest.approx(250.0)
+        assert profile.median_power_w() == pytest.approx(250.0)
+        assert profile.max_power_w() == pytest.approx(400.0)
+        assert profile.min_power_w() == pytest.approx(100.0)
+        assert profile.power_std_w() > 0
+
+    def test_energy_is_power_times_time(self):
+        profile = make_profile([1e-6, 2e-6], [100, 300], execution_time=2e-3)
+        assert profile.energy_j() == pytest.approx(200.0 * 2e-3)
+
+    def test_component_series(self):
+        profile = make_profile([1e-6, 2e-6], [100, 200])
+        assert list(profile.series("xcd")) == pytest.approx([70.0, 140.0])
+        assert "total" in profile.components and "xcd" in profile.components
+
+    def test_empty_profile_raises_on_stats(self):
+        profile = FineGrainProfile("k", ProfileKind.SSP, (), 1e-4)
+        assert profile.is_empty
+        with pytest.raises(ValueError):
+            profile.mean_power_w()
+
+    def test_smoothed_fit_reproduces_linear_trend(self):
+        times = np.linspace(0, 1e-3, 50)
+        powers = 100 + 2e5 * times
+        profile = make_profile(times, powers)
+        grid, fitted = profile.smoothed(degree=1, num_points=10)
+        assert fitted[0] == pytest.approx(100, rel=0.05)
+        assert fitted[-1] == pytest.approx(300, rel=0.05)
+
+    def test_smoothed_handles_few_points(self):
+        profile = make_profile([1e-6, 2e-6], [100, 200])
+        grid, fitted = profile.smoothed(degree=4)
+        assert len(grid) == len(fitted) == 100
+
+    def test_binned_mean(self):
+        times = np.linspace(0, 1e-3, 100)
+        powers = np.where(times < 0.5e-3, 100.0, 300.0)
+        profile = make_profile(times, powers)
+        centers, means = profile.binned_mean(bins=2)
+        assert means[0] == pytest.approx(100.0, rel=0.05)
+        assert means[1] == pytest.approx(300.0, rel=0.05)
+
+    def test_restricted_to_runs_and_subsampled(self):
+        profile = make_profile([1e-6, 2e-6, 3e-6, 4e-6], [1, 2, 3, 4])
+        restricted = profile.restricted_to_runs([0, 2])
+        assert len(restricted) == 2
+        subsampled = profile.subsampled(2)
+        assert len(subsampled) == 2
+        assert len(profile.subsampled(100)) == 4
+
+    def test_to_rows(self):
+        rows = make_profile([1e-6], [100]).to_rows()
+        assert rows[0]["total_w"] == pytest.approx(100)
+
+
+class TestMeasurementError:
+    def test_error_definition(self):
+        sse = make_profile([1e-6], [100.0], kind=ProfileKind.SSE)
+        ssp = make_profile([1e-6], [500.0], kind=ProfileKind.SSP)
+        assert measurement_error(sse, ssp) == pytest.approx(0.8)
+
+    def test_zero_error_when_identical(self):
+        profile = make_profile([1e-6, 2e-6], [200.0, 220.0])
+        assert measurement_error(profile, profile) == pytest.approx(0.0)
+
+
+class TestProfileFromLois:
+    def test_lois_become_points(self):
+        lois = [
+            LogOfInterest(
+                run_index=r, execution_index=5,
+                reading=PowerReading(gpu_timestamp_ticks=r, window_s=1e-3, total_w=100.0 + r,
+                                     components={"xcd": 70.0, "iod": 20.0, "hbm": 10.0}),
+                window_end_cpu_s=1.0, toi_s=r * 1e-6, toi_fraction=0.1,
+            )
+            for r in range(5)
+        ]
+        profile = profile_from_lois("k", ProfileKind.SSP, lois, execution_time_s=50e-6)
+        assert len(profile) == 5
+        assert profile.kind is ProfileKind.SSP
+        assert profile.mean_power_w() == pytest.approx(102.0)
+
+
+class TestStitcher:
+    def test_stitching_backend_runs(self, backend):
+        kernel = cb_gemm(4096)
+        records = [
+            backend.run(kernel, executions=6, pre_delay_s=i * 0.3e-3, run_index=i)
+            for i in range(6)
+        ]
+        stitcher = ProfileStitcher()
+        series = stitcher.collect(records)
+        ssp = stitcher.ssp_profile(series)
+        run_profile = stitcher.run_profile(series)
+        assert series.kernel_name == "CB-4K-GEMM"
+        assert len(run_profile) > len(ssp)
+        assert not run_profile.is_empty
+        # Run-profile time axis starts around the first execution.
+        assert run_profile.times().min() < 0.5e-3
+
+    def test_golden_run_filter(self, backend):
+        kernel = cb_gemm(4096)
+        records = [
+            backend.run(kernel, executions=5, pre_delay_s=0.2e-3 * i, run_index=i)
+            for i in range(4)
+        ]
+        stitcher = ProfileStitcher()
+        series = stitcher.collect(records)
+        all_runs = stitcher.run_profile(series)
+        only_two = stitcher.run_profile(series, golden_runs=[0, 1])
+        assert set(only_two.run_indices()) <= {0, 1}
+        assert len(only_two) < len(all_runs)
+
+    def test_collect_requires_runs(self):
+        with pytest.raises(ValueError):
+            ProfileStitcher().collect([])

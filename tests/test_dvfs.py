@@ -1,0 +1,119 @@
+"""Unit tests for the DVFS / power-cap firmware."""
+
+import pytest
+
+from repro.gpu.dvfs import FirmwareConfig, FirmwareState, PowerManagementFirmware
+from repro.gpu.spec import DVFSSpec, PowerBudget
+
+
+@pytest.fixture()
+def firmware():
+    return PowerManagementFirmware(DVFSSpec(), PowerBudget())
+
+
+def step_for(firmware, seconds, power, resident, start=0.0, dt=250e-6):
+    """Drive the control loop for a duration at constant power."""
+    now = start
+    end = start + seconds
+    while now < end:
+        firmware.step(now, dt, power, resident)
+        now += dt
+    return now
+
+
+class TestFirmwareBasics:
+    def test_starts_idle_at_idle_clock(self, firmware):
+        assert firmware.state is FirmwareState.IDLE
+        assert firmware.frequency_ghz == pytest.approx(DVFSSpec().idle_frequency_ghz)
+
+    def test_kernel_arrival_boosts_immediately(self, firmware):
+        firmware.notify_kernel_arrival(0.0)
+        assert firmware.state is FirmwareState.BOOST
+        assert firmware.frequency_ghz == pytest.approx(DVFSSpec().boost_frequency_ghz)
+
+    def test_negative_interval_rejected(self, firmware):
+        with pytest.raises(ValueError):
+            firmware.step(0.0, -1.0, 100.0, True)
+
+    def test_reset_returns_to_idle(self, firmware):
+        firmware.notify_kernel_arrival(0.0)
+        firmware.reset()
+        assert firmware.state is FirmwareState.IDLE
+        assert firmware.events == []
+
+    def test_parks_after_long_idle(self, firmware):
+        firmware.notify_kernel_arrival(0.0)
+        step_for(firmware, 0.01, 120.0, resident=False)
+        assert firmware.state is FirmwareState.IDLE
+
+
+class TestThrottling:
+    def test_sustained_overdraw_triggers_hard_throttle(self, firmware):
+        budget = PowerBudget()
+        firmware.notify_kernel_arrival(0.0)
+        step_for(firmware, 2e-3, budget.board_limit_w * 1.05, resident=True)
+        assert firmware.throttle_count() >= 1
+        assert firmware.was_power_limited()
+
+    def test_brief_overdraw_does_not_throttle(self, firmware):
+        budget = PowerBudget()
+        firmware.notify_kernel_arrival(0.0)
+        # One control period of overdraw, then back under the limit.
+        firmware.step(0.0, 250e-6, budget.board_limit_w * 1.05, True)
+        step_for(firmware, 2e-3, budget.board_limit_w * 0.8, resident=True, start=250e-6)
+        assert firmware.throttle_count() == 0
+
+    def test_power_below_limit_keeps_boost(self, firmware):
+        budget = PowerBudget()
+        firmware.notify_kernel_arrival(0.0)
+        step_for(firmware, 5e-3, budget.board_limit_w * 0.8, resident=True)
+        assert firmware.state is FirmwareState.BOOST
+        assert firmware.frequency_ghz == pytest.approx(DVFSSpec().boost_frequency_ghz)
+
+    def test_throttle_drops_to_sustained_clock(self, firmware):
+        budget = PowerBudget()
+        firmware.notify_kernel_arrival(0.0)
+        step_for(firmware, 1.5e-3, budget.board_limit_w * 1.1, resident=True)
+        assert firmware.frequency_ghz == pytest.approx(DVFSSpec().sustained_frequency_ghz)
+        assert firmware.state is FirmwareState.THROTTLED
+
+    def test_recovery_raises_clock_after_hold(self, firmware):
+        budget = PowerBudget()
+        dvfs = DVFSSpec()
+        firmware.notify_kernel_arrival(0.0)
+        now = step_for(firmware, 1.5e-3, budget.board_limit_w * 1.1, resident=True)
+        # Power drops well below the limit once throttled; the clock should
+        # creep back up after the hold-off.
+        step_for(firmware, 8e-3, budget.board_limit_w * 0.75, resident=True, start=now)
+        assert firmware.frequency_ghz > dvfs.sustained_frequency_ghz
+
+    def test_recovery_stops_at_cap_target(self, firmware):
+        budget = PowerBudget()
+        config = firmware.config
+        firmware.notify_kernel_arrival(0.0)
+        now = step_for(firmware, 1.5e-3, budget.board_limit_w * 1.1, resident=True)
+        # Simulate power tracking the cap target as the clock recovers.
+        step_for(
+            firmware, 10e-3, budget.board_limit_w * (config.cap_target + 0.01),
+            resident=True, start=now,
+        )
+        assert firmware.state is FirmwareState.CAPPED
+
+    def test_events_recorded_in_order(self, firmware):
+        budget = PowerBudget()
+        firmware.notify_kernel_arrival(0.0)
+        step_for(firmware, 3e-3, budget.board_limit_w * 1.1, resident=True)
+        times = [event.time_s for event in firmware.events]
+        assert times == sorted(times)
+        states = [event.state for event in firmware.events]
+        assert FirmwareState.THROTTLED in states
+
+
+class TestFirmwareConfig:
+    def test_custom_config_honoured(self):
+        config = FirmwareConfig(excursion_window_s=100e-6, throttle_hold_s=1e-3)
+        firmware = PowerManagementFirmware(DVFSSpec(), PowerBudget(), config)
+        budget = PowerBudget()
+        firmware.notify_kernel_arrival(0.0)
+        step_for(firmware, 500e-6, budget.board_limit_w * 1.1, resident=True)
+        assert firmware.throttle_count() == 1

@@ -1,0 +1,84 @@
+"""Tests for application-level energy accounting and outlier-execution profiling."""
+
+import pytest
+
+from repro.analysis.energy import ApplicationEnergyModel, KernelInvocation
+from repro.analysis.outliers import profile_outlier_executions
+
+
+class TestApplicationEnergy:
+    @pytest.fixture()
+    def model(self, cb2k_result, cb8k_result):
+        return ApplicationEnergyModel([cb2k_result, cb8k_result])
+
+    def test_kernel_names_registered(self, model):
+        assert model.kernel_names == ["CB-2K-GEMM", "CB-8K-GEMM"]
+
+    def test_missing_kernel_raises(self, model):
+        with pytest.raises(KeyError):
+            model.result_for("nope")
+
+    def test_energy_scales_with_calls(self, model):
+        once = model.estimate([KernelInvocation("CB-8K-GEMM", calls=1)])
+        thrice = model.estimate([KernelInvocation("CB-8K-GEMM", calls=3)])
+        assert thrice.total_energy_j == pytest.approx(3 * once.total_energy_j)
+        assert thrice.total_time_s == pytest.approx(3 * once.total_time_s)
+
+    def test_breakdown_shares_sum_to_one(self, model):
+        sequence = [
+            KernelInvocation("CB-8K-GEMM", calls=2),
+            KernelInvocation("CB-2K-GEMM", calls=10),
+        ]
+        breakdown = model.estimate(sequence)
+        shares = [breakdown.share_of(name) for name in model.kernel_names]
+        assert sum(shares) == pytest.approx(1.0)
+        assert breakdown.dominant_kernel() == "CB-8K-GEMM"
+        assert breakdown.average_power_w > 0
+
+    def test_energy_error_from_skipping_differentiation(self, model):
+        # A sequence dominated by the short kernel inherits its large SSE-vs-SSP
+        # error (paper guidance #1 applied at the application level).
+        short_heavy = [KernelInvocation("CB-2K-GEMM", calls=50)]
+        error = model.differentiation_energy_error(short_heavy)
+        assert error > 0.4
+        long_heavy = [KernelInvocation("CB-8K-GEMM", calls=50)]
+        assert model.differentiation_energy_error(long_heavy) < error
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.estimate([])
+        with pytest.raises(ValueError):
+            KernelInvocation("CB-2K-GEMM", calls=0)
+        with pytest.raises(ValueError):
+            ApplicationEnergyModel([])
+
+
+class TestOutlierProfiling:
+    def test_outlier_study_from_result(self, cb2k_result):
+        study = profile_outlier_executions(cb2k_result)
+        assert study.kernel_name == "CB-2K-GEMM"
+        assert study.outlier_runs >= 1
+        # Outlier executions are slower than the common case by construction.
+        assert study.slowdown > 1.0
+        row = study.to_row()
+        assert row["kernel"] == "CB-2K-GEMM"
+
+    def test_explicit_target_time(self, cb2k_result):
+        common = cb2k_result.ssp_profile.execution_time_s
+        study = profile_outlier_executions(
+            cb2k_result, target_execution_time_s=common * 1.2, margin=0.2
+        )
+        assert study.outlier_runs >= 1
+
+    def test_requires_binning(self, backend):
+        from repro.core.profiler import FinGraVProfiler, ProfilerConfig
+        from repro.kernels.workloads import cb_gemm
+
+        profiler = FinGraVProfiler(
+            backend,
+            ProfilerConfig(seed=3, apply_binning=False, max_additional_runs=0,
+                           refine_ssp_with_power_search=False, differentiate=False),
+        )
+        result = profiler.profile(cb_gemm(4096), runs=8)
+        with pytest.raises(ValueError):
+            profile_outlier_executions(result)

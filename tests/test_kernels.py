@@ -1,0 +1,251 @@
+"""Unit tests for the operator substrate: roofline, traffic, GEMM/GEMV, collectives."""
+
+import pytest
+
+from repro.gpu.activity import XCDOccupancyMode
+from repro.kernels.base import KernelSummary
+from repro.kernels.collectives import (
+    CollectiveOp,
+    TransferRegime,
+    all_gather,
+    all_reduce,
+    format_size,
+)
+from repro.kernels.gemm import (
+    GemmKernel,
+    GemmShape,
+    GemvKernel,
+    matrix_efficiency,
+    square_gemm,
+    streaming_bandwidth_efficiency,
+)
+from repro.kernels.library import RCCLLikeLibrary, RocBLASLikeLibrary
+from repro.kernels.memory_traffic import MemoryTrafficModel
+from repro.kernels.roofline import Boundedness, MachineBalance, arithmetic_intensity
+from repro.kernels.workloads import (
+    cb_gemms,
+    collective_suite,
+    gemm_suite,
+    interleaving_scenarios,
+    mb_gemvs,
+)
+
+
+class TestRoofline:
+    def test_arithmetic_intensity(self):
+        assert arithmetic_intensity(100.0, 50.0) == pytest.approx(2.0)
+        assert arithmetic_intensity(0.0, 0.0) == 0.0
+        assert arithmetic_intensity(1.0, 0.0) == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_intensity(-1.0, 1.0)
+
+    def test_machine_balance_from_spec(self, spec):
+        balance = MachineBalance.from_spec(spec)
+        assert balance.op_to_byte == pytest.approx(spec.machine_op_to_byte)
+
+    def test_classification_against_balance(self, spec):
+        balance = MachineBalance.from_spec(spec)
+        assert balance.classify(1e15, 1e9) is Boundedness.COMPUTE
+        assert balance.classify(1e9, 1e9) is Boundedness.MEMORY
+
+    def test_roofline_time_takes_max(self, spec):
+        balance = MachineBalance.from_spec(spec)
+        compute_only = balance.compute_time_s(1e12, 0.5)
+        memory_only = balance.hbm_time_s(1e9, 0.5)
+        assert balance.roofline_time_s(1e12, 1e9, 0.5, 0.5) == pytest.approx(
+            max(compute_only, memory_only)
+        )
+
+    def test_bad_efficiency_rejected(self, spec):
+        balance = MachineBalance.from_spec(spec)
+        with pytest.raises(ValueError):
+            balance.compute_time_s(1e12, 0.0)
+
+
+class TestMemoryTraffic:
+    def test_cache_resident_kernel_has_little_hbm_traffic(self, spec):
+        model = MemoryTrafficModel(spec)
+        estimate = model.estimate(operand_bytes=50e6, output_bytes=10e6)
+        assert estimate.hbm_bytes_warm < 0.2 * estimate.hbm_bytes_cold
+
+    def test_spilling_kernel_keeps_hbm_traffic(self, spec):
+        model = MemoryTrafficModel(spec)
+        working_set = spec.llc_capacity_bytes + spec.l2_capacity_bytes + 200e6
+        estimate = model.estimate(operand_bytes=working_set, output_bytes=50e6)
+        assert estimate.hbm_bytes_warm > 200e6
+
+    def test_cold_always_at_least_warm(self, spec):
+        model = MemoryTrafficModel(spec)
+        for operand in (1e6, 50e6, 500e6, 2e9):
+            estimate = model.estimate(operand_bytes=operand, output_bytes=operand * 0.3)
+            assert estimate.hbm_bytes_cold >= estimate.hbm_bytes_warm
+
+    def test_fits_predicates(self, spec):
+        model = MemoryTrafficModel(spec)
+        assert model.fits_in_l2(10e6)
+        assert not model.fits_in_l2(100e6)
+        assert model.fits_in_llc(200e6)
+        assert not model.fits_in_llc(500e6)
+
+    def test_invalid_output_rejected(self, spec):
+        model = MemoryTrafficModel(spec)
+        with pytest.raises(ValueError):
+            model.estimate(operand_bytes=10.0, output_bytes=20.0)
+
+
+class TestGemmShape:
+    def test_flops_and_bytes(self):
+        shape = GemmShape(m=2, n=3, k=4, dtype_bytes=2)
+        assert shape.flops == pytest.approx(48)
+        assert shape.operand_bytes == pytest.approx((8 + 12 + 6) * 2)
+        assert shape.output_bytes == pytest.approx(12)
+
+    def test_gemv_detection(self):
+        assert GemmShape(m=128, n=1, k=128).is_gemv
+        assert not GemmShape(m=128, n=128, k=128).is_gemv
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            GemmShape(m=0, n=1, k=1)
+
+
+class TestEfficiencyCurves:
+    def test_matrix_efficiency_anchors(self):
+        assert matrix_efficiency(2 * 2048 ** 3) == pytest.approx(0.42, abs=0.02)
+        assert matrix_efficiency(2 * 4096 ** 3) == pytest.approx(0.64, abs=0.02)
+        assert matrix_efficiency(2 * 8192 ** 3) == pytest.approx(0.75, abs=0.02)
+
+    def test_matrix_efficiency_monotone_and_bounded(self):
+        sizes = [256, 512, 1024, 2048, 4096, 8192, 16384]
+        values = [matrix_efficiency(2.0 * s ** 3) for s in sizes]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+        assert all(0.2 <= v <= 0.8 for v in values)
+
+    def test_streaming_efficiency_grows_with_size(self):
+        assert streaming_bandwidth_efficiency(1e6) < streaming_bandwidth_efficiency(1e8)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_efficiency(0)
+        with pytest.raises(ValueError):
+            streaming_bandwidth_efficiency(-1)
+
+
+class TestGemmKernels:
+    def test_square_gemm_is_compute_bound(self, spec):
+        for size in (2048, 4096, 8192):
+            assert square_gemm(size).boundedness(spec) is Boundedness.COMPUTE
+
+    def test_gemv_is_memory_bound(self, spec):
+        for size in (2048, 4096, 8192):
+            assert GemvKernel(size).boundedness(spec) is Boundedness.MEMORY
+
+    def test_gemm_descriptor_durations_match_paper_ranges(self, spec):
+        assert 25e-6 <= square_gemm(2048).activity_descriptor(spec).base_duration_s <= 50e-6
+        assert 50e-6 <= square_gemm(4096).activity_descriptor(spec).base_duration_s <= 200e-6
+        assert square_gemm(8192).activity_descriptor(spec).base_duration_s > 1e-3
+
+    def test_gemm_uses_matrix_engines_gemv_stalls(self, spec):
+        assert square_gemm(4096).activity_descriptor(spec).xcd_mode is XCDOccupancyMode.MATRIX
+        assert GemvKernel(4096).activity_descriptor(spec).xcd_mode is XCDOccupancyMode.STALLED
+
+    def test_cb8k_has_highest_warm_hbm_utilization(self, spec):
+        hbm = {
+            size: square_gemm(size).activity_descriptor(spec).hbm_utilization
+            for size in (2048, 4096, 8192)
+        }
+        assert hbm[8192] == max(hbm.values())
+
+    def test_gemv8k_stresses_llc_most(self, spec):
+        llc = {size: GemvKernel(size).activity_descriptor(spec).llc_utilization
+               for size in (2048, 4096, 8192)}
+        assert llc[8192] > llc[4096] > llc[2048]
+
+    def test_efficiency_override(self, spec):
+        kernel = GemmKernel(m=4096, n=4096, k=4096, efficiency=0.5)
+        assert kernel.efficiency() == pytest.approx(0.5)
+
+    def test_kernel_summary(self, spec):
+        summary = KernelSummary.from_kernel(square_gemm(4096), spec)
+        assert summary.boundedness is Boundedness.COMPUTE
+        assert summary.base_duration_s > 0
+
+
+class TestCollectives:
+    def test_latency_vs_bandwidth_classification(self):
+        assert all_gather(64 * 1024).regime() is TransferRegime.LATENCY_BOUND
+        assert all_gather(1024 ** 3).regime() is TransferRegime.BANDWIDTH_BOUND
+        assert all_reduce(128 * 1024).is_latency_bound()
+        assert not all_reduce(512 * 1024 ** 2).is_latency_bound()
+
+    def test_all_reduce_has_two_phases_and_more_fabric_traffic(self):
+        size = 512 * 1024 ** 2
+        ag = all_gather(size)
+        ar = all_reduce(size)
+        assert ag.phases == 1 and ar.phases == 2
+        assert ar.fabric_bytes() == pytest.approx(2 * ag.fabric_bytes())
+        assert ar.timing().duration_s > ag.timing().duration_s
+
+    def test_all_gather_has_no_flops(self):
+        assert all_gather(1024 ** 2).flops() == 0.0
+        assert all_reduce(1024 ** 2).flops() > 0.0
+
+    def test_bandwidth_bound_stresses_fabric(self, spec):
+        lb = all_gather(64 * 1024).activity_descriptor(spec)
+        bb = all_gather(1024 ** 3).activity_descriptor(spec)
+        assert bb.fabric_utilization > 0.8
+        assert lb.fabric_utilization < 0.1
+        assert bb.hbm_utilization > lb.hbm_utilization
+
+    def test_collective_descriptor_mode_is_dma(self, spec):
+        assert all_gather(1024 ** 3).activity_descriptor(spec).xcd_mode is XCDOccupancyMode.DMA
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            all_gather(0)
+
+    def test_format_size(self):
+        assert format_size(64 * 1024) == "64KB"
+        assert format_size(512 * 1024 ** 2) == "512MB"
+        assert format_size(1024 ** 3) == "1GB"
+
+
+class TestLibrariesAndWorkloads:
+    def test_rocblas_like_library(self):
+        library = RocBLASLikeLibrary()
+        assert library.square_gemm(4096).shape.m == 4096
+        assert library.gemv(2048).shape.n == 1
+        assert library.gemm(128, 256, 512).shape.k == 512
+
+    def test_rccl_like_library(self):
+        library = RCCLLikeLibrary()
+        assert library.all_gather(1024).op is CollectiveOp.ALL_GATHER
+        assert library.all_reduce(1024).op is CollectiveOp.ALL_REDUCE
+
+    def test_paper_gemm_suite_names(self):
+        names = [k.name for k in gemm_suite()]
+        assert names == [
+            "CB-8K-GEMM", "CB-4K-GEMM", "CB-2K-GEMM",
+            "MB-8K-GEMV", "MB-4K-GEMV", "MB-2K-GEMV",
+        ]
+
+    def test_collective_suite_has_eight_kernels(self):
+        suite = collective_suite()
+        assert len(suite) == 8
+        assert {k.name for k in suite} == {
+            "AG-64KB", "AG-128KB", "AG-512MB", "AG-1GB",
+            "AR-64KB", "AR-128KB", "AR-512MB", "AR-1GB",
+        }
+
+    def test_cb_and_mb_split(self, spec):
+        assert all(k.is_compute_bound(spec) for k in cb_gemms())
+        assert not any(k.is_compute_bound(spec) for k in mb_gemvs())
+
+    def test_interleaving_scenarios_match_paper(self):
+        labels = [s.label for s in interleaving_scenarios()]
+        assert labels == ["CB->8K", "MB->2K", "CB->2K", "MB->8K gemv", "CB->4K gemv"]
+        for scenario in interleaving_scenarios():
+            assert scenario.preceding
+            assert scenario.describe().startswith(scenario.label)

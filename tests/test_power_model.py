@@ -1,0 +1,123 @@
+"""Unit tests for the per-component power model."""
+
+import pytest
+
+from repro.gpu.activity import KernelActivityDescriptor, PhaseSpec, XCDOccupancyMode
+from repro.gpu.power_model import ComponentPower, OperatingPoint, PowerModel
+from repro.gpu.spec import mi300x_spec
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PowerModel(mi300x_spec())
+
+
+def descriptor(mode=XCDOccupancyMode.MATRIX, compute=0.7, llc=0.1, hbm=0.05, fabric=0.0):
+    return KernelActivityDescriptor(
+        name="k",
+        base_duration_s=200e-6,
+        xcd_mode=mode,
+        compute_utilization=compute,
+        llc_utilization=llc,
+        hbm_utilization=hbm,
+        fabric_utilization=fabric,
+    )
+
+
+class TestComponentPower:
+    def test_total_is_sum(self):
+        power = ComponentPower(xcd_w=10.0, iod_w=5.0, hbm_w=2.5)
+        assert power.total_w == pytest.approx(17.5)
+
+    def test_addition_and_scaling(self):
+        a = ComponentPower(1.0, 2.0, 3.0)
+        b = ComponentPower(4.0, 5.0, 6.0)
+        assert (a + b).total_w == pytest.approx(21.0)
+        assert a.scaled(2.0).xcd_w == pytest.approx(2.0)
+
+    def test_as_dict_has_all_keys(self):
+        d = ComponentPower(1.0, 2.0, 3.0).as_dict()
+        assert set(d) == {"total", "xcd", "iod", "hbm"}
+
+
+class TestPowerModel:
+    def test_idle_power_matches_budget(self, model):
+        idle = model.idle_power()
+        budget = model.spec.power
+        assert idle.total_w == pytest.approx(budget.idle_total_w)
+
+    def test_kernel_power_exceeds_idle(self, model):
+        point = OperatingPoint(frequency_ghz=2.1)
+        power = model.kernel_power(descriptor(), point)
+        assert power.total_w > model.idle_power().total_w
+
+    def test_power_increases_with_frequency(self, model):
+        low = model.kernel_power(descriptor(), OperatingPoint(frequency_ghz=1.9))
+        high = model.kernel_power(descriptor(), OperatingPoint(frequency_ghz=2.25))
+        assert high.total_w > low.total_w
+        # Super-linear in frequency (voltage folded into the exponent).
+        ratio = high.xcd_w / low.xcd_w
+        assert ratio > (2.25 / 1.9)
+
+    def test_hbm_power_does_not_scale_with_frequency(self, model):
+        low = model.kernel_power(descriptor(), OperatingPoint(frequency_ghz=1.9))
+        high = model.kernel_power(descriptor(), OperatingPoint(frequency_ghz=2.25))
+        assert high.hbm_w == pytest.approx(low.hbm_w)
+
+    def test_warmth_raises_dynamic_power(self, model):
+        cold = model.kernel_power(descriptor(), OperatingPoint(2.1, warmth=0.0))
+        warm = model.kernel_power(descriptor(), OperatingPoint(2.1, warmth=1.0))
+        assert warm.total_w > cold.total_w
+
+    def test_cold_caches_raise_hbm_power(self, model):
+        kernel = KernelActivityDescriptor(
+            name="k", base_duration_s=1e-4, compute_utilization=0.5,
+            hbm_utilization=0.05, hbm_utilization_cold=0.5,
+        )
+        warm = model.kernel_power(kernel, OperatingPoint(2.1, cold_caches=False))
+        cold = model.kernel_power(kernel, OperatingPoint(2.1, cold_caches=True))
+        assert cold.hbm_w > warm.hbm_w
+        assert cold.xcd_w == pytest.approx(warm.xcd_w)
+
+    def test_matrix_kernels_have_large_xcd_floor(self, model):
+        light = model.kernel_power(descriptor(compute=0.1), OperatingPoint(2.1))
+        heavy = model.kernel_power(descriptor(compute=0.9), OperatingPoint(2.1))
+        # Takeaway #4: XCD power is far from proportional to compute rate.
+        assert light.xcd_w > 0.5 * heavy.xcd_w
+
+    def test_stalled_mode_draws_less_xcd_than_matrix(self, model):
+        matrix = model.kernel_power(descriptor(XCDOccupancyMode.MATRIX), OperatingPoint(2.1))
+        stalled = model.kernel_power(
+            descriptor(XCDOccupancyMode.STALLED, compute=0.05), OperatingPoint(2.1)
+        )
+        assert stalled.xcd_w < 0.6 * matrix.xcd_w
+
+    def test_fabric_traffic_raises_iod_power(self, model):
+        quiet = model.kernel_power(descriptor(fabric=0.0), OperatingPoint(2.1))
+        busy = model.kernel_power(descriptor(fabric=0.9), OperatingPoint(2.1))
+        assert busy.iod_w > quiet.iod_w
+
+    def test_phase_scales_apply(self, model):
+        base_phase = PhaseSpec(duration_fraction=1.0)
+        hot_phase = PhaseSpec(duration_fraction=1.0, xcd_scale=1.2)
+        base = model.kernel_power(descriptor(), OperatingPoint(2.1), base_phase)
+        hot = model.kernel_power(descriptor(), OperatingPoint(2.1), hot_phase)
+        assert hot.xcd_w > base.xcd_w
+
+    def test_invalid_frequency_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.frequency_power_scale(0.0)
+
+    def test_power_limited_frequency_within_dvfs_range(self, model):
+        dvfs = model.spec.dvfs
+        frequency = model.power_limited_frequency(descriptor(compute=0.95, llc=0.3, hbm=0.3))
+        assert dvfs.sustained_frequency_ghz <= frequency <= dvfs.boost_frequency_ghz
+
+    def test_light_kernel_not_power_limited(self, model):
+        assert not model.is_power_limited(descriptor(compute=0.1, llc=0.01, hbm=0.01))
+
+    def test_estimate_peak_power_uses_boost(self, model):
+        k = descriptor()
+        peak = model.estimate_peak_power(k)
+        nominal = model.kernel_power(k, OperatingPoint(model.spec.dvfs.nominal_frequency_ghz))
+        assert peak.total_w > nominal.total_w

@@ -1,0 +1,184 @@
+"""Unit tests for the core data records and the Table I guidance table."""
+
+import math
+
+import pytest
+
+from repro.core.guidance import GuidanceEntry, GuidanceTable, paper_guidance_table
+from repro.core.records import (
+    DelayCalibration,
+    ExecutionRole,
+    ExecutionTiming,
+    LogOfInterest,
+    PowerReading,
+    RunRecord,
+    TimestampAnchor,
+    mean_duration,
+)
+
+
+def make_reading(ticks=1000, total=300.0):
+    return PowerReading(
+        gpu_timestamp_ticks=ticks, window_s=1e-3, total_w=total,
+        components={"xcd": total * 0.7, "iod": total * 0.2, "hbm": total * 0.1},
+    )
+
+
+def make_run(num_executions=4, duration=100e-6, start=1.0):
+    executions = []
+    cursor = start
+    for index in range(num_executions):
+        executions.append(
+            ExecutionTiming(index=index, cpu_start_s=cursor, cpu_end_s=cursor + duration)
+        )
+        cursor += duration + 5e-6
+    return RunRecord(
+        run_index=0,
+        kernel_name="k",
+        readings=(make_reading(),),
+        executions=tuple(executions),
+        anchor=TimestampAnchor(gpu_ticks=500, cpu_time_after_s=start - 1e-3, round_trip_s=20e-6),
+        logger_period_s=1e-3,
+        counter_frequency_hz=100e6,
+        pre_delay_s=0.0,
+    )
+
+
+class TestPowerReading:
+    def test_component_lookup(self):
+        reading = make_reading(total=200.0)
+        assert reading.component("total") == pytest.approx(200.0)
+        assert reading.component("xcd") == pytest.approx(140.0)
+
+    def test_missing_component_raises(self):
+        with pytest.raises(KeyError):
+            make_reading().component("nonexistent")
+
+    def test_has_component(self):
+        reading = make_reading()
+        assert reading.has_component("total")
+        assert reading.has_component("hbm")
+        assert not reading.has_component("soc")
+
+
+class TestExecutionTiming:
+    def test_duration_and_contains(self):
+        timing = ExecutionTiming(index=0, cpu_start_s=1.0, cpu_end_s=1.001)
+        assert timing.duration_s == pytest.approx(1e-3)
+        assert timing.contains(1.0005)
+        assert not timing.contains(1.01)
+
+    def test_rejects_inverted_times(self):
+        with pytest.raises(ValueError):
+            ExecutionTiming(index=0, cpu_start_s=2.0, cpu_end_s=1.0)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            ExecutionTiming(index=-1, cpu_start_s=0.0, cpu_end_s=1.0)
+
+
+class TestDelayCalibration:
+    def test_one_way_is_half_round_trip(self):
+        calibration = DelayCalibration(mean_round_trip_s=24e-6, std_round_trip_s=1e-6, samples=8)
+        assert calibration.one_way_delay_s == pytest.approx(12e-6)
+
+    def test_rejects_no_samples(self):
+        with pytest.raises(ValueError):
+            DelayCalibration(mean_round_trip_s=1e-6, std_round_trip_s=0.0, samples=0)
+
+
+class TestRunRecord:
+    def test_execution_accessors(self):
+        run = make_run(num_executions=5)
+        assert run.num_executions == 5
+        assert run.first_execution.index == 0
+        assert run.last_execution.index == 4
+        assert run.ssp_execution.index == 4
+        assert run.execution(2).index == 2
+
+    def test_missing_execution_raises(self):
+        with pytest.raises(KeyError):
+            make_run().execution(99)
+
+    def test_roles(self):
+        run = make_run(num_executions=6)
+        assert run.role_of(0, warmup_executions=3, sse_index=3) is ExecutionRole.WARMUP
+        assert run.role_of(3, warmup_executions=3, sse_index=3) is ExecutionRole.SSE
+        assert run.role_of(4, warmup_executions=3, sse_index=3) is ExecutionRole.INTERMEDIATE
+        assert run.role_of(5, warmup_executions=3, sse_index=3) is ExecutionRole.SSP
+
+    def test_mean_duration_helper(self):
+        run = make_run(num_executions=3, duration=50e-6)
+        assert mean_duration(run.executions) == pytest.approx(50e-6, rel=1e-6)
+        assert mean_duration([]) == 0.0
+
+    def test_invalid_counter_frequency(self):
+        with pytest.raises(ValueError):
+            RunRecord(
+                run_index=0, kernel_name="k", readings=(), executions=(),
+                anchor=TimestampAnchor(1, 0.0, 1e-6), logger_period_s=1e-3,
+                counter_frequency_hz=0.0, pre_delay_s=0.0,
+            )
+
+
+class TestLogOfInterest:
+    def test_power_accessor(self):
+        loi = LogOfInterest(
+            run_index=1, execution_index=2, reading=make_reading(total=400.0),
+            window_end_cpu_s=1.0, toi_s=20e-6, toi_fraction=0.2,
+        )
+        assert loi.power() == pytest.approx(400.0)
+        assert loi.power("iod") == pytest.approx(80.0)
+
+    def test_rejects_negative_toi(self):
+        with pytest.raises(ValueError):
+            LogOfInterest(
+                run_index=0, execution_index=0, reading=make_reading(),
+                window_end_cpu_s=0.0, toi_s=-1.0, toi_fraction=0.0,
+            )
+
+
+class TestGuidanceTable:
+    def test_paper_table_has_four_rows(self):
+        table = paper_guidance_table()
+        assert len(table.entries) == 4
+
+    def test_lookup_matches_paper_rows(self):
+        table = paper_guidance_table()
+        assert table.lookup(30e-6).runs == 400
+        assert table.lookup(30e-6).binning_margin == pytest.approx(0.05)
+        assert table.lookup(100e-6).runs == 200
+        assert table.lookup(100e-6).binning_margin == pytest.approx(0.05)
+        assert table.lookup(500e-6).binning_margin == pytest.approx(0.02)
+        assert table.lookup(5e-3).binning_margin == pytest.approx(0.02)
+
+    def test_loi_resolution_matches_paper(self):
+        table = paper_guidance_table()
+        assert table.lookup(30e-6).loi_resolution_s == pytest.approx(5e-6)
+        assert table.lookup(100e-6).loi_resolution_s == pytest.approx(10e-6)
+
+    def test_recommended_lois_floor(self):
+        entry = paper_guidance_table().lookup(30e-6)
+        assert entry.recommended_lois(5e-6) >= 4
+        assert entry.recommended_lois(50e-6) == 10
+
+    def test_sub_range_falls_back_to_first_row(self):
+        table = paper_guidance_table()
+        assert table.lookup(10e-6).runs == 400
+
+    def test_invalid_execution_time(self):
+        with pytest.raises(ValueError):
+            paper_guidance_table().lookup(0.0)
+
+    def test_overlapping_entries_rejected(self):
+        overlapping = [
+            GuidanceEntry(0.0, 1e-3, 100, 1e5, 0.05),
+            GuidanceEntry(0.5e-3, math.inf, 100, 1e5, 0.05),
+        ]
+        with pytest.raises(ValueError):
+            GuidanceTable(overlapping)
+
+    def test_rows_rendering(self):
+        rows = paper_guidance_table().rows()
+        assert len(rows) == 4
+        assert rows[0]["runs"] == 400

@@ -1,0 +1,108 @@
+"""Unit tests for the GPU / platform hardware specification."""
+
+import pytest
+
+from repro.gpu.spec import (
+    DVFSSpec,
+    GPUSpec,
+    PlatformSpec,
+    PowerBudget,
+    mi300x_platform_spec,
+    mi300x_spec,
+)
+
+
+class TestGPUSpec:
+    def test_default_spec_validates(self):
+        spec = mi300x_spec()
+        spec.validate()
+
+    def test_chiplet_counts_match_mi300x(self):
+        spec = mi300x_spec()
+        assert spec.num_xcds == 8
+        assert spec.num_iods == 4
+        assert spec.num_hbm_stacks == 8
+        assert spec.total_compute_units == 304
+
+    def test_llc_capacity_is_256mb(self):
+        spec = mi300x_spec()
+        assert spec.llc_capacity_bytes == 256 * 1024 * 1024
+
+    def test_hbm_capacity_is_192gb(self):
+        spec = mi300x_spec()
+        assert spec.hbm_capacity_bytes == 192 * 1024 ** 3
+
+    def test_peak_hbm_bandwidth(self):
+        spec = mi300x_spec()
+        assert spec.peak_hbm_bandwidth == pytest.approx(5.3e12)
+
+    def test_machine_op_to_byte_is_high(self):
+        spec = mi300x_spec()
+        assert spec.machine_op_to_byte > 100
+
+    def test_aggregate_peaks_scale_with_chiplets(self):
+        spec = mi300x_spec()
+        assert spec.peak_matrix_flops == pytest.approx(spec.num_xcds * spec.xcd.peak_matrix_flops)
+        assert spec.peak_llc_bandwidth == pytest.approx(spec.num_iods * spec.iod.peak_llc_bandwidth)
+
+    def test_invalid_xcd_iod_division_rejected(self):
+        spec = GPUSpec(num_xcds=6, num_iods=4)
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_zero_components_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec(num_xcds=0).validate()
+
+    def test_board_limit_must_exceed_idle(self):
+        bad = GPUSpec(power=PowerBudget(board_limit_w=50.0))
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_sustained_cannot_exceed_boost(self):
+        bad = GPUSpec(dvfs=DVFSSpec(sustained_frequency_ghz=3.0))
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestPowerBudget:
+    def test_idle_total_is_sum_of_components(self):
+        budget = PowerBudget()
+        assert budget.idle_total_w == pytest.approx(
+            budget.xcd_idle_w + budget.iod_idle_w + budget.hbm_idle_w
+        )
+
+    def test_peak_exceeds_board_limit(self):
+        # The GPU must be *able* to exceed its power limit, otherwise the
+        # power-cap firmware would never engage (paper Section V-C1).
+        budget = PowerBudget()
+        assert budget.peak_total_w > budget.board_limit_w
+
+    def test_activity_floor_is_large(self):
+        # The non-proportional XCD floor is what makes compute-light and
+        # compute-heavy GEMMs draw similar XCD power (takeaway #4).
+        budget = PowerBudget()
+        assert budget.xcd_activity_floor >= 0.4
+        assert budget.xcd_stalled_floor < budget.xcd_activity_floor
+
+
+class TestPlatformSpec:
+    def test_default_platform_validates(self):
+        mi300x_platform_spec().validate()
+
+    def test_eight_gpus_fully_connected(self):
+        platform = mi300x_platform_spec()
+        assert platform.num_gpus == 8
+        assert platform.links_per_gpu == 7
+
+    def test_aggregate_fabric_bandwidth(self):
+        platform = mi300x_platform_spec()
+        assert platform.aggregate_fabric_bandwidth == pytest.approx(7 * 64e9)
+
+    def test_single_gpu_platform_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(num_gpus=1).validate()
+
+    def test_custom_gpu_count(self):
+        platform = mi300x_platform_spec(num_gpus=4)
+        assert platform.links_per_gpu == 3

@@ -1,0 +1,128 @@
+"""Unit tests for the power telemetry (averaging logger, coarse and instant samplers)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.clocks import GPUTimestampCounter, SimulationClock
+from repro.gpu.device import PowerSegment
+from repro.gpu.power_model import ComponentPower
+from repro.gpu.spec import ClockSpec
+from repro.gpu.telemetry import (
+    AveragingPowerLogger,
+    CoarsePowerSampler,
+    InstantaneousPowerSampler,
+)
+
+IDLE = ComponentPower(xcd_w=55.0, iod_w=35.0, hbm_w=25.0)
+BUSY = ComponentPower(xcd_w=455.0, iod_w=45.0, hbm_w=30.0)
+
+
+@pytest.fixture()
+def counter():
+    return GPUTimestampCounter(ClockSpec(), SimulationClock(), np.random.default_rng(0))
+
+
+@pytest.fixture()
+def logger(counter):
+    return AveragingPowerLogger(counter, period_s=1e-3, idle_power=IDLE)
+
+
+def segment(start, end, power):
+    return PowerSegment(start_s=start, end_s=end, power=power)
+
+
+class TestAveragingPowerLogger:
+    def test_rejects_nonpositive_period(self, counter):
+        with pytest.raises(ValueError):
+            AveragingPowerLogger(counter, period_s=0.0, idle_power=IDLE)
+
+    def test_sample_times_on_absolute_grid(self, logger):
+        times = logger.sample_times_between(0.0005, 0.0042)
+        assert times == pytest.approx([0.001, 0.002, 0.003, 0.004])
+
+    def test_sample_count_matches_duration(self, logger):
+        samples = logger.samples([segment(0.0, 0.01, IDLE)], 0.0, 0.01)
+        assert len(samples) == 10 or len(samples) == 11
+
+    def test_constant_power_reported_exactly(self, logger):
+        samples = logger.samples([segment(0.0, 0.01, BUSY)], 0.001, 0.009)
+        for sample in samples:
+            assert sample.power.total_w == pytest.approx(BUSY.total_w)
+
+    def test_window_average_mixes_idle_and_busy(self, logger):
+        # Busy for exactly half of the window [0.001, 0.002].
+        segments = [segment(0.0, 0.0015, IDLE), segment(0.0015, 0.01, BUSY)]
+        samples = logger.samples(segments, 0.0015, 0.0025)
+        first = samples[0]  # window [0.001, 0.002]
+        expected = 0.5 * IDLE.total_w + 0.5 * BUSY.total_w
+        assert first.power.total_w == pytest.approx(expected, rel=1e-6)
+
+    def test_gaps_filled_with_idle_power(self, logger):
+        # Segments only cover the second half of the first window.
+        samples = logger.samples([segment(0.0005, 0.001, BUSY)], 0.0, 0.0011)
+        sample = samples[-1]
+        expected = 0.5 * IDLE.total_w + 0.5 * BUSY.total_w
+        assert sample.power.total_w == pytest.approx(expected, rel=1e-6)
+
+    def test_gpu_timestamps_attached(self, logger, counter):
+        samples = logger.samples([segment(0.0, 0.005, BUSY)], 0.0, 0.005)
+        for sample in samples:
+            assert sample.gpu_timestamp_ticks == counter.ticks_at(sample.window_end_s)
+
+    def test_energy_conservation_over_aligned_span(self, logger):
+        # Average of samples over an exactly covered span equals the true mean.
+        segments = [segment(0.0, 0.002, IDLE), segment(0.002, 0.004, BUSY)]
+        samples = logger.samples(segments, 0.0, 0.004)
+        # Windows: (0,1], (1,2], (2,3], (3,4] ms -> first two idle, last two busy.
+        assert len(samples) == 4
+        reported = np.mean([s.power.total_w for s in samples])
+        assert reported == pytest.approx((IDLE.total_w + BUSY.total_w) / 2, rel=1e-6)
+
+    def test_invalid_range_rejected(self, logger):
+        with pytest.raises(ValueError):
+            logger.sample_times_between(1.0, 0.5)
+
+    def test_phase_offset_shifts_grid(self, counter):
+        offset_logger = AveragingPowerLogger(
+            counter, period_s=1e-3, idle_power=IDLE, phase_offset_s=0.4e-3
+        )
+        times = offset_logger.sample_times_between(0.0, 0.0025)
+        assert times == pytest.approx([0.0004, 0.0014, 0.0024])
+
+
+class TestCoarsePowerSampler:
+    def test_default_period_is_tens_of_ms(self, counter):
+        sampler = CoarsePowerSampler(counter, IDLE)
+        assert sampler.period_s >= 10e-3
+
+    def test_misses_short_activity(self, counter):
+        sampler = CoarsePowerSampler(counter, IDLE, period_s=20e-3)
+        # A 100 us burst somewhere inside a 40 ms span: at most a tiny bump.
+        segments = [
+            segment(0.0, 0.0101, IDLE),
+            segment(0.0101, 0.0102, BUSY),
+            segment(0.0102, 0.04, IDLE),
+        ]
+        samples = sampler.samples(segments, 0.0, 0.04)
+        assert len(samples) == 2
+        for sample in samples:
+            assert sample.power.total_w < IDLE.total_w + 0.02 * (BUSY.total_w - IDLE.total_w)
+
+
+class TestInstantaneousSampler:
+    def test_reports_point_values(self, counter):
+        sampler = InstantaneousPowerSampler(counter, period_s=100e-6, idle_power=IDLE)
+        segments = [segment(0.0, 0.001, IDLE), segment(0.001, 0.002, BUSY)]
+        samples = sampler.samples(segments, 0.0, 0.002)
+        values = {round(s.window_end_s, 6): s.power.total_w for s in samples}
+        assert values[0.0005] == pytest.approx(IDLE.total_w)
+        assert values[0.0015] == pytest.approx(BUSY.total_w)
+
+    def test_window_length_zero(self, counter):
+        sampler = InstantaneousPowerSampler(counter, period_s=100e-6, idle_power=IDLE)
+        samples = sampler.samples([segment(0.0, 0.001, BUSY)], 0.0, 0.001)
+        assert all(s.window_s == 0.0 for s in samples)
+
+    def test_rejects_nonpositive_period(self, counter):
+        with pytest.raises(ValueError):
+            InstantaneousPowerSampler(counter, period_s=0.0, idle_power=IDLE)

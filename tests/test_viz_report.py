@@ -1,0 +1,124 @@
+"""Unit tests for reporting, ASCII rendering and CSV/JSON export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.profile import FineGrainProfile, ProfileKind, ProfilePoint
+from repro.core.report import (
+    comparative_report,
+    format_duration,
+    format_table,
+    profile_summary_row,
+)
+from repro.viz.ascii import render_bar_chart, render_profile, render_series
+from repro.viz.export import profile_to_csv, profile_to_json, rows_to_csv, rows_to_json
+
+
+@pytest.fixture()
+def profile():
+    points = tuple(
+        ProfilePoint(time_s=i * 1e-5, powers_w={"total": 100.0 + i, "xcd": 70.0 + i})
+        for i in range(20)
+    )
+    return FineGrainProfile("CB-4K-GEMM", ProfileKind.SSP, points, 180e-6)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_format_table_rejects_mismatched_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_duration_units(self):
+        assert format_duration(30e-6) == "30.0us"
+        assert format_duration(1.5e-3) == "1.50ms"
+        assert format_duration(2.0) == "2.000s"
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+    def test_profile_summary_row(self, profile):
+        row = profile_summary_row(profile)
+        assert row["kernel"] == "CB-4K-GEMM"
+        assert row["kind"] == "ssp"
+        assert row["total_w"] > 0
+
+    def test_comparative_report(self, profile):
+        rows = [profile_summary_row(profile), profile_summary_row(profile)]
+        text = comparative_report(rows)
+        assert "CB-4K-GEMM" in text
+        with pytest.raises(ValueError):
+            comparative_report([])
+
+
+class TestAsciiRendering:
+    def test_render_series_dimensions(self):
+        chart = render_series([0, 1, 2], [10, 20, 15], width=40, height=8)
+        assert len(chart.splitlines()) == 8 + 3
+
+    def test_render_series_validation(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], [1], width=40, height=8)
+        with pytest.raises(ValueError):
+            render_series([1], [1], width=4, height=2)
+        assert render_series([], []) == "(empty series)"
+
+    def test_render_profile(self, profile):
+        text = render_profile(profile, time_unit="us")
+        assert "CB-4K-GEMM" in text
+        assert "20 points" in text
+
+    def test_render_profile_empty(self):
+        empty = FineGrainProfile("k", ProfileKind.SSP, (), 1e-4)
+        assert "empty" in render_profile(empty)
+
+    def test_render_profile_bad_unit(self, profile):
+        with pytest.raises(ValueError):
+            render_profile(profile, time_unit="h")
+
+    def test_render_bar_chart(self):
+        chart = render_bar_chart({"CB-8K-GEMM": 580.0, "MB-8K-GEMV": 300.0})
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_render_bar_chart_validation(self):
+        assert render_bar_chart({}) == "(no values)"
+        with pytest.raises(ValueError):
+            render_bar_chart({"a": 0.0})
+
+
+class TestExport:
+    def test_rows_to_csv_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5, "c": "x"}]
+        path = rows_to_csv(rows, tmp_path / "out.csv")
+        with path.open() as handle:
+            loaded = list(csv.DictReader(handle))
+        assert loaded[0]["a"] == "1"
+        assert loaded[1]["c"] == "x"
+
+    def test_rows_to_json_roundtrip(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2}]
+        path = rows_to_json(rows, tmp_path / "out.json")
+        assert json.loads(path.read_text()) == [{"a": 1}, {"a": 2}]
+
+    def test_profile_to_csv_and_json(self, profile, tmp_path):
+        csv_path = profile_to_csv(profile, tmp_path / "profile.csv")
+        json_path = profile_to_json(profile, tmp_path / "profile.json")
+        assert csv_path.exists()
+        payload = json.loads(json_path.read_text())
+        assert payload["kernel"] == "CB-4K-GEMM"
+        assert len(payload["points"]) == 20
+
+    def test_empty_export_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            rows_to_csv([], tmp_path / "x.csv")
+        empty = FineGrainProfile("k", ProfileKind.SSP, (), 1e-4)
+        with pytest.raises(ValueError):
+            profile_to_csv(empty, tmp_path / "x.csv")
