@@ -40,10 +40,12 @@ from .profiler import FinGraVProfiler, FinGraVResult, ProfilerConfig
 from .records import (
     COMPONENT_KEYS,
     DelayCalibration,
+    ExecutionColumns,
     ExecutionRole,
     ExecutionTiming,
     LogOfInterest,
     PowerReading,
+    ReadingColumns,
     RunRecord,
     TimestampAnchor,
 )
@@ -60,8 +62,11 @@ from .timesync import (
     ClockSynchronizer,
     NaiveIndexSynchronizer,
     extract_lois,
+    extract_lois_reference,
     extract_lois_unsynchronized,
+    extract_lois_unsynchronized_reference,
     match_execution,
+    match_execution_positions,
     synchronizer_for_run,
 )
 
@@ -100,10 +105,12 @@ __all__ = [
     "ProfilerConfig",
     "COMPONENT_KEYS",
     "DelayCalibration",
+    "ExecutionColumns",
     "ExecutionRole",
     "ExecutionTiming",
     "LogOfInterest",
     "PowerReading",
+    "ReadingColumns",
     "RunRecord",
     "TimestampAnchor",
     "comparative_report",
@@ -117,7 +124,10 @@ __all__ = [
     "ClockSynchronizer",
     "NaiveIndexSynchronizer",
     "extract_lois",
+    "extract_lois_reference",
     "extract_lois_unsynchronized",
+    "extract_lois_unsynchronized_reference",
     "match_execution",
+    "match_execution_positions",
     "synchronizer_for_run",
 ]

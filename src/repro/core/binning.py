@@ -104,7 +104,8 @@ class ExecutionTimeBinner:
 
         selected_sorted_positions = range(best_start, best_end)
         selected = tuple(sorted(int(order[pos]) for pos in selected_sorted_positions))
-        outliers = tuple(i for i in range(n) if i not in set(selected))
+        selected_set = set(selected)
+        outliers = tuple(i for i in range(n) if i not in selected_set)
         return BinningResult(
             margin=self._margin,
             selected_indices=selected,
@@ -128,7 +129,8 @@ class ExecutionTimeBinner:
         low = target_s / (1.0 + self._margin)
         high = target_s * (1.0 + self._margin)
         selected = tuple(i for i, v in enumerate(values_s) if low <= v <= high)
-        outliers = tuple(i for i in range(len(values_s)) if i not in set(selected))
+        selected_set = set(selected)
+        outliers = tuple(i for i in range(len(values_s)) if i not in selected_set)
         chosen = [values_s[i] for i in selected]
         return BinningResult(
             margin=self._margin,

@@ -103,10 +103,26 @@ class FineGrainProfile:
         return tuple(present + sorted(extra))
 
     def times(self) -> np.ndarray:
-        return np.asarray([point.time_s for point in self.points], dtype=float)
+        """Point times as a float array; built once and cached (read-only)."""
+        cached = self.__dict__.get("_times_cache")
+        if cached is None:
+            cached = np.asarray([point.time_s for point in self.points], dtype=float)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_times_cache", cached)
+        return cached
 
     def series(self, component: str = "total") -> np.ndarray:
-        return np.asarray([point.power(component) for point in self.points], dtype=float)
+        """Per-component power array; built once per component and cached."""
+        cache: dict[str, np.ndarray] | None = self.__dict__.get("_series_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_series_cache", cache)
+        cached = cache.get(component)
+        if cached is None:
+            cached = np.asarray([point.power(component) for point in self.points], dtype=float)
+            cached.setflags(write=False)
+            cache[component] = cached
+        return cached
 
     def run_indices(self) -> list[int]:
         return [point.run_index for point in self.points]

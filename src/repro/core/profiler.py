@@ -34,7 +34,7 @@ from .differentiation import DifferentiationPlan, build_plan
 from .guidance import GuidanceEntry, GuidanceTable, paper_guidance_table
 from .profile import FineGrainProfile, measurement_error
 from .records import COMPONENT_KEYS, DelayCalibration, RunRecord
-from .stitching import ProfileStitcher, StitchedRunSeries
+from .stitching import ProfileStitcher
 
 
 @dataclass(frozen=True)
@@ -80,6 +80,11 @@ class ProfilerConfig:
     ssp_tail_fraction: float = 0.25
     min_ssp_tail_executions: int = 2
     max_ssp_tail_executions: int = 12
+    #: Use the vectorized, incremental stitching engine.  ``False`` selects the
+    #: legacy pipeline (pure-Python LOI extraction, full re-collect of every
+    #: record each top-up batch), retained as the reference implementation for
+    #: equivalence tests and the scaling benchmark.
+    vectorized: bool = True
 
     def with_overrides(self, **kwargs: object) -> "ProfilerConfig":
         return replace(self, **kwargs)
@@ -208,8 +213,13 @@ class FinGraVProfiler:
         # Step 1: execution time and guidance.
         execution_time = self.time_kernel(kernel)
         guidance = self._guidance.lookup(execution_time)
-        planned_runs = runs if runs is not None else (config.runs or guidance.runs)
-        margin = config.binning_margin or guidance.binning_margin
+        planned_runs = runs if runs is not None else (
+            config.runs if config.runs is not None else guidance.runs
+        )
+        margin = (
+            config.binning_margin if config.binning_margin is not None
+            else guidance.binning_margin
+        )
 
         # Step 2: instrumentation calibration.
         calibration = self._backend.calibrate_read_delay(config.calibration_samples)
@@ -235,12 +245,15 @@ class FinGraVProfiler:
         # Step 5: execute the runs with random delays.
         records = self._collect_runs(kernel, planned_runs, executions_per_run, preceding, 0)
 
-        # Step 6: golden-run selection by execution-time binning.
+        # Step 6: golden-run selection by execution-time binning.  The binner
+        # is built once; the top-up loop re-bins (with incrementally grown
+        # durations) only when new records actually arrived.
         binning: BinningResult | None = None
         golden_indices: Sequence[int] | None = None
-        if config.apply_binning:
-            binner = ExecutionTimeBinner(margin)
-            binning = binner.bin([record.ssp_execution.duration_s for record in records])
+        binner = ExecutionTimeBinner(margin) if config.apply_binning else None
+        ssp_durations = [record.ssp_execution.duration_s for record in records]
+        if binner is not None:
+            binning = binner.bin(ssp_durations)
             golden_indices = [records[i].run_index for i in binning.selected_indices]
 
         # Step 7: sync and LOI extraction (via the stitcher).
@@ -248,6 +261,7 @@ class FinGraVProfiler:
             components=config.components,
             calibration=calibration if config.synchronize else None,
             synchronize=config.synchronize,
+            vectorized=config.vectorized,
         )
         series = stitcher.collect(records)
 
@@ -261,18 +275,36 @@ class FinGraVProfiler:
         extra_budget = config.max_additional_runs
         ssp_start = self._ssp_start_index(plan) if config.differentiate else None
 
+        def ssp_have() -> int:
+            if config.vectorized:
+                if ssp_start is None:
+                    return series.count_last_execution_lois(golden_indices)
+                return series.count_lois(
+                    min_execution_index=ssp_start, golden_runs=golden_indices
+                )
+            # Legacy (pre-vectorization) behaviour: materialise the LOI lists.
+            if ssp_start is None:
+                lois = series.lois_for_last_execution()
+            else:
+                lois = [
+                    loi for loi in series.all_lois() if loi.execution_index >= ssp_start
+                ]
+            return self._count_golden(lois, golden_indices)
+
         def shortfall() -> int:
-            ssp_have = len(self._golden_ssp_lois(series, golden_indices, ssp_start))
-            sse_have = len(
-                self._golden_lois_for_execution(series, golden_indices, plan.sse_index)
-            )
-            return max(target_lois - ssp_have, sse_target - sse_have)
+            if config.vectorized:
+                sse_have = series.count_lois(
+                    execution_index=plan.sse_index, golden_runs=golden_indices
+                )
+            else:
+                sse_have = self._count_golden(
+                    series.lois_for_execution(plan.sse_index), golden_indices
+                )
+            return max(target_lois - ssp_have(), sse_target - sse_have)
 
         while shortfall() > 0 and extra_budget > 0:
             missing = shortfall()
-            have_total = max(
-                len(self._golden_ssp_lois(series, golden_indices, ssp_start)), 1
-            )
+            have_total = max(ssp_have(), 1)
             observed_yield = max(have_total / max(len(records), 1), 0.01)
             needed = int(np.ceil(missing / observed_yield))
             batch = min(max(needed, 16), extra_budget)
@@ -281,11 +313,25 @@ class FinGraVProfiler:
             )
             records = records + extra_records
             extra_budget -= batch
-            if config.apply_binning:
-                binner = ExecutionTimeBinner(margin)
-                binning = binner.bin([record.ssp_execution.duration_s for record in records])
+            if binner is not None and extra_records:
+                if config.vectorized:
+                    ssp_durations.extend(
+                        record.ssp_execution.duration_s for record in extra_records
+                    )
+                else:
+                    # Legacy behaviour: rebuild the binner and the duration
+                    # list from scratch every batch.
+                    binner = ExecutionTimeBinner(margin)
+                    ssp_durations = [
+                        record.ssp_execution.duration_s for record in records
+                    ]
+                binning = binner.bin(ssp_durations)
                 golden_indices = [records[i].run_index for i in binning.selected_indices]
-            series = stitcher.collect(records)
+            if config.vectorized:
+                series = stitcher.extend(series, extra_records)
+            else:
+                # Legacy behaviour: re-extract the entire record list.
+                series = stitcher.collect(records)
 
         # Step 9: stitch the profiles.
         base_metadata = dict(metadata or {})
@@ -329,50 +375,31 @@ class FinGraVProfiler:
             raise ValueError("run count must be positive")
         period = self._backend.power_sample_period_s
         max_delay = self._config.max_random_delay_periods * period
+        # One batched draw is stream-identical to per-run scalar draws.
+        pre_delays = self._rng.uniform(0.0, max_delay, size=count)
         records: list[RunRecord] = []
         for offset in range(count):
-            pre_delay = float(self._rng.uniform(0.0, max_delay))
             records.append(
                 self._backend.run(
                     kernel,
                     executions=executions_per_run,
-                    pre_delay_s=pre_delay,
+                    pre_delay_s=float(pre_delays[offset]),
                     run_index=start_index + offset,
                     preceding=preceding,
                 )
             )
         return tuple(records)
 
-    def _golden_lois_for_execution(
-        self,
-        series: StitchedRunSeries,
-        golden_indices: Sequence[int] | None,
-        execution_index: int,
-    ) -> list[object]:
-        lois = series.lois_for_execution(execution_index)
-        if golden_indices is None:
-            return lois
-        wanted = set(golden_indices)
-        return [loi for loi in lois if loi.run_index in wanted]
-
     def _ssp_start_index(self, plan: DifferentiationPlan) -> int:
         """First execution index whose LOIs belong to the SSP profile."""
         return plan.ssp_index if self._config.differentiate else plan.sse_index
 
-    def _golden_ssp_lois(
-        self,
-        series: StitchedRunSeries,
-        golden_indices: Sequence[int] | None,
-        ssp_start_index: int | None = None,
-    ) -> list[object]:
-        if ssp_start_index is None:
-            lois = series.lois_for_last_execution()
-        else:
-            lois = [loi for loi in series.all_lois() if loi.execution_index >= ssp_start_index]
+    @staticmethod
+    def _count_golden(lois: Sequence[object], golden_indices: Sequence[int] | None) -> int:
         if golden_indices is None:
-            return lois
+            return len(lois)
         wanted = set(golden_indices)
-        return [loi for loi in lois if loi.run_index in wanted]
+        return sum(1 for loi in lois if loi.run_index in wanted)
 
     def _describe_preceding(self, work: PrecedingWork) -> str:
         kernel, executions = work

@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+import numpy as np
+
 #: Canonical component names used throughout the reproduction.  ``total`` is
 #: always present; the breakdown keys mirror the MI300X chiplet organisation.
 COMPONENT_KEYS: tuple[str, ...] = ("total", "xcd", "iod", "hbm")
@@ -117,6 +119,113 @@ class DelayCalibration:
         return self.mean_round_trip_s / 2.0
 
 
+class ReadingColumns:
+    """Structure-of-arrays view over a run's power readings.
+
+    The vectorized LOI extractor and profile builders consume these columns
+    instead of iterating :class:`PowerReading` objects.  Only the timestamp
+    ticks are materialised eagerly (they are what the extraction hot path
+    needs); the power/window columns are built on first access.  ``powers_w``
+    always carries ``total`` plus every component key shared by *all*
+    readings; ``uniform_components`` is False when readings disagree on their
+    component sets, in which case consumers that need per-reading component
+    presence must fall back to the scalar path.
+    """
+
+    def __init__(self, readings: Sequence[PowerReading]) -> None:
+        self._readings = tuple(readings)
+        self.gpu_timestamp_ticks = np.fromiter(
+            (r.gpu_timestamp_ticks for r in self._readings),
+            dtype=np.int64,
+            count=len(self._readings),
+        )
+        self._window_s: np.ndarray | None = None
+        self._powers_w: dict[str, np.ndarray] | None = None
+        self._uniform: bool | None = None
+
+    @property
+    def num_readings(self) -> int:
+        return len(self._readings)
+
+    @property
+    def window_s(self) -> np.ndarray:
+        if self._window_s is None:
+            self._window_s = np.fromiter(
+                (r.window_s for r in self._readings),
+                dtype=float,
+                count=len(self._readings),
+            )
+        return self._window_s
+
+    @property
+    def uniform_components(self) -> bool:
+        if self._uniform is None:
+            self._build_powers()
+        return bool(self._uniform)
+
+    @property
+    def powers_w(self) -> Mapping[str, np.ndarray]:
+        if self._powers_w is None:
+            self._build_powers()
+        return self._powers_w
+
+    def _build_powers(self) -> None:
+        readings = self._readings
+        if not readings:
+            self._powers_w = {"total": np.empty(0, dtype=float)}
+            self._uniform = True
+            return
+        first_keys = frozenset(readings[0].components)
+        common_keys = set(first_keys)
+        uniform = True
+        for reading in readings:
+            keys = reading.components.keys()
+            if keys != first_keys:
+                uniform = False
+                common_keys.intersection_update(keys)
+        powers: dict[str, np.ndarray] = {
+            "total": np.asarray([r.total_w for r in readings], dtype=float)
+        }
+        for key in sorted(common_keys):
+            powers[key] = np.asarray([r.components[key] for r in readings], dtype=float)
+        self._powers_w = powers
+        self._uniform = uniform
+
+    @staticmethod
+    def from_readings(readings: Sequence[PowerReading]) -> "ReadingColumns":
+        return ReadingColumns(readings)
+
+
+@dataclass(frozen=True)
+class ExecutionColumns:
+    """Structure-of-arrays view over a run's executions, sorted by start time.
+
+    ``positions[i]`` maps the i-th sorted entry back to its position in the
+    run's ``executions`` tuple, so consumers can recover the original
+    :class:`ExecutionTiming` object after a vectorized match.
+    """
+
+    indices: np.ndarray
+    starts_s: np.ndarray
+    ends_s: np.ndarray
+    positions: np.ndarray
+
+    @property
+    def num_executions(self) -> int:
+        return int(self.indices.shape[0])
+
+    @staticmethod
+    def from_executions(executions: Sequence[ExecutionTiming]) -> "ExecutionColumns":
+        starts = np.asarray([e.cpu_start_s for e in executions], dtype=float)
+        order = np.argsort(starts, kind="stable")
+        return ExecutionColumns(
+            indices=np.asarray([executions[i].index for i in order], dtype=np.int64),
+            starts_s=starts[order],
+            ends_s=np.asarray([executions[i].cpu_end_s for i in order], dtype=float),
+            positions=order.astype(np.int64),
+        )
+
+
 @dataclass(frozen=True)
 class RunRecord:
     """Everything collected during one profiling run.
@@ -175,6 +284,22 @@ class RunRecord:
     def execution_durations(self) -> list[float]:
         return [execution.duration_s for execution in self.executions]
 
+    def reading_columns(self) -> ReadingColumns:
+        """Columnar (NumPy) view over the readings, built once and cached."""
+        cached = self.__dict__.get("_reading_columns")
+        if cached is None:
+            cached = ReadingColumns.from_readings(self.readings)
+            object.__setattr__(self, "_reading_columns", cached)
+        return cached
+
+    def execution_columns(self) -> ExecutionColumns:
+        """Columnar view over the executions (sorted by start), built once."""
+        cached = self.__dict__.get("_execution_columns")
+        if cached is None:
+            cached = ExecutionColumns.from_executions(self.executions)
+            object.__setattr__(self, "_execution_columns", cached)
+        return cached
+
     def role_of(self, index: int, warmup_executions: int, sse_index: int) -> ExecutionRole:
         """Classify an execution index into warmup / SSE / intermediate / SSP."""
         last_index = self.executions[-1].index if self.executions else 0
@@ -223,6 +348,8 @@ def mean_duration(executions: Sequence[ExecutionTiming]) -> float:
 __all__ = [
     "COMPONENT_KEYS",
     "PowerReading",
+    "ReadingColumns",
+    "ExecutionColumns",
     "ExecutionRole",
     "ExecutionTiming",
     "TimestampAnchor",

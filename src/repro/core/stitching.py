@@ -11,38 +11,159 @@ on the x-axis) and for the whole-run profiles used by the methodology figures
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from .profile import FineGrainProfile, ProfileKind, ProfilePoint, profile_from_lois
-from .records import COMPONENT_KEYS, DelayCalibration, LogOfInterest, RunRecord, mean_duration
-from .timesync import ClockSynchronizer, extract_lois, extract_lois_unsynchronized, synchronizer_for_run
+from .records import COMPONENT_KEYS, DelayCalibration, LogOfInterest, RunRecord
+from .timesync import (
+    extract_lois,
+    extract_lois_batch,
+    extract_lois_reference,
+    extract_lois_unsynchronized,
+    extract_lois_unsynchronized_reference,
+    match_execution_positions,
+    synchronizer_for_run,
+)
 
 
-@dataclass(frozen=True)
 class StitchedRunSeries:
-    """All per-run LOI collections needed to assemble the standard profiles."""
+    """All per-run LOI collections needed to assemble the standard profiles.
 
-    kernel_name: str
-    lois_by_run: Mapping[int, tuple[LogOfInterest, ...]]
-    runs: Mapping[int, RunRecord]
+    The series grows incrementally: :meth:`ProfileStitcher.extend` adds the
+    LOIs of newly collected runs without touching previously extracted ones.
+    Flat and per-execution views are maintained as runs are added, and a
+    columnar (run-index / execution-index array) view backs the O(1)-ish LOI
+    counting the profiler's top-up loop performs after every batch.
+    """
 
+    def __init__(
+        self,
+        kernel_name: str,
+        lois_by_run: Mapping[int, tuple[LogOfInterest, ...]] | None = None,
+        runs: Mapping[int, RunRecord] | None = None,
+    ) -> None:
+        self.kernel_name = kernel_name
+        self._lois_by_run: dict[int, tuple[LogOfInterest, ...]] = {}
+        self._runs: dict[int, RunRecord] = {}
+        self._flat: list[LogOfInterest] = []
+        self._by_execution: dict[int, list[LogOfInterest]] = {}
+        self._last_execution: list[LogOfInterest] = []
+        self._reading_match: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # Plain-int mirrors of the LOIs' run/execution indices, appended as
+        # runs are added so the count arrays rebuild via a C-speed conversion
+        # instead of re-reading attributes of every LOI object.
+        self._run_index_list: list[int] = []
+        self._exec_index_list: list[int] = []
+        self._run_index_arr: np.ndarray | None = None
+        self._exec_index_arr: np.ndarray | None = None
+        for run_index, run in dict(runs or {}).items():
+            self.add_run(run, (lois_by_run or {}).get(run_index, ()))
+
+    # ------------------------------------------------------------------ #
+    # Mapping-style views (kept for API compatibility).
+    # ------------------------------------------------------------------ #
+    @property
+    def lois_by_run(self) -> Mapping[int, tuple[LogOfInterest, ...]]:
+        return self._lois_by_run
+
+    @property
+    def runs(self) -> Mapping[int, RunRecord]:
+        return self._runs
+
+    @property
+    def num_lois(self) -> int:
+        return len(self._flat)
+
+    # ------------------------------------------------------------------ #
+    # Incremental growth.
+    # ------------------------------------------------------------------ #
+    def add_run(
+        self,
+        run: RunRecord,
+        lois: Iterable[LogOfInterest],
+        reading_match: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        """Record one run's LOIs, updating every cached view incrementally.
+
+        ``reading_match`` optionally carries the (window-end times, matched
+        execution positions) arrays produced by the batched extractor, which
+        profile builders reuse instead of re-matching every reading.
+        """
+        if run.run_index in self._runs:
+            raise ValueError(f"run {run.run_index} already stitched into this series")
+        lois = tuple(lois)
+        self._runs[run.run_index] = run
+        self._lois_by_run[run.run_index] = lois
+        if reading_match is not None:
+            self._reading_match[run.run_index] = reading_match
+        self._flat.extend(lois)
+        last_index = run.last_execution.index if run.executions else None
+        for loi in lois:
+            self._run_index_list.append(loi.run_index)
+            self._exec_index_list.append(loi.execution_index)
+            self._by_execution.setdefault(loi.execution_index, []).append(loi)
+            if last_index is not None and loi.execution_index == last_index:
+                self._last_execution.append(loi)
+        if lois:
+            self._run_index_arr = None
+            self._exec_index_arr = None
+
+    def reading_match(self, run_index: int) -> tuple[np.ndarray, np.ndarray] | None:
+        """Cached (window-end times, execution positions) for one run, if any."""
+        return self._reading_match.get(run_index)
+
+    # ------------------------------------------------------------------ #
+    # LOI views.
+    # ------------------------------------------------------------------ #
     def all_lois(self) -> list[LogOfInterest]:
-        result: list[LogOfInterest] = []
-        for lois in self.lois_by_run.values():
-            result.extend(lois)
-        return result
+        return list(self._flat)
 
     def lois_for_execution(self, execution_index: int) -> list[LogOfInterest]:
-        return [loi for loi in self.all_lois() if loi.execution_index == execution_index]
+        return list(self._by_execution.get(execution_index, ()))
 
     def lois_for_last_execution(self) -> list[LogOfInterest]:
-        result: list[LogOfInterest] = []
-        for run_index, lois in self.lois_by_run.items():
-            run = self.runs[run_index]
-            last_index = run.last_execution.index
-            result.extend(loi for loi in lois if loi.execution_index == last_index)
-        return result
+        return list(self._last_execution)
+
+    def lois_from_execution(self, min_execution_index: int) -> list[LogOfInterest]:
+        """All LOIs whose execution index is at or past ``min_execution_index``."""
+        return [loi for loi in self._flat if loi.execution_index >= min_execution_index]
+
+    # ------------------------------------------------------------------ #
+    # Columnar counting (the profiler's shortfall checks).
+    # ------------------------------------------------------------------ #
+    def _loi_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._run_index_arr is None or self._exec_index_arr is None:
+            self._run_index_arr = np.asarray(self._run_index_list, dtype=np.int64)
+            self._exec_index_arr = np.asarray(self._exec_index_list, dtype=np.int64)
+        return self._run_index_arr, self._exec_index_arr
+
+    def count_lois(
+        self,
+        min_execution_index: int | None = None,
+        execution_index: int | None = None,
+        golden_runs: Iterable[int] | None = None,
+    ) -> int:
+        """Count LOIs matching the given execution/run filters without
+        materialising intermediate lists."""
+        run_idx, exec_idx = self._loi_arrays()
+        mask = np.ones(run_idx.shape, dtype=bool)
+        if min_execution_index is not None:
+            mask &= exec_idx >= min_execution_index
+        if execution_index is not None:
+            mask &= exec_idx == execution_index
+        if golden_runs is not None:
+            wanted = np.fromiter((int(i) for i in golden_runs), dtype=np.int64)
+            mask &= np.isin(run_idx, wanted)
+        return int(np.count_nonzero(mask))
+
+    def count_last_execution_lois(self, golden_runs: Iterable[int] | None = None) -> int:
+        """Count LOIs of each run's last execution, optionally golden-only."""
+        if golden_runs is None:
+            return len(self._last_execution)
+        wanted = set(golden_runs)
+        return sum(1 for loi in self._last_execution if loi.run_index in wanted)
 
 
 class ProfileStitcher:
@@ -53,14 +174,20 @@ class ProfileStitcher:
         components: Sequence[str] = COMPONENT_KEYS,
         calibration: DelayCalibration | None = None,
         synchronize: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self._components = tuple(components)
         self._calibration = calibration
         self._synchronize = synchronize
+        self._vectorized = vectorized
 
     @property
     def synchronize(self) -> bool:
         return self._synchronize
+
+    @property
+    def vectorized(self) -> bool:
+        return self._vectorized
 
     # ------------------------------------------------------------------ #
     # LOI extraction across runs.
@@ -69,23 +196,47 @@ class ProfileStitcher:
         """Extract LOIs for every execution of every run."""
         if not runs:
             raise ValueError("need at least one run to stitch")
-        lois_by_run: dict[int, tuple[LogOfInterest, ...]] = {}
-        runs_by_index: dict[int, RunRecord] = {}
+        series = StitchedRunSeries(kernel_name=runs[0].kernel_name)
+        self._stitch_into(series, runs)
+        return series
+
+    def extend(
+        self, series: StitchedRunSeries, new_records: Sequence[RunRecord]
+    ) -> StitchedRunSeries:
+        """Stitch newly collected runs into an existing series.
+
+        Only the new records are extracted; everything already in the series
+        is reused untouched.  This keeps the profiler's step-8 top-up loop
+        linear in the total number of runs instead of re-extracting the whole
+        record list every batch.
+        """
+        self._stitch_into(series, new_records)
+        return series
+
+    def _stitch_into(self, series: StitchedRunSeries, runs: Sequence[RunRecord]) -> None:
+        if self._vectorized:
+            batch = extract_lois_batch(
+                list(runs),
+                calibration=self._calibration if self._synchronize else None,
+                synchronize=self._synchronize,
+            )
+            if batch is not None:
+                for run, (lois, match) in zip(runs, batch):
+                    series.add_run(run, lois, reading_match=match)
+                return
         for run in runs:
-            lois_by_run[run.run_index] = tuple(self._extract(run))
-            runs_by_index[run.run_index] = run
-        return StitchedRunSeries(
-            kernel_name=runs[0].kernel_name,
-            lois_by_run=lois_by_run,
-            runs=runs_by_index,
-        )
+            series.add_run(run, self._extract(run))
 
     def _extract(self, run: RunRecord) -> list[LogOfInterest]:
         if self._synchronize:
             synchronizer = synchronizer_for_run(run, self._calibration)
-            return extract_lois(run, synchronizer)
+            if self._vectorized:
+                return extract_lois(run, synchronizer)
+            return extract_lois_reference(run, synchronizer)
         logger_start = float(run.metadata.get("logger_start_cpu_s", run.anchor.cpu_time_after_s))
-        return extract_lois_unsynchronized(run, logger_start)
+        if self._vectorized:
+            return extract_lois_unsynchronized(run, logger_start)
+        return extract_lois_unsynchronized_reference(run, logger_start)
 
     # ------------------------------------------------------------------ #
     # Execution-level (SSP/SSE) profiles.
@@ -109,10 +260,7 @@ class ProfileStitcher:
             lois = series.lois_for_last_execution()
             which: int | str = "last"
         else:
-            lois = [
-                loi for loi in series.all_lois()
-                if loi.execution_index >= min_execution_index
-            ]
+            lois = series.lois_from_execution(min_execution_index)
             which = min_execution_index
         lois = self._filtered(lois, golden_runs)
         execution_time = self._execution_time(series, golden_runs, which=which)
@@ -176,7 +324,14 @@ class ProfileStitcher:
                 continue
             origin = run.first_execution.cpu_start_s
             durations.append(run.last_execution.cpu_end_s - origin)
-            points.extend(self._run_points(run, origin, include_non_execution_readings))
+            points.extend(
+                self._run_points(
+                    run,
+                    origin,
+                    include_non_execution_readings,
+                    cached_match=series.reading_match(run_index),
+                )
+            )
         execution_time = mean_duration_or_zero(durations)
         return FineGrainProfile(
             kernel_name=series.kernel_name,
@@ -186,37 +341,80 @@ class ProfileStitcher:
             metadata=dict(metadata or {}),
         )
 
-    def _run_points(
-        self, run: RunRecord, origin_cpu_s: float, include_idle: bool
-    ) -> list[ProfilePoint]:
-        points: list[ProfilePoint] = []
+    def _window_end_times(self, run: RunRecord) -> np.ndarray:
         if self._synchronize:
             synchronizer = synchronizer_for_run(run, self._calibration)
-            times = [
-                synchronizer.cpu_time_of(reading.gpu_timestamp_ticks) for reading in run.readings
-            ]
+            return synchronizer.cpu_times_of(run.reading_columns().gpu_timestamp_ticks)
+        logger_start = float(
+            run.metadata.get("logger_start_cpu_s", run.anchor.cpu_time_after_s)
+        )
+        return logger_start + np.arange(1, len(run.readings) + 1) * run.logger_period_s
+
+    def _run_points(
+        self,
+        run: RunRecord,
+        origin_cpu_s: float,
+        include_idle: bool,
+        cached_match: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> list[ProfilePoint]:
+        if cached_match is not None:
+            # Window-end times and execution matches were already computed by
+            # the batched extractor; reuse them.
+            times, positions = cached_match
+        elif self._vectorized:
+            times = self._window_end_times(run)
+            positions = match_execution_positions(run, times)
         else:
-            logger_start = float(
-                run.metadata.get("logger_start_cpu_s", run.anchor.cpu_time_after_s)
-            )
-            times = [
-                logger_start + (i + 1) * run.logger_period_s for i in range(len(run.readings))
-            ]
+            # Legacy (pre-vectorization) behaviour: per-reading time mapping
+            # and a linear execution scan per reading, below.
+            if self._synchronize:
+                synchronizer = synchronizer_for_run(run, self._calibration)
+                times = [
+                    synchronizer.cpu_time_of(reading.gpu_timestamp_ticks)
+                    for reading in run.readings
+                ]
+            else:
+                logger_start = float(
+                    run.metadata.get("logger_start_cpu_s", run.anchor.cpu_time_after_s)
+                )
+                times = [
+                    logger_start + (i + 1) * run.logger_period_s
+                    for i in range(len(run.readings))
+                ]
+            positions = None
         span_start = run.first_execution.cpu_start_s
         span_end = run.last_execution.cpu_end_s
-        for reading, window_end in zip(run.readings, times):
+        # Fast path for the common case where every reading carries exactly
+        # the configured components: one dict copy instead of per-component
+        # lookups, with values equal to the slow path's.
+        wanted_nontotal = None
+        if run.readings and "total" in self._components:
+            first = run.readings[0].components
+            if (len(first) == len(self._components) - 1
+                    and all(c == "total" or c in first for c in self._components)):
+                wanted_nontotal = set(self._components) - {"total"}
+        points: list[ProfilePoint] = []
+        for i, reading in enumerate(run.readings):
+            window_end = float(times[i])
             inside = span_start <= window_end <= span_end
             if not inside and not include_idle:
                 continue
-            powers = {}
-            for component in self._components:
-                if reading.has_component(component):
-                    powers[component] = reading.component(component)
-            execution_index = -1
-            for execution in run.executions:
-                if execution.contains(window_end):
-                    execution_index = execution.index
-                    break
+            if wanted_nontotal is not None and reading.components.keys() == wanted_nontotal:
+                powers: dict[str, float] = {"total": reading.total_w, **reading.components}
+            else:
+                powers = {}
+                for component in self._components:
+                    if reading.has_component(component):
+                        powers[component] = reading.component(component)
+            if positions is not None:
+                position = int(positions[i])
+                execution_index = run.executions[position].index if position >= 0 else -1
+            else:
+                execution_index = -1
+                for execution in run.executions:
+                    if execution.contains(window_end):
+                        execution_index = execution.index
+                        break
             points.append(
                 ProfilePoint(
                     time_s=window_end - origin_cpu_s,

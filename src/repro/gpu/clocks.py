@@ -128,6 +128,13 @@ class GPUTimestampCounter:
         gpu_seconds = (sim_time_s + self._spec.epoch_offset_s) * drift
         return int(round(gpu_seconds * self._spec.timestamp_counter_hz))
 
+    def ticks_at_many(self, sim_times_s: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`ticks_at` (same float64 ops, half-even rounding)."""
+        drift = 1.0 + self._spec.drift_ppm * 1e-6
+        times = np.asarray(sim_times_s, dtype=float)
+        gpu_seconds = (times + self._spec.epoch_offset_s) * drift
+        return np.rint(gpu_seconds * self._spec.timestamp_counter_hz).astype(np.int64)
+
     def sim_time_of_ticks(self, ticks: int) -> float:
         """Inverse of :meth:`ticks_at` (ground truth, for testing)."""
         drift = 1.0 + self._spec.drift_ppm * 1e-6

@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from .clocks import GPUTimestampCounter
 from .device import PowerSegment
 from .power_model import ComponentPower
@@ -89,6 +91,100 @@ def _instantaneous_power_at(
     return fill_power
 
 
+class _SegmentTimeline:
+    """Vectorized view over a recording's power segments.
+
+    Builds a piecewise-constant (xcd, iod, hbm) power timeline -- segment
+    power inside segments, ``fill_power`` in the gaps and outside the recorded
+    span -- together with a cumulative-energy table at every segment boundary.
+    Window averages then reduce to two cumulative-energy lookups per window
+    instead of a scan over all segments, turning the per-sample O(segments)
+    averaging into O(log segments).
+
+    Requires chronologically sorted, non-overlapping segments (what the device
+    records); ``usable`` is False otherwise and callers fall back to the
+    scalar helpers, which also handle overlap.
+    """
+
+    def __init__(self, segments: Sequence[PowerSegment], fill_power: ComponentPower) -> None:
+        self._fill = np.array(
+            [fill_power.xcd_w, fill_power.iod_w, fill_power.hbm_w], dtype=float
+        )
+        n = len(segments)
+        if n == 0:
+            self.usable = True
+            self._bounds = np.zeros(1, dtype=float)
+            self._powers = np.empty((0, 3), dtype=float)
+            self._cumulative = np.zeros((1, 3), dtype=float)
+            return
+        starts = np.asarray([s.start_s for s in segments], dtype=float)
+        ends = np.asarray([s.end_s for s in segments], dtype=float)
+        self.usable = bool(np.all(ends >= starts) and np.all(starts[1:] >= ends[:-1]))
+        if not self.usable:
+            return
+        # Boundaries interleave starts and ends; interval 2i is segment i,
+        # odd intervals are the gaps in between (filled with idle power).
+        bounds = np.empty(2 * n, dtype=float)
+        bounds[0::2] = starts
+        bounds[1::2] = ends
+        powers = np.empty((2 * n - 1, 3), dtype=float)
+        powers[0::2] = [
+            [s.power.xcd_w, s.power.iod_w, s.power.hbm_w] for s in segments
+        ]
+        powers[1::2] = self._fill
+        cumulative = np.zeros((2 * n, 3), dtype=float)
+        np.cumsum(powers * np.diff(bounds)[:, None], axis=0, out=cumulative[1:])
+        self._bounds = bounds
+        self._powers = powers
+        self._cumulative = cumulative
+
+    def energy_between(self, starts_s: np.ndarray, ends_s: np.ndarray) -> np.ndarray:
+        """Per-component energy over each ``[start, end]`` window (shape (m, 3))."""
+        return self._energy_at(ends_s) - self._energy_at(starts_s)
+
+    def _energy_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Cumulative per-component energy from the first boundary to ``t``.
+
+        Negative for times before the first boundary (idle fill extends to
+        infinity on both sides), which cancels in :meth:`energy_between`.
+        """
+        times = np.asarray(times_s, dtype=float)
+        bounds = self._bounds
+        last = bounds.shape[0] - 1
+        interval = np.searchsorted(bounds, times, side="right") - 1
+        clipped = np.clip(interval, 0, max(last - 1, 0))
+        if self._powers.shape[0]:
+            energy = (
+                self._cumulative[clipped]
+                + self._powers[clipped] * (times - bounds[clipped])[:, None]
+            )
+        else:
+            energy = np.zeros((times.shape[0], 3), dtype=float)
+        before = interval < 0
+        if np.any(before):
+            energy[before] = (times[before] - bounds[0])[:, None] * self._fill
+        after = interval >= last
+        if np.any(after):
+            energy[after] = (
+                self._cumulative[last] + (times[after] - bounds[last])[:, None] * self._fill
+            )
+        return energy
+
+    def power_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Instantaneous per-component power at each time (shape (m, 3)).
+
+        Matches :func:`_instantaneous_power_at`: half-open ``[start, end)``
+        segment spans, idle fill elsewhere.
+        """
+        times = np.asarray(times_s, dtype=float)
+        interval = np.searchsorted(self._bounds, times, side="right") - 1
+        inside = (interval >= 0) & (interval < self._powers.shape[0]) & (interval % 2 == 0)
+        power = np.broadcast_to(self._fill, (times.shape[0], 3)).copy()
+        if self._powers.shape[0]:
+            power[inside] = self._powers[interval[inside]]
+        return power
+
+
 class AveragingPowerLogger:
     """The on-GPU trailing-window averaging power logger (paper S1).
 
@@ -124,19 +220,18 @@ class AveragingPowerLogger:
         A boundary coinciding exactly with the logger start is excluded: its
         averaging window would lie entirely before the logger was running.
         """
+        return [float(t) for t in self._sample_times_array(start_s, end_s)]
+
+    def _sample_times_array(self, start_s: float, end_s: float) -> np.ndarray:
         if end_s < start_s:
             raise ValueError("end time must not precede start time")
         first_index = math.ceil((start_s - self._phase_offset_s) / self._period_s)
-        times: list[float] = []
-        index = first_index
-        while True:
-            t = self._phase_offset_s + index * self._period_s
-            if t > end_s + 1e-12:
-                break
-            if t > start_s + 1e-12:
-                times.append(t)
-            index += 1
-        return times
+        # One extra candidate on each side absorbs floor/ceil float rounding;
+        # the filters reproduce the boundary conditions of the scalar loop.
+        last_index = math.floor((end_s + 1e-12 - self._phase_offset_s) / self._period_s) + 1
+        indices = np.arange(first_index, max(last_index, first_index) + 1)
+        times = self._phase_offset_s + indices * self._period_s
+        return times[(times > start_s + 1e-12) & (times <= end_s + 1e-12)]
 
     def samples(
         self,
@@ -144,20 +239,42 @@ class AveragingPowerLogger:
         logger_start_s: float,
         logger_stop_s: float,
     ) -> list[TelemetrySample]:
-        """Compute the samples the logger would have reported for a recording."""
-        samples: list[TelemetrySample] = []
-        for sample_time in self.sample_times_between(logger_start_s, logger_stop_s):
-            window_start = sample_time - self._period_s
-            power = _average_power_over(segments, window_start, sample_time, self._idle_power)
-            samples.append(
-                TelemetrySample(
-                    gpu_timestamp_ticks=self._counter.ticks_at(sample_time),
-                    window_end_s=sample_time,
-                    window_s=self._period_s,
-                    power=power,
-                )
+        """Compute the samples the logger would have reported for a recording.
+
+        Segment-to-sample averaging runs on the cumulative-energy timeline:
+        every window average is the difference of two cumulative-energy
+        lookups, evaluated for all samples in one vectorized pass.
+        """
+        times = self._sample_times_array(logger_start_s, logger_stop_s)
+        if times.shape[0] == 0:
+            return []
+        timeline = _SegmentTimeline(segments, self._idle_power)
+        if timeline.usable:
+            energies = timeline.energy_between(times - self._period_s, times)
+            powers = energies / self._period_s
+        else:
+            # Overlapping segments: fall back to the per-window scalar average.
+            averages = [
+                _average_power_over(segments, t - self._period_s, t, self._idle_power)
+                for t in times
+            ]
+            powers = np.asarray(
+                [[p.xcd_w, p.iod_w, p.hbm_w] for p in averages], dtype=float
             )
-        return samples
+        ticks = self._counter.ticks_at_many(times)
+        return [
+            TelemetrySample(
+                gpu_timestamp_ticks=int(ticks[i]),
+                window_end_s=float(times[i]),
+                window_s=self._period_s,
+                power=ComponentPower(
+                    xcd_w=float(powers[i, 0]),
+                    iod_w=float(powers[i, 1]),
+                    hbm_w=float(powers[i, 2]),
+                ),
+            )
+            for i in range(times.shape[0])
+        ]
 
 
 class CoarsePowerSampler(AveragingPowerLogger):
@@ -207,24 +324,33 @@ class InstantaneousPowerSampler:
         start_s: float,
         stop_s: float,
     ) -> list[TelemetrySample]:
-        samples: list[TelemetrySample] = []
         first_index = math.ceil((start_s - self._phase_offset_s) / self._period_s)
-        index = first_index
-        while True:
-            t = self._phase_offset_s + index * self._period_s
-            if t > stop_s + 1e-12:
-                break
-            power = _instantaneous_power_at(segments, t, self._idle_power)
-            samples.append(
-                TelemetrySample(
-                    gpu_timestamp_ticks=self._counter.ticks_at(t),
-                    window_end_s=t,
-                    window_s=0.0,
-                    power=power,
-                )
+        last_index = math.floor((stop_s + 1e-12 - self._phase_offset_s) / self._period_s) + 1
+        indices = np.arange(first_index, max(last_index, first_index) + 1)
+        times = self._phase_offset_s + indices * self._period_s
+        times = times[times <= stop_s + 1e-12]
+        if times.shape[0] == 0:
+            return []
+        timeline = _SegmentTimeline(segments, self._idle_power)
+        if timeline.usable:
+            powers = timeline.power_at(times)
+        else:
+            points = [_instantaneous_power_at(segments, t, self._idle_power) for t in times]
+            powers = np.asarray([[p.xcd_w, p.iod_w, p.hbm_w] for p in points], dtype=float)
+        ticks = self._counter.ticks_at_many(times)
+        return [
+            TelemetrySample(
+                gpu_timestamp_ticks=int(ticks[i]),
+                window_end_s=float(times[i]),
+                window_s=0.0,
+                power=ComponentPower(
+                    xcd_w=float(powers[i, 0]),
+                    iod_w=float(powers[i, 1]),
+                    hbm_w=float(powers[i, 2]),
+                ),
             )
-            index += 1
-        return samples
+            for i in range(times.shape[0])
+        ]
 
 
 __all__ = [

@@ -1,0 +1,171 @@
+"""Tests for the incremental StitchedRunSeries and ProfileStitcher.extend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.records import ReadingColumns
+from repro.core.stitching import ProfileStitcher, StitchedRunSeries
+from repro.gpu.backend import SimulatedDeviceBackend
+from repro.kernels.workloads import cb_gemm
+
+
+@pytest.fixture(scope="module")
+def records():
+    backend = SimulatedDeviceBackend(seed=77)
+    kernel = cb_gemm(2048)
+    return [
+        backend.run(kernel, executions=20, pre_delay_s=(i % 4) * 2.7e-4, run_index=i)
+        for i in range(10)
+    ]
+
+
+def series_state(series: StitchedRunSeries):
+    return (
+        series.kernel_name,
+        dict(series.lois_by_run),
+        sorted(series.runs),
+        [
+            (loi.run_index, loi.execution_index, loi.window_end_cpu_s, loi.toi_s)
+            for loi in series.all_lois()
+        ],
+    )
+
+
+class TestExtend:
+    def test_extend_matches_collect_from_scratch(self, records):
+        stitcher = ProfileStitcher()
+        full = stitcher.collect(records)
+        partial = stitcher.collect(records[:4])
+        extended = stitcher.extend(partial, records[4:])
+        assert extended is partial
+        assert series_state(extended) == series_state(full)
+
+    def test_extend_in_batches(self, records):
+        stitcher = ProfileStitcher()
+        series = stitcher.collect(records[:3])
+        for start in range(3, len(records), 2):
+            stitcher.extend(series, records[start:start + 2])
+        assert series_state(series) == series_state(stitcher.collect(records))
+
+    def test_extend_only_extracts_new_runs(self, records, monkeypatch):
+        import repro.core.stitching as stitching_module
+
+        stitcher = ProfileStitcher()
+        series = stitcher.collect(records[:5])
+        extracted = []
+        original_batch = stitching_module.extract_lois_batch
+
+        def counting_batch(runs, **kwargs):
+            extracted.extend(run.run_index for run in runs)
+            return original_batch(runs, **kwargs)
+
+        original_extract = ProfileStitcher._extract
+
+        def counting_extract(self, run):
+            extracted.append(run.run_index)
+            return original_extract(self, run)
+
+        monkeypatch.setattr(stitching_module, "extract_lois_batch", counting_batch)
+        monkeypatch.setattr(ProfileStitcher, "_extract", counting_extract)
+        stitcher.extend(series, records[5:])
+        assert extracted == [run.run_index for run in records[5:]]
+
+    def test_duplicate_run_rejected(self, records):
+        stitcher = ProfileStitcher()
+        series = stitcher.collect(records[:2])
+        with pytest.raises(ValueError):
+            stitcher.extend(series, records[:1])
+
+    def test_profiles_unchanged_by_incremental_construction(self, records):
+        stitcher = ProfileStitcher()
+        full = stitcher.collect(records)
+        incremental = stitcher.collect(records[:6])
+        stitcher.extend(incremental, records[6:])
+        for build in (stitcher.ssp_profile, stitcher.run_profile):
+            a, b = build(full), build(incremental)
+            assert np.array_equal(a.times(), b.times())
+            assert np.array_equal(a.series(), b.series())
+
+
+class TestCountingViews:
+    def test_counts_match_list_filters(self, records):
+        series = ProfileStitcher().collect(records)
+        lois = series.all_lois()
+        assert series.num_lois == len(lois)
+        golden = {records[i].run_index for i in (0, 2, 4, 6)}
+        for min_index in (0, 5, 12):
+            expected = sum(
+                1 for loi in lois
+                if loi.execution_index >= min_index and loi.run_index in golden
+            )
+            assert series.count_lois(
+                min_execution_index=min_index, golden_runs=golden
+            ) == expected
+        for exec_index in (3, 19):
+            expected = sum(1 for loi in lois if loi.execution_index == exec_index)
+            assert series.count_lois(execution_index=exec_index) == expected
+
+    def test_last_execution_counts(self, records):
+        series = ProfileStitcher().collect(records)
+        assert series.count_last_execution_lois() == len(series.lois_for_last_execution())
+        golden = {records[0].run_index, records[1].run_index}
+        expected = sum(
+            1 for loi in series.lois_for_last_execution() if loi.run_index in golden
+        )
+        assert series.count_last_execution_lois(golden) == expected
+
+    def test_counts_refresh_after_extend(self, records):
+        stitcher = ProfileStitcher()
+        series = stitcher.collect(records[:5])
+        before = series.count_lois()
+        assert before == series.num_lois
+        stitcher.extend(series, records[5:])
+        assert series.count_lois() == series.num_lois
+        assert series.count_lois() >= before
+
+    def test_lois_from_execution_matches_filter(self, records):
+        series = ProfileStitcher().collect(records)
+        for min_index in (0, 7, 19):
+            expected = [
+                loi for loi in series.all_lois() if loi.execution_index >= min_index
+            ]
+            assert series.lois_from_execution(min_index) == expected
+
+
+class TestColumnarCaches:
+    def test_reading_columns_cached_per_record(self, records):
+        run = records[0]
+        assert run.reading_columns() is run.reading_columns()
+        assert run.execution_columns() is run.execution_columns()
+
+    def test_reading_columns_values(self, records):
+        run = records[0]
+        columns = run.reading_columns()
+        assert columns.num_readings == len(run.readings)
+        assert columns.uniform_components
+        np.testing.assert_array_equal(
+            columns.gpu_timestamp_ticks,
+            np.asarray([r.gpu_timestamp_ticks for r in run.readings]),
+        )
+        np.testing.assert_array_equal(
+            columns.powers_w["total"], np.asarray([r.total_w for r in run.readings])
+        )
+        np.testing.assert_array_equal(
+            columns.powers_w["xcd"],
+            np.asarray([r.components["xcd"] for r in run.readings]),
+        )
+
+    def test_empty_reading_columns(self):
+        columns = ReadingColumns.from_readings(())
+        assert columns.num_readings == 0
+        assert columns.uniform_components
+
+    def test_execution_columns_sorted(self, records):
+        run = records[0]
+        columns = run.execution_columns()
+        assert np.all(np.diff(columns.starts_s) >= 0)
+        for sorted_pos, tuple_pos in enumerate(columns.positions):
+            assert run.executions[tuple_pos].cpu_start_s == columns.starts_s[sorted_pos]
+            assert run.executions[tuple_pos].index == columns.indices[sorted_pos]
