@@ -35,6 +35,8 @@ class SimulationClock:
     consistent ordering of events.
     """
 
+    __slots__ = ("_now_s",)
+
     def __init__(self, start_s: float = 0.0) -> None:
         if start_s < 0:
             raise ValueError("simulation time cannot start negative")
@@ -110,6 +112,20 @@ class GPUTimestampCounter:
         self._spec = spec
         self._sim = sim_clock
         self._rng = rng
+        self._host_read_path = None
+
+    def attach_host_read_path(self, read_timestamp) -> None:
+        """Route host-side reads of this counter through the owning device.
+
+        A raw counter read advances only the shared :class:`SimulationClock`;
+        when the counter belongs to a :class:`~repro.gpu.device.SimulatedGPU`,
+        the elapsed round trip must *also* be recorded as idle power, stepped
+        through the thermal model and credited to the firmware control
+        accumulator -- otherwise a mid-recording read leaves a silent gap in
+        the power timeline.  The device attaches its own ``read_timestamp``
+        here so :meth:`read_from_cpu` always takes the consistent path.
+        """
+        self._host_read_path = read_timestamp
 
     @property
     def spec(self) -> ClockSpec:
@@ -157,7 +173,15 @@ class GPUTimestampCounter:
         The counter value captured corresponds to the moment the read request
         reaches the GPU, i.e. roughly one half of the round trip after the CPU
         issued it -- the asymmetry that makes delay calibration necessary.
+
+        When the counter is attached to a device (the normal case), the read
+        is delegated to :meth:`SimulatedGPU.read_timestamp` so the round trip
+        is spent at idle power -- visible to telemetry, the thermal model and
+        the firmware control accumulator.  Only a standalone counter (no
+        device) advances the bare simulation clock.
         """
+        if self._host_read_path is not None:
+            return self._host_read_path()
         one_way = self.sample_read_delay_s()
         return_way = self.sample_read_delay_s()
         capture_time = self._sim.now_s + one_way

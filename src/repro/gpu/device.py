@@ -8,27 +8,53 @@ objects against simulated time, while:
 * stepping the thermal (warmth) model,
 * tracking per-kernel cache warmth (cold first executions),
 * applying run-to-run and execution-to-execution time variation, and
-* recording an instantaneous power timeline as a list of
-  :class:`PowerSegment` objects that the telemetry layer averages into the
-  1 ms power-logger samples the FinGraV methodology consumes.
+* recording an instantaneous power timeline that the telemetry layer averages
+  into the 1 ms power-logger samples the FinGraV methodology consumes.
 
 The device deliberately exposes *two* views of time: the CPU clock (what the
 host observes, used for kernel start/end instrumentation) and the GPU
 timestamp counter (what tags power-logger samples).  Only the simulator knows
 the exact relationship between them -- the methodology has to reconstruct it,
 exactly as on real hardware (paper challenge C2).
+
+Two execution paths
+-------------------
+Time advance comes in two interchangeable engines selected by the
+``vectorized`` constructor flag:
+
+* ``vectorized=True`` (default) -- the batched engine.  Slice boundaries
+  between firmware control steps are computed with plain float arithmetic,
+  per-slice power is appended to a columnar :class:`_SegmentBuffer` (no
+  per-slice dataclasses), idle-span warmth is advanced with one closed-form
+  relaxation per span (:meth:`~repro.gpu.thermal.ThermalModel.relax_span`),
+  and :meth:`stop_recording` returns a :class:`SegmentArray` that the
+  telemetry layer ingests without re-packing ``PowerSegment`` objects.
+* ``vectorized=False`` -- the original per-slice reference path, retained as
+  the executable specification.  It materialises one :class:`PowerSegment`
+  per slice and steps the thermal model slice by slice.
+
+Both paths step the firmware exactly once per control period (one Python
+callback per period, never per slice), consume the same RNG stream, and
+produce identical slice boundaries; recorded powers agree to ~1 ulp (the only
+divergence is the closed-form idle-span warmth).  The equivalence suite in
+``tests/test_device_equivalence.py`` pins segments, executions, firmware
+events and final warmth across idle, short-kernel, throttling-GEMM and
+interleaved scenarios.
 """
 
 from __future__ import annotations
 
+from array import array
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+from math import exp
 
 import numpy as np
 
 from .activity import KernelActivityDescriptor
 from .clocks import CPUClock, GPUTimestampCounter, SimulationClock, TimestampReadResult
-from .dvfs import FirmwareConfig, FirmwareEvent, PowerManagementFirmware
-from .power_model import ComponentPower, OperatingPoint, PowerModel
+from .dvfs import FirmwareConfig, FirmwareEvent, FirmwareState, PowerManagementFirmware
+from .power_model import IOD_FREQUENCY_COUPLING, ComponentPower, OperatingPoint, PowerModel
 from .spec import GPUSpec, mi300x_spec
 from .thermal import ThermalModel, ThermalSpec
 from .variation import ExecutionTimeVariationModel, RunVariation
@@ -51,6 +77,91 @@ class PowerSegment:
         return self.power.total_w * self.duration_s
 
 
+class SegmentArray(Sequence):
+    """Columnar view of a recorded power timeline.
+
+    Behaves like an immutable sequence of :class:`PowerSegment` (elements are
+    materialised lazily on access) while exposing the underlying float arrays
+    -- ``starts_s``, ``ends_s`` and ``powers`` (columns xcd/iod/hbm) -- so
+    that :class:`repro.gpu.telemetry._SegmentTimeline` can ingest a recording
+    without re-packing thousands of dataclasses.
+    """
+
+    __slots__ = ("starts_s", "ends_s", "powers")
+
+    def __init__(self, starts_s, ends_s, powers) -> None:
+        self.starts_s = np.asarray(starts_s, dtype=float)
+        self.ends_s = np.asarray(ends_s, dtype=float)
+        self.powers = np.asarray(powers, dtype=float).reshape(self.starts_s.shape[0], 3)
+        if self.ends_s.shape != self.starts_s.shape:
+            raise ValueError("starts and ends must have the same length")
+
+    @classmethod
+    def from_segments(cls, segments: Sequence[PowerSegment]) -> "SegmentArray":
+        return cls(
+            [s.start_s for s in segments],
+            [s.end_s for s in segments],
+            [[s.power.xcd_w, s.power.iod_w, s.power.hbm_w] for s in segments],
+        )
+
+    def __len__(self) -> int:
+        return self.starts_s.shape[0]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return SegmentArray(self.starts_s[index], self.ends_s[index], self.powers[index])
+        row = self.powers[index]
+        return PowerSegment(
+            start_s=float(self.starts_s[index]),
+            end_s=float(self.ends_s[index]),
+            power=ComponentPower(xcd_w=float(row[0]), iod_w=float(row[1]), hbm_w=float(row[2])),
+        )
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SegmentArray):
+            return (
+                np.array_equal(self.starts_s, other.starts_s)
+                and np.array_equal(self.ends_s, other.ends_s)
+                and np.array_equal(self.powers, other.powers)
+            )
+        if isinstance(other, (list, tuple)):
+            return len(self) == len(other) and all(a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - mutable arrays are not hashable
+        raise TypeError("SegmentArray is not hashable")
+
+    def __repr__(self) -> str:
+        return f"SegmentArray(n={len(self)})"
+
+
+class _SegmentBuffer:
+    """Growable columnar store the vectorized engine appends slices to.
+
+    Slices arrive as plain floats interleaved ``(start, end, xcd, iod, hbm)``
+    in one flat list, so recording a slice is a single ``list.extend`` -- no
+    :class:`PowerSegment` / dataclass churn on the hot path.  The flat list is
+    packed into a :class:`SegmentArray` once, when the recording stops.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self) -> None:
+        self.data = array("d")
+
+    def append(self, start: float, end: float, xcd: float, iod: float, hbm: float) -> None:
+        self.data.extend((start, end, xcd, iod, hbm))
+
+    def clear(self) -> None:
+        # A fresh array keeps any SegmentArray built from the old buffer valid
+        # (to_segment_array wraps the buffer zero-copy).
+        self.data = array("d")
+
+    def to_segment_array(self) -> SegmentArray:
+        rows = np.frombuffer(self.data, dtype=float).reshape(-1, 5)
+        return SegmentArray(rows[:, 0], rows[:, 1], rows[:, 2:5])
+
+
 @dataclass(frozen=True)
 class KernelExecutionResult:
     """Ground-truth outcome of one kernel execution on the device."""
@@ -68,7 +179,7 @@ class KernelExecutionResult:
         return self.end_s - self.start_s
 
 
-@dataclass
+@dataclass(slots=True)
 class _CacheState:
     """Per-kernel cache warm-up bookkeeping."""
 
@@ -76,7 +187,7 @@ class _CacheState:
     last_end_s: float = -1.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _ControlAccumulator:
     """Energy/time accumulated since the last firmware control step."""
 
@@ -117,6 +228,7 @@ class SimulatedGPU:
         seed: int = 0,
         thermal_spec: ThermalSpec | None = None,
         firmware_config: FirmwareConfig | None = None,
+        vectorized: bool = True,
     ) -> None:
         self._spec = spec or mi300x_spec()
         self._spec.validate()
@@ -130,13 +242,47 @@ class SimulatedGPU:
         )
         self._thermal = ThermalModel(thermal_spec)
         self._variation = ExecutionTimeVariationModel(self._rng)
+        self._vectorized = bool(vectorized)
+
+        # Idle power is constant for the lifetime of the device; cache it so
+        # the hot paths (and the firmware fallback) skip re-synthesising it.
+        idle_power = self._power_model.idle_power()
+        self._idle_power = idle_power
+        self._idle_power_xih = (idle_power.xcd_w, idle_power.iod_w, idle_power.hbm_w)
+        self._idle_total_w = idle_power.total_w
+        # Constants the batched engine reads every slice, hoisted once.
+        budget = self._spec.power
+        dvfs = self._spec.dvfs
+        self._exec_consts = (
+            dvfs.nominal_frequency_ghz,
+            dvfs.power_exponent,
+            budget.xcd_idle_w,
+            budget.xcd_dynamic_w,
+            budget.iod_idle_w,
+            budget.iod_dynamic_w,
+            budget.hbm_idle_w,
+            budget.hbm_dynamic_w,
+            PowerModel.WARMTH_DYNAMIC_SWING,
+            IOD_FREQUENCY_COUPLING,
+        )
+        thermal_spec = self._thermal.spec
+        self._heat_tau_s = thermal_spec.heat_tau_s
+        self._cool_tau_s = thermal_spec.cool_tau_s
 
         self._recording = False
         self._segments: list[PowerSegment] = []
+        self._buffer = _SegmentBuffer()
+        # Bound extend of the buffer's flat storage, re-grabbed whenever the
+        # storage is swapped -- the hot paths append through this.
+        self._record_extend = self._buffer.data.extend
         self._cache_states: dict[str, _CacheState] = {}
         self._control = _ControlAccumulator()
         self._next_control_s = self._spec.dvfs.control_period_s
         self._executions: list[KernelExecutionResult] = []
+
+        # Host-side timestamp reads must go through the device so the round
+        # trip is visible to telemetry, thermal state and the firmware alike.
+        self._timestamp_counter.attach_host_read_path(self.read_timestamp)
 
     # ------------------------------------------------------------------ #
     # Introspection.
@@ -173,6 +319,11 @@ class SimulatedGPU:
     def rng(self) -> np.random.Generator:
         return self._rng
 
+    @property
+    def vectorized(self) -> bool:
+        """Whether the batched time-advance engine is active."""
+        return self._vectorized
+
     def now_s(self) -> float:
         """Current CPU/simulated time in seconds."""
         return self._sim_clock.now_s
@@ -191,12 +342,24 @@ class SimulatedGPU:
         """Begin recording the instantaneous power timeline; returns start time."""
         self._recording = True
         self._segments = []
+        self._buffer.clear()
+        self._record_extend = self._buffer.data.extend
         self._executions = []
         return self._sim_clock.now_s
 
-    def stop_recording(self) -> list[PowerSegment]:
-        """Stop recording and return the captured power segments."""
+    def stop_recording(self) -> Sequence[PowerSegment]:
+        """Stop recording and return the captured power segments.
+
+        The vectorized engine returns a columnar :class:`SegmentArray`; the
+        reference engine returns a plain list of :class:`PowerSegment`.  Both
+        compare equal element-wise and support the same sequence protocol.
+        """
         self._recording = False
+        if self._vectorized:
+            segments_array = self._buffer.to_segment_array()
+            self._buffer = _SegmentBuffer()
+            self._record_extend = self._buffer.data.extend
+            return segments_array
         segments = self._segments
         self._segments = []
         return segments
@@ -235,17 +398,10 @@ class SimulatedGPU:
         """Let the device sit idle for ``duration_s`` seconds."""
         if duration_s < 0:
             raise ValueError("idle duration cannot be negative")
-        remaining = duration_s
-        idle_power = self._power_model.idle_power()
-        while remaining > 1e-12:
-            now = self._sim_clock.now_s
-            dt = min(remaining, max(self._next_control_s - now, 1e-9))
-            self._record(now, now + dt, idle_power)
-            self._control.add(idle_power.total_w, dt, active=False)
-            self._thermal.step(dt, active=False)
-            self._sim_clock.advance(dt)
-            remaining -= dt
-            self._maybe_step_firmware()
+        if self._vectorized:
+            self._idle_fast(duration_s)
+        else:
+            self._idle_reference(duration_s)
 
     def park(self, duration_s: float = 12e-3) -> None:
         """Idle long enough for clocks to drop, caches to expire and the die to cool."""
@@ -263,6 +419,119 @@ class SimulatedGPU:
         longer than the control period (the mechanism behind the power
         excursions and throttling of the largest GEMMs).
         """
+        if self._vectorized:
+            return self._execute_fast(descriptor, run_variation)
+        return self._execute_reference(descriptor, run_variation)
+
+    def draw_run_variation(self, descriptor: KernelActivityDescriptor) -> RunVariation:
+        """Draw the per-run variation factors for ``descriptor``."""
+        return self._variation.draw_run(descriptor.variation)
+
+    # ------------------------------------------------------------------ #
+    # Time-advance engines.
+    # ------------------------------------------------------------------ #
+    def _idle_reference(self, duration_s: float) -> None:
+        """Per-slice reference idle path (the executable specification)."""
+        remaining = duration_s
+        idle_power = self._idle_power
+        while remaining > 1e-12:
+            now = self._sim_clock.now_s
+            dt = min(remaining, max(self._next_control_s - now, 1e-9))
+            self._record(now, now + dt, idle_power)
+            self._control.add(idle_power.total_w, dt, active=False)
+            self._thermal.step(dt, active=False)
+            self._sim_clock.advance(dt)
+            remaining -= dt
+            self._maybe_step_firmware()
+
+    def _idle_fast(self, duration_s: float) -> None:
+        """Batched idle path: same slice boundaries, columnar recording.
+
+        Firmware control steps stay exact (one callback per control period);
+        per-slice work collapses to float appends, and warmth is advanced once
+        with the closed-form relaxation over the whole span (the warmth update
+        inlines :meth:`ThermalModel.step`'s arithmetic -- keep in lockstep).
+        """
+        if duration_s <= 1e-12:
+            return
+        thermal = self._thermal
+        control = self._control
+        clock = self._sim_clock
+        now = clock._now_s
+        end = now + duration_s
+        if end + 1e-12 < self._next_control_s:
+            # The whole span fits before the next control step: one slice,
+            # no firmware callback (matches the reference loop exactly).
+            if self._recording:
+                idle_x, idle_i, idle_h = self._idle_power_xih
+                self._record_extend((now, end, idle_x, idle_i, idle_h))
+            control.energy_j += self._idle_total_w * duration_s
+            control.time_s += duration_s
+            # SimulationClock.advance(duration_s), written directly.
+            clock._now_s = end
+            # ThermalModel.step(duration_s, active=False), inlined.
+            alpha = 1.0 - exp(-duration_s / self._cool_tau_s)
+            warmth = thermal._warmth
+            warmth += (0.0 - warmth) * alpha
+            thermal._warmth = min(max(warmth, 0.0), 1.0)
+            return
+        idle_x, idle_i, idle_h = self._idle_power_xih
+        total_w = self._idle_total_w
+        firmware = self._firmware
+        period = self._spec.dvfs.control_period_s
+        record = self._recording
+        record_extend = self._record_extend
+        next_control = self._next_control_s
+        remaining = duration_s
+        # The control accumulator is kept in locals across the span and
+        # written back once (identical arithmetic to per-slice updates).
+        c_energy = control.energy_j
+        c_time = control.time_s
+        c_active = control.active_time_s
+        while remaining > 1e-12:
+            dt = next_control - now
+            if dt < 1e-9:
+                dt = 1e-9
+            if remaining < dt:
+                dt = remaining
+            end = now + dt
+            if record and end > now:
+                record_extend((now, end, idle_x, idle_i, idle_h))
+            c_energy += total_w * dt
+            c_time += dt
+            clock._now_s = end
+            remaining -= dt
+            now = end
+            if now + 1e-12 >= next_control:
+                # _maybe_step_firmware, inlined (same thresholds/arithmetic).
+                mean_power = c_energy / c_time if c_time > 0 else total_w
+                resident = c_time > 0 and c_active >= 0.5 * c_time
+                if not resident and firmware._state is FirmwareState.IDLE:
+                    # PowerManagementFirmware.step's non-resident branch for
+                    # an already-idle controller cannot transition: replicate
+                    # its bookkeeping without the call.
+                    firmware._last_power_w = float(mean_power)
+                    firmware._idle_accum_s += c_time
+                    firmware._overdraw_accum_s = 0.0
+                else:
+                    firmware.step(now, c_time, mean_power, resident)
+                c_energy = 0.0
+                c_time = 0.0
+                c_active = 0.0
+                while next_control <= now + 1e-12:
+                    next_control += period
+        control.energy_j = c_energy
+        control.time_s = c_time
+        control.active_time_s = c_active
+        self._next_control_s = next_control
+        self._thermal.relax_span(duration_s, active=False)
+
+    def _execute_reference(
+        self,
+        descriptor: KernelActivityDescriptor,
+        run_variation: RunVariation | None,
+    ) -> KernelExecutionResult:
+        """Per-slice reference execution path (the executable specification)."""
         cold = self._consume_cache_state(descriptor)
         jitter = self._variation.draw_execution_jitter(descriptor.variation)
         time_factor = jitter if run_variation is None else run_variation.execution_factor(jitter)
@@ -324,9 +593,254 @@ class SimulatedGPU:
             self._executions.append(result)
         return result
 
-    def draw_run_variation(self, descriptor: KernelActivityDescriptor) -> RunVariation:
-        """Draw the per-run variation factors for ``descriptor``."""
-        return self._variation.draw_run(descriptor.variation)
+    def _descriptor_profile(
+        self, descriptor: KernelActivityDescriptor
+    ) -> tuple[tuple[float, float, float, float, float], ...]:
+        """Per-phase power utilisations of a descriptor, cached on it.
+
+        Each row is ``(cumulative_fraction, xcd_act, iod_util, hbm_warm,
+        hbm_cold)`` with the phase scaling and the ``min(..., 1.0)`` clamps of
+        :meth:`PowerModel.kernel_power` already applied -- everything that
+        depends only on the (frozen) descriptor and this device's power
+        model, computed once and stashed in the descriptor's ``__dict__``.
+        ``object.__setattr__`` bypasses the frozen guard, which is safe
+        because the cached value is a pure function of the descriptor's own
+        fields and the recorded power model; the cache entry carries the
+        power model it was derived from and is recomputed when the same
+        descriptor runs on a device with a different one.  The cumulative
+        fractions accumulate exactly as
+        :meth:`KernelActivityDescriptor.phase_at` does, so the in-loop lookup
+        reproduces its boundaries bit for bit.
+        """
+        cached = descriptor.__dict__.get("_device_power_profile")
+        if cached is not None and cached[0] is self._power_model:
+            return cached[1]
+        power_model = self._power_model
+        xcd_activity = power_model.xcd_activity(descriptor)
+        iod_utilization = power_model.iod_utilization(descriptor)
+        hbm_warm = power_model.hbm_utilization(descriptor, False)
+        hbm_cold = power_model.hbm_utilization(descriptor, True)
+        rows = []
+        cursor = 0.0
+        for phase in descriptor.phases:
+            cursor += phase.duration_fraction
+            rows.append(
+                (
+                    cursor,
+                    min(xcd_activity * phase.xcd_scale, 1.0),
+                    min(iod_utilization * phase.iod_scale, 1.0),
+                    min(hbm_warm * phase.hbm_scale, 1.0),
+                    min(hbm_cold * phase.hbm_scale, 1.0),
+                )
+            )
+        table = tuple(rows)
+        # The row phase_at(0.5) selects, for the common case of a kernel
+        # that fits in one slice (frac_mid is then exactly 0.5).
+        for mid_row in table:
+            if 0.5 < mid_row[0]:
+                break
+        profile = (table, mid_row)
+        object.__setattr__(descriptor, "_device_power_profile", (power_model, profile))
+        return profile
+
+    def _execute_fast(
+        self,
+        descriptor: KernelActivityDescriptor,
+        run_variation: RunVariation | None,
+        jitter: float | None = None,
+    ) -> KernelExecutionResult:
+        """Batched execution path: identical arithmetic, no per-slice objects.
+
+        One merged function covers cache bookkeeping, the jitter draw, the
+        firmware arrival hook, the slice loop and the result epilogue, so a
+        short (single-slice) kernel costs a handful of float operations plus
+        one columnar append.  Descriptor-level utilisations are hoisted out of
+        the loop (they do not change mid-execution); per-slice power repeats
+        the exact float arithmetic of :meth:`PowerModel.kernel_power`, the
+        warmth update that of :meth:`ThermalModel.step`, and the draws consume
+        the same RNG stream as the reference helpers -- keep them in lockstep.
+
+        ``jitter`` lets the launcher pass a pre-drawn execution-jitter factor
+        (from a batched draw of the identical stream); when ``None`` the draw
+        happens here, exactly as in the reference path.
+        """
+        clock = self._sim_clock
+        now = clock._now_s
+
+        # _consume_cache_state, inlined (the state object is reused below).
+        state = self._cache_states.get(descriptor.name)
+        if state is None or (now - state.last_end_s) > self.CACHE_RETENTION_S:
+            state = _CacheState()
+            self._cache_states[descriptor.name] = state
+        cold = state.consecutive_executions < descriptor.cold_executions
+
+        if jitter is None:
+            # ExecutionTimeVariationModel.draw_execution_jitter, inlined.
+            execution_cv = descriptor.variation.execution_cv
+            if execution_cv <= 0:
+                jitter = 1.0
+            else:
+                jitter = float(self._rng.lognormal(mean=0.0, sigma=execution_cv))
+                if jitter < ExecutionTimeVariationModel.MIN_FACTOR:
+                    jitter = ExecutionTimeVariationModel.MIN_FACTOR
+        time_factor = jitter if run_variation is None else run_variation.run_factor * jitter
+
+        start_s = now
+        firmware = self._firmware
+        fw_state = firmware._state
+        if fw_state is FirmwareState.IDLE or fw_state is FirmwareState.RAMPING:
+            firmware.notify_kernel_arrival(start_s)
+        else:
+            # notify_kernel_arrival without a transition: reset idle tracking.
+            firmware._idle_accum_s = 0.0
+
+        thermal = self._thermal
+        control = self._control
+        record = self._recording
+        record_extend = self._record_extend
+        (
+            nominal_ghz,
+            power_exponent,
+            xcd_idle_w,
+            xcd_dynamic_w,
+            iod_idle_w,
+            iod_dynamic_w,
+            hbm_idle_w,
+            hbm_dynamic_w,
+            warmth_swing,
+            iod_coupling,
+        ) = self._exec_consts
+        heat_tau = self._heat_tau_s
+        phase_table, mid_row = self._descriptor_profile(descriptor)
+        sensitivity = descriptor.frequency_sensitivity
+        base_duration = descriptor.base_duration_s
+
+        frequency = firmware._frequency_ghz
+        # Same float ops as descriptor.duration_at(...) * time_factor.
+        duration_full = base_duration * (nominal_ghz / frequency) ** sensitivity
+        if cold:
+            duration_full *= descriptor.cold_duration_multiplier
+        duration_full *= time_factor
+        end = now + duration_full
+        if end + 1e-12 < self._next_control_s:
+            # The whole kernel fits in one slice before the next control step
+            # (the common case for the paper's short kernels): the general
+            # loop below would run exactly once with dt == duration_full and
+            # frac_mid == 0.5, so evaluate that one slice directly.
+            dt = duration_full
+            freq_scale = (frequency / nominal_ghz) ** power_exponent
+            warmth = thermal._warmth
+            clamped = min(max(warmth, 0.0), 1.0)
+            warm_scale = 1.0 - warmth_swing * (1.0 - clamped)
+            iod_freq_scale = 1.0 + iod_coupling * (freq_scale - 1.0)
+            x_w = xcd_idle_w + xcd_dynamic_w * mid_row[1] * freq_scale * warm_scale
+            i_w = iod_idle_w + iod_dynamic_w * mid_row[2] * iod_freq_scale * warm_scale
+            h_w = hbm_idle_w + hbm_dynamic_w * (mid_row[4] if cold else mid_row[3])
+            if record and end > now:
+                record_extend((now, end, x_w, i_w, h_w))
+            total_w = x_w + i_w + h_w
+            total_j = total_w * dt
+            control.energy_j += total_j
+            control.time_s += dt
+            control.active_time_s += dt
+            # ThermalModel.step(dt, active=True), inlined.
+            alpha = 1.0 - exp(-dt / heat_tau)
+            warmth += (1.0 - warmth) * alpha
+            thermal._warmth = min(max(warmth, 0.0), 1.0)
+            # SimulationClock.advance(dt): end is the same float the clock
+            # would compute (now + dt), written directly.
+            clock._now_s = end
+            energy_j = total_j
+            xcd_j = x_w * dt
+            iod_j = i_w * dt
+            hbm_j = h_w * dt
+            freq_time_weighted = frequency * dt
+            now = end
+        else:
+            work_remaining = 1.0
+            energy_j = 0.0
+            xcd_j = iod_j = hbm_j = 0.0
+            freq_time_weighted = 0.0
+
+            while work_remaining > 1e-9:
+                frequency = firmware._frequency_ghz
+                # Same float ops as descriptor.duration_at(...) * time_factor.
+                duration_full = base_duration * (nominal_ghz / frequency) ** sensitivity
+                if cold:
+                    duration_full *= descriptor.cold_duration_multiplier
+                duration_full *= time_factor
+                dt = self._next_control_s - now
+                if dt < 1e-9:
+                    dt = 1e-9
+                work_dt = work_remaining * duration_full
+                if work_dt < dt:
+                    dt = work_dt
+                frac_mid = (1.0 - work_remaining) + 0.5 * dt / duration_full
+                # KernelActivityDescriptor.phase_at over the precomputed
+                # table: falls through to the last phase when no boundary
+                # exceeds frac_mid (covers frac_mid >= 1 exactly the same).
+                for row in phase_table:
+                    if frac_mid < row[0]:
+                        break
+
+                # PowerModel.kernel_power, inlined with hoisted utilisations.
+                freq_scale = (frequency / nominal_ghz) ** power_exponent
+                warmth = thermal._warmth
+                clamped = min(max(warmth, 0.0), 1.0)
+                warm_scale = 1.0 - warmth_swing * (1.0 - clamped)
+                iod_freq_scale = 1.0 + iod_coupling * (freq_scale - 1.0)
+                x_w = xcd_idle_w + xcd_dynamic_w * row[1] * freq_scale * warm_scale
+                i_w = iod_idle_w + iod_dynamic_w * row[2] * iod_freq_scale * warm_scale
+                h_w = hbm_idle_w + hbm_dynamic_w * (row[4] if cold else row[3])
+
+                end = now + dt
+                if record and end > now:
+                    record_extend((now, end, x_w, i_w, h_w))
+                total_w = x_w + i_w + h_w
+                total_j = total_w * dt
+                control.energy_j += total_j
+                control.time_s += dt
+                control.active_time_s += dt
+                # ThermalModel.step(dt, active=True), inlined.
+                alpha = 1.0 - exp(-dt / heat_tau)
+                warmth += (1.0 - warmth) * alpha
+                thermal._warmth = min(max(warmth, 0.0), 1.0)
+                clock._now_s = end
+                energy_j += total_j
+                xcd_j += x_w * dt
+                iod_j += i_w * dt
+                hbm_j += h_w * dt
+                freq_time_weighted += frequency * dt
+                work_remaining -= dt / duration_full
+                now = end
+                if now + 1e-12 >= self._next_control_s:
+                    self._maybe_step_firmware()
+
+        end_s = now
+        duration = end_s - start_s
+        # _update_cache_state, inlined on the state fetched above.
+        state.consecutive_executions += 1
+        state.last_end_s = end_s
+        # Frozen-dataclass __init__ routes every field through
+        # object.__setattr__; the hot path builds the identical objects
+        # directly through __dict__ (same values, same equality).
+        mean_power = ComponentPower.__new__(ComponentPower)
+        fields = mean_power.__dict__
+        fields["xcd_w"] = xcd_j / duration
+        fields["iod_w"] = iod_j / duration
+        fields["hbm_w"] = hbm_j / duration
+        result = KernelExecutionResult.__new__(KernelExecutionResult)
+        fields = result.__dict__
+        fields["kernel_name"] = descriptor.name
+        fields["start_s"] = start_s
+        fields["end_s"] = end_s
+        fields["cold_caches"] = cold
+        fields["mean_frequency_ghz"] = freq_time_weighted / duration
+        fields["energy_j"] = energy_j
+        fields["mean_power"] = mean_power
+        if record:
+            self._executions.append(result)
+        return result
 
     # ------------------------------------------------------------------ #
     # Internals.
@@ -335,8 +849,7 @@ class SimulatedGPU:
         now = self._sim_clock.now_s
         if now + 1e-12 < self._next_control_s:
             return
-        idle_total = self._power_model.idle_power().total_w
-        mean_power = self._control.mean_power_w(idle_total)
+        mean_power = self._control.mean_power_w(self._idle_total_w)
         kernel_resident = self._control.mostly_active()
         self._firmware.step(now, self._control.time_s, mean_power, kernel_resident)
         self._control.reset()
@@ -363,4 +876,4 @@ class SimulatedGPU:
         self._cache_states.clear()
 
 
-__all__ = ["PowerSegment", "KernelExecutionResult", "SimulatedGPU"]
+__all__ = ["PowerSegment", "SegmentArray", "KernelExecutionResult", "SimulatedGPU"]

@@ -39,7 +39,12 @@ class FirmwareState(str, enum.Enum):
 
 @dataclass
 class FirmwareEvent:
-    """A state transition of the firmware, recorded for analysis and tests."""
+    """A state transition of the firmware, recorded for analysis and tests.
+
+    All fields are finite: transitions that happen between control steps
+    (kernel-arrival boosts) record the last-known mean power rather than NaN,
+    so aggregations over the event history are always well-defined.
+    """
 
     time_s: float
     state: FirmwareState
@@ -87,6 +92,7 @@ class PowerManagementFirmware:
         self._overdraw_accum_s = 0.0
         self._throttle_until_s = 0.0
         self._idle_accum_s = 0.0
+        self._last_power_w = 0.0
         self._events: list[FirmwareEvent] = []
 
     # ------------------------------------------------------------------ #
@@ -116,6 +122,7 @@ class PowerManagementFirmware:
         self._overdraw_accum_s = 0.0
         self._throttle_until_s = 0.0
         self._idle_accum_s = 0.0
+        self._last_power_w = 0.0
         self._events.clear()
 
     # ------------------------------------------------------------------ #
@@ -128,11 +135,17 @@ class PowerManagementFirmware:
         launch -- much faster than the power-management control period -- so
         the device calls this hook at kernel start instead of waiting for the
         next control step.  Returns the (possibly boosted) clock.
+
+        The boost happens between control steps, so no power measurement is
+        available for the transition event; the last-known mean power (0.0
+        before the first control step) is recorded instead so that every
+        :class:`FirmwareEvent` field stays finite and aggregations over
+        :meth:`events` are never NaN-poisoned.
         """
         self._idle_accum_s = 0.0
         if self._state in (FirmwareState.IDLE, FirmwareState.RAMPING):
             self._transition(
-                now_s, FirmwareState.BOOST, self._dvfs.boost_frequency_ghz, float("nan")
+                now_s, FirmwareState.BOOST, self._dvfs.boost_frequency_ghz, self._last_power_w
             )
         return self._frequency_ghz
 
@@ -149,9 +162,16 @@ class PowerManagementFirmware:
             Average total board power over the elapsed interval.
         kernel_resident:
             Whether a kernel was executing during the interval.
+
+        Note: ``SimulatedGPU._idle_fast`` inlines the non-resident branch for
+        an already-IDLE controller (it cannot transition, so the bookkeeping
+        is three attribute writes); if that branch's behaviour changes here,
+        keep the device inline in lockstep -- the idle scenarios of the
+        device equivalence suite pin the two against each other.
         """
         if dt_s < 0:
             raise ValueError("control interval cannot be negative")
+        self._last_power_w = float(total_power_w)
         cfg = self._config
         dvfs = self._dvfs
         limit = self._budget.board_limit_w

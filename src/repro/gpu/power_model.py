@@ -151,7 +151,13 @@ class PowerModel:
         operating_point: OperatingPoint,
         phase: PhaseSpec | None = None,
     ) -> ComponentPower:
-        """Instantaneous power while ``descriptor`` executes at ``operating_point``."""
+        """Instantaneous power while ``descriptor`` executes at ``operating_point``.
+
+        ``SimulatedGPU._advance_execution_fast`` inlines this exact float
+        arithmetic (with the descriptor-level utilisations hoisted out of the
+        slice loop); keep the two in lockstep -- the device equivalence suite
+        pins them against each other.
+        """
         budget = self._budget
         phase = phase or PhaseSpec(duration_fraction=1.0)
         freq_scale = self.frequency_power_scale(operating_point.frequency_ghz)

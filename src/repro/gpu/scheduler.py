@@ -11,12 +11,14 @@ backend (and therefore the FinGraV methodology) actually drives.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import exp
 
 import numpy as np
 
+from ..core.records import ExecutionTiming
 from .activity import KernelActivityDescriptor
 from .device import KernelExecutionResult, SimulatedGPU
-from .variation import RunVariation
+from .variation import ExecutionTimeVariationModel, RunVariation
 
 
 @dataclass(frozen=True)
@@ -43,9 +45,10 @@ class LaunchConfig:
 class ObservedExecution:
     """What the host can see about one kernel execution.
 
-    ``cpu_start_s`` / ``cpu_end_s`` carry instrumentation error; the
-    ``ground_truth`` result is kept for validation in tests and is not used by
-    the methodology.
+    ``cpu_start_s`` / ``cpu_end_s`` carry instrumentation error, but the
+    observed duration is never negative (the launcher clamps inverted
+    timestamps the way real event APIs do); the ``ground_truth`` result is
+    kept for validation in tests and is not used by the methodology.
     """
 
     kernel_name: str
@@ -68,6 +71,13 @@ class KernelLauncher:
         self._config = config or LaunchConfig()
         self._config.validate()
         self._rng = device.rng
+        config = self._config
+        self._fast_consts = (
+            config.launch_latency_s,
+            config.launch_jitter_s,
+            config.event_timestamp_error_s,
+            config.inter_execution_gap_s,
+        )
 
     @property
     def device(self) -> SimulatedGPU:
@@ -88,22 +98,83 @@ class KernelLauncher:
         execution_index: int = 0,
         run_variation: RunVariation | None = None,
     ) -> ObservedExecution:
-        """Submit one kernel execution and wait for it to complete."""
+        """Submit one kernel execution and wait for it to complete.
+
+        When the device runs its vectorized engine the launcher takes a
+        streamlined path that draws the same RNG stream and produces identical
+        observations, but skips the frozen-dataclass constructor overhead; a
+        device with ``vectorized=False`` keeps the original (pre-vectorization)
+        launch path end to end.
+        """
         device = self._device
+        if device.vectorized:
+            return self._launch_fast(descriptor, execution_index, run_variation)
         submit_s = device.now_s()
         launch_latency = device.variation_model.draw_launch_delay(
             self._config.launch_latency_s, self._config.launch_jitter_s
         )
         device.idle(launch_latency)
         result = device.execute_kernel(descriptor, run_variation=run_variation)
+        cpu_start_s = result.start_s + self._timestamp_error()
+        cpu_end_s = result.end_s + self._timestamp_error()
+        if cpu_end_s < cpu_start_s:
+            # Independent timestamp errors on start and end can invert the
+            # observed ordering of sub-microsecond kernels; real event APIs
+            # never report end before start, so clamp the observed duration
+            # at zero.
+            cpu_end_s = cpu_start_s
         return ObservedExecution(
             kernel_name=descriptor.name,
             execution_index=execution_index,
             cpu_submit_s=submit_s,
-            cpu_start_s=result.start_s + self._timestamp_error(),
-            cpu_end_s=result.end_s + self._timestamp_error(),
+            cpu_start_s=cpu_start_s,
+            cpu_end_s=cpu_end_s,
             ground_truth=result,
         )
+
+    def _launch_fast(
+        self,
+        descriptor: KernelActivityDescriptor,
+        execution_index: int,
+        run_variation: RunVariation | None,
+    ) -> ObservedExecution:
+        """Hot-path launch: same draws and values as :meth:`launch`, built lean.
+
+        The launch-delay draw inlines
+        :meth:`ExecutionTimeVariationModel.draw_launch_delay` and the
+        timestamp errors inline :meth:`_timestamp_error` (identical RNG
+        calls); the idle and execute steps go straight to the device's
+        vectorized engine.
+        """
+        device = self._device
+        config = self._config
+        rng = self._rng
+        submit_s = device._sim_clock.now_s
+        launch_latency = float(rng.normal(config.launch_latency_s, config.launch_jitter_s))
+        if launch_latency < 0.2e-6:
+            launch_latency = 0.2e-6
+        device._idle_fast(launch_latency)
+        result = device._execute_fast(descriptor, run_variation)
+        error_std = config.event_timestamp_error_s
+        if error_std > 0:
+            # One batched draw is bit-identical to two sequential draws.
+            errors = rng.normal(0.0, error_std, size=2)
+            cpu_start_s = result.start_s + float(errors[0])
+            cpu_end_s = result.end_s + float(errors[1])
+            if cpu_end_s < cpu_start_s:
+                cpu_end_s = cpu_start_s
+        else:
+            cpu_start_s = result.start_s
+            cpu_end_s = result.end_s
+        observed = ObservedExecution.__new__(ObservedExecution)
+        fields = observed.__dict__
+        fields["kernel_name"] = descriptor.name
+        fields["execution_index"] = execution_index
+        fields["cpu_submit_s"] = submit_s
+        fields["cpu_start_s"] = cpu_start_s
+        fields["cpu_end_s"] = cpu_end_s
+        fields["ground_truth"] = result
+        return observed
 
     def launch_sequence(
         self,
@@ -116,13 +187,99 @@ class KernelLauncher:
         if executions <= 0:
             raise ValueError("need at least one execution")
         observed: list[ObservedExecution] = []
+        append = observed.append
+        if self._device.vectorized:
+            gap_s = self._config.inter_execution_gap_s
+            idle_fast = self._device._idle_fast
+            launch_fast = self._launch_fast
+            for i in range(executions):
+                if i > 0 and gap_s > 0:
+                    idle_fast(gap_s)
+                append(launch_fast(descriptor, start_index + i, run_variation))
+            return observed
         for i in range(executions):
             if i > 0 and self._config.inter_execution_gap_s > 0:
                 self._device.idle(self._config.inter_execution_gap_s)
-            observed.append(
+            append(
                 self.launch(descriptor, execution_index=start_index + i, run_variation=run_variation)
             )
         return observed
+
+    def sequence_timings(
+        self,
+        descriptor: KernelActivityDescriptor,
+        executions: int,
+        run_variation: RunVariation | None = None,
+        start_index: int = 0,
+    ) -> list[ExecutionTiming]:
+        """Host-observed timings of a back-to-back sequence, built directly.
+
+        The instrumented-run hot path (vectorized device): identical simulated
+        behaviour and values as :meth:`launch_sequence` followed by an
+        :class:`ExecutionTiming` conversion, with two shortcuts --
+
+        * all RNG variates of the sequence (launch latency, execution jitter
+          and the two event-timestamp errors per execution, consumed in
+          exactly that order) come from one batched ``standard_normal`` draw,
+          which is bit-identical to the per-execution scalar draws;
+        * no intermediate :class:`ObservedExecution` objects are built, since
+          a run record only keeps the timings.
+        """
+        if executions <= 0:
+            raise ValueError("need at least one execution")
+        device = self._device
+        latency_mean, latency_jitter, error_std, gap_s = self._fast_consts
+        execution_cv = descriptor.variation.execution_cv
+        if not device.vectorized or execution_cv <= 0 or error_std <= 0:
+            # Configurations whose reference path consumes a different draw
+            # pattern fall back to the launch loop (identical by definition).
+            return [
+                self._timing_of(observed)
+                for observed in self.launch_sequence(
+                    descriptor, executions, run_variation=run_variation, start_index=start_index
+                )
+            ]
+        idle_fast = device._idle_fast
+        execute_fast = device._execute_fast
+        min_factor = ExecutionTimeVariationModel.MIN_FACTOR
+        kernel_name = descriptor.name
+        variates = self._rng.standard_normal(4 * executions).tolist()
+        timings: list[ExecutionTiming] = []
+        append = timings.append
+        cursor = 0
+        for i in range(executions):
+            if i > 0 and gap_s > 0:
+                idle_fast(gap_s)
+            launch_latency = latency_mean + latency_jitter * variates[cursor]
+            if launch_latency < 0.2e-6:
+                launch_latency = 0.2e-6
+            jitter = exp(0.0 + execution_cv * variates[cursor + 1])
+            if jitter < min_factor:
+                jitter = min_factor
+            idle_fast(launch_latency)
+            result = execute_fast(descriptor, run_variation, jitter)
+            cpu_start_s = result.start_s + error_std * variates[cursor + 2]
+            cpu_end_s = result.end_s + error_std * variates[cursor + 3]
+            if cpu_end_s < cpu_start_s:
+                cpu_end_s = cpu_start_s
+            timing = ExecutionTiming.__new__(ExecutionTiming)
+            fields = timing.__dict__
+            fields["index"] = start_index + i
+            fields["cpu_start_s"] = cpu_start_s
+            fields["cpu_end_s"] = cpu_end_s
+            fields["kernel_name"] = kernel_name
+            append(timing)
+            cursor += 4
+        return timings
+
+    @staticmethod
+    def _timing_of(observed: ObservedExecution) -> ExecutionTiming:
+        return ExecutionTiming(
+            index=observed.execution_index,
+            cpu_start_s=observed.cpu_start_s,
+            cpu_end_s=observed.cpu_end_s,
+            kernel_name=observed.kernel_name,
+        )
 
 
 __all__ = ["LaunchConfig", "ObservedExecution", "KernelLauncher"]

@@ -15,8 +15,11 @@ describes:
   interleaving caveat disappears).
 
 All samplers are *post-processing* views over the instantaneous power timeline
-(:class:`~repro.gpu.device.PowerSegment` lists) recorded by the device, which
-keeps the simulation simple while preserving the observable behaviour.
+recorded by the device -- either a :class:`~repro.gpu.device.PowerSegment`
+list (reference engine) or a columnar
+:class:`~repro.gpu.device.SegmentArray` (vectorized engine, ingested without
+re-packing dataclasses) -- which keeps the simulation simple while preserving
+the observable behaviour.
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ from typing import Sequence
 import numpy as np
 
 from .clocks import GPUTimestampCounter
-from .device import PowerSegment
+from .device import PowerSegment, SegmentArray
 from .power_model import ComponentPower
 
 
@@ -111,28 +114,52 @@ class _SegmentTimeline:
             [fill_power.xcd_w, fill_power.iod_w, fill_power.hbm_w], dtype=float
         )
         n = len(segments)
+        self._gapless = False
         if n == 0:
             self.usable = True
             self._bounds = np.zeros(1, dtype=float)
             self._powers = np.empty((0, 3), dtype=float)
             self._cumulative = np.zeros((1, 3), dtype=float)
             return
-        starts = np.asarray([s.start_s for s in segments], dtype=float)
-        ends = np.asarray([s.end_s for s in segments], dtype=float)
-        self.usable = bool(np.all(ends >= starts) and np.all(starts[1:] >= ends[:-1]))
+        if isinstance(segments, SegmentArray):
+            # Columnar recordings from the vectorized device are ingested
+            # directly -- no per-segment dataclass unpacking.
+            starts = segments.starts_s
+            ends = segments.ends_s
+            segment_powers = segments.powers
+        else:
+            starts = np.asarray([s.start_s for s in segments], dtype=float)
+            ends = np.asarray([s.end_s for s in segments], dtype=float)
+            segment_powers = np.asarray(
+                [[s.power.xcd_w, s.power.iod_w, s.power.hbm_w] for s in segments],
+                dtype=float,
+            )
+        self.usable = bool(
+            (ends >= starts).all() and (starts[1:] >= ends[:-1]).all()
+        )
         if not self.usable:
             return
-        # Boundaries interleave starts and ends; interval 2i is segment i,
-        # odd intervals are the gaps in between (filled with idle power).
-        bounds = np.empty(2 * n, dtype=float)
-        bounds[0::2] = starts
-        bounds[1::2] = ends
-        powers = np.empty((2 * n - 1, 3), dtype=float)
-        powers[0::2] = [
-            [s.power.xcd_w, s.power.iod_w, s.power.hbm_w] for s in segments
-        ]
-        powers[1::2] = self._fill
-        cumulative = np.zeros((2 * n, 3), dtype=float)
+        if n > 1 and (starts[1:] == ends[:-1]).all():
+            # Gapless recording (the device emits contiguous slices): every
+            # interval is a segment, so the zero-width gap intervals of the
+            # general layout can be dropped.  Cumulative energies are
+            # identical -- the dropped gaps contribute exactly 0.0.
+            bounds = np.empty(n + 1, dtype=float)
+            bounds[:n] = starts
+            bounds[n] = ends[n - 1]
+            powers = segment_powers
+            self._gapless = True
+        else:
+            # Boundaries interleave starts and ends; interval 2i is segment i,
+            # odd intervals are the gaps in between (filled with idle power).
+            bounds = np.empty(2 * n, dtype=float)
+            bounds[0::2] = starts
+            bounds[1::2] = ends
+            powers = np.empty((2 * n - 1, 3), dtype=float)
+            powers[0::2] = segment_powers
+            powers[1::2] = self._fill
+        m = powers.shape[0]
+        cumulative = np.zeros((m + 1, 3), dtype=float)
         np.cumsum(powers * np.diff(bounds)[:, None], axis=0, out=cumulative[1:])
         self._bounds = bounds
         self._powers = powers
@@ -147,12 +174,14 @@ class _SegmentTimeline:
 
         Negative for times before the first boundary (idle fill extends to
         infinity on both sides), which cancels in :meth:`energy_between`.
+        ``times_s`` must be ascending (the samplers' grids are), which lets
+        the out-of-range fixups test only the first/last interval index.
         """
         times = np.asarray(times_s, dtype=float)
         bounds = self._bounds
         last = bounds.shape[0] - 1
-        interval = np.searchsorted(bounds, times, side="right") - 1
-        clipped = np.clip(interval, 0, max(last - 1, 0))
+        interval = bounds.searchsorted(times, side="right") - 1
+        clipped = np.minimum(np.maximum(interval, 0), last - 1 if last > 1 else 0)
         if self._powers.shape[0]:
             energy = (
                 self._cumulative[clipped]
@@ -160,14 +189,16 @@ class _SegmentTimeline:
             )
         else:
             energy = np.zeros((times.shape[0], 3), dtype=float)
-        before = interval < 0
-        if np.any(before):
-            energy[before] = (times[before] - bounds[0])[:, None] * self._fill
-        after = interval >= last
-        if np.any(after):
-            energy[after] = (
-                self._cumulative[last] + (times[after] - bounds[last])[:, None] * self._fill
-            )
+        if times.shape[0]:
+            if interval[0] < 0:
+                before = interval < 0
+                energy[before] = (times[before] - bounds[0])[:, None] * self._fill
+            if interval[-1] >= last:
+                after = interval >= last
+                energy[after] = (
+                    self._cumulative[last]
+                    + (times[after] - bounds[last])[:, None] * self._fill
+                )
         return energy
 
     def power_at(self, times_s: np.ndarray) -> np.ndarray:
@@ -178,7 +209,10 @@ class _SegmentTimeline:
         """
         times = np.asarray(times_s, dtype=float)
         interval = np.searchsorted(self._bounds, times, side="right") - 1
-        inside = (interval >= 0) & (interval < self._powers.shape[0]) & (interval % 2 == 0)
+        inside = (interval >= 0) & (interval < self._powers.shape[0])
+        if not self._gapless:
+            # In the interleaved layout only even intervals are segments.
+            inside &= interval % 2 == 0
         power = np.broadcast_to(self._fill, (times.shape[0], 3)).copy()
         if self._powers.shape[0]:
             power[inside] = self._powers[interval[inside]]
@@ -233,13 +267,17 @@ class AveragingPowerLogger:
         times = self._phase_offset_s + indices * self._period_s
         return times[(times > start_s + 1e-12) & (times <= end_s + 1e-12)]
 
-    def samples(
+    def sample_columns(
         self,
         segments: Sequence[PowerSegment],
         logger_start_s: float,
         logger_stop_s: float,
-    ) -> list[TelemetrySample]:
-        """Compute the samples the logger would have reported for a recording.
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """Columnar samples: ``(gpu_ticks, window_end_s, powers, window_s)``.
+
+        ``powers`` has one xcd/iod/hbm row per sample.  This is the raw form
+        the vectorized backend consumes directly; :meth:`samples` wraps the
+        same columns into :class:`TelemetrySample` objects.
 
         Segment-to-sample averaging runs on the cumulative-energy timeline:
         every window average is the difference of two cumulative-energy
@@ -247,7 +285,7 @@ class AveragingPowerLogger:
         """
         times = self._sample_times_array(logger_start_s, logger_stop_s)
         if times.shape[0] == 0:
-            return []
+            return times.astype(np.int64), times, np.empty((0, 3)), self._period_s
         timeline = _SegmentTimeline(segments, self._idle_power)
         if timeline.usable:
             energies = timeline.energy_between(times - self._period_s, times)
@@ -262,11 +300,23 @@ class AveragingPowerLogger:
                 [[p.xcd_w, p.iod_w, p.hbm_w] for p in averages], dtype=float
             )
         ticks = self._counter.ticks_at_many(times)
+        return ticks, times, powers, self._period_s
+
+    def samples(
+        self,
+        segments: Sequence[PowerSegment],
+        logger_start_s: float,
+        logger_stop_s: float,
+    ) -> list[TelemetrySample]:
+        """Compute the samples the logger would have reported for a recording."""
+        ticks, times, powers, window_s = self.sample_columns(
+            segments, logger_start_s, logger_stop_s
+        )
         return [
             TelemetrySample(
                 gpu_timestamp_ticks=int(ticks[i]),
                 window_end_s=float(times[i]),
-                window_s=self._period_s,
+                window_s=window_s,
                 power=ComponentPower(
                     xcd_w=float(powers[i, 0]),
                     iod_w=float(powers[i, 1]),
@@ -318,19 +368,20 @@ class InstantaneousPowerSampler:
     def period_s(self) -> float:
         return self._period_s
 
-    def samples(
+    def sample_columns(
         self,
         segments: Sequence[PowerSegment],
         start_s: float,
         stop_s: float,
-    ) -> list[TelemetrySample]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """Columnar samples ``(gpu_ticks, sample_time_s, powers, window_s=0.0)``."""
         first_index = math.ceil((start_s - self._phase_offset_s) / self._period_s)
         last_index = math.floor((stop_s + 1e-12 - self._phase_offset_s) / self._period_s) + 1
         indices = np.arange(first_index, max(last_index, first_index) + 1)
         times = self._phase_offset_s + indices * self._period_s
         times = times[times <= stop_s + 1e-12]
         if times.shape[0] == 0:
-            return []
+            return times.astype(np.int64), times, np.empty((0, 3)), 0.0
         timeline = _SegmentTimeline(segments, self._idle_power)
         if timeline.usable:
             powers = timeline.power_at(times)
@@ -338,11 +389,20 @@ class InstantaneousPowerSampler:
             points = [_instantaneous_power_at(segments, t, self._idle_power) for t in times]
             powers = np.asarray([[p.xcd_w, p.iod_w, p.hbm_w] for p in points], dtype=float)
         ticks = self._counter.ticks_at_many(times)
+        return ticks, times, powers, 0.0
+
+    def samples(
+        self,
+        segments: Sequence[PowerSegment],
+        start_s: float,
+        stop_s: float,
+    ) -> list[TelemetrySample]:
+        ticks, times, powers, window_s = self.sample_columns(segments, start_s, stop_s)
         return [
             TelemetrySample(
                 gpu_timestamp_ticks=int(ticks[i]),
                 window_end_s=float(times[i]),
-                window_s=0.0,
+                window_s=window_s,
                 power=ComponentPower(
                     xcd_w=float(powers[i, 0]),
                     iod_w=float(powers[i, 1]),

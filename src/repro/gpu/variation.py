@@ -47,8 +47,11 @@ class ExecutionTimeVariationModel:
         self._rng = rng
 
     def draw_run(self, spec: VariationSpec) -> RunVariation:
-        """Draw the per-run factor (allocation effects + possible outlier)."""
-        spec.validate()
+        """Draw the per-run factor (allocation effects + possible outlier).
+
+        ``spec`` is assumed valid (descriptors validate their variation spec
+        on construction); draws are on the device hot path.
+        """
         if spec.run_cv > 0:
             factor = float(self._rng.lognormal(mean=0.0, sigma=spec.run_cv))
         else:
@@ -61,8 +64,7 @@ class ExecutionTimeVariationModel:
         return RunVariation(run_factor=max(factor, self.MIN_FACTOR), is_outlier=is_outlier)
 
     def draw_execution_jitter(self, spec: VariationSpec) -> float:
-        """Draw the per-execution jitter factor within a run."""
-        spec.validate()
+        """Draw the per-execution jitter factor within a run (``spec`` assumed valid)."""
         if spec.execution_cv <= 0:
             return 1.0
         jitter = float(self._rng.lognormal(mean=0.0, sigma=spec.execution_cv))

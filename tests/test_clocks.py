@@ -90,3 +90,49 @@ class TestGPUTimestampCounter:
         result = counter.read_from_cpu()
         capture_time = counter.sim_time_of_ticks(result.gpu_ticks)
         assert before <= capture_time <= result.cpu_time_after_s
+
+
+class TestHostReadDelegation:
+    """Regression: a device-attached counter read used to advance the shared
+    clock without recording power, stepping the thermal model or crediting
+    the firmware accumulator -- leaving silent gaps in the power timeline."""
+
+    def make_device(self, seed=9):
+        from repro.gpu.device import SimulatedGPU
+        from repro.gpu.spec import mi300x_spec
+
+        return SimulatedGPU(mi300x_spec(), seed=seed)
+
+    def test_device_counter_read_matches_device_read_timestamp(self):
+        reading_via_counter = self.make_device().timestamp_counter.read_from_cpu()
+        reading_via_device = self.make_device().read_timestamp()
+        assert reading_via_counter == reading_via_device
+
+    def test_mid_recording_read_leaves_no_gap_in_power_timeline(self):
+        device = self.make_device()
+        device.start_recording()
+        device.idle(0.4e-3)
+        before = device.now_s()
+        result = device.timestamp_counter.read_from_cpu()
+        assert device.now_s() == pytest.approx(before + result.round_trip_s)
+        device.idle(0.4e-3)
+        segments = device.stop_recording()
+        # The round trip is covered by idle-power segments: consecutive
+        # segments tile the recording with no holes.
+        for a, b in zip(segments, segments[1:]):
+            assert b.start_s == pytest.approx(a.end_s, abs=1e-12)
+        assert segments[-1].end_s == pytest.approx(device.now_s())
+
+    def test_mid_recording_read_cools_the_die(self):
+        device = self.make_device()
+        thermal = device.thermal
+        thermal.reset(0.8)
+        warmth_before = thermal.warmth
+        device.timestamp_counter.read_from_cpu()
+        assert thermal.warmth < warmth_before
+
+    def test_standalone_counter_keeps_legacy_behaviour(self, sim_clock, counter):
+        before = sim_clock.now_s
+        result = counter.read_from_cpu()
+        assert result.cpu_time_after_s == pytest.approx(sim_clock.now_s)
+        assert sim_clock.now_s > before

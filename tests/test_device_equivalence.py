@@ -1,0 +1,266 @@
+"""Equivalence tests: the vectorized device engine vs the per-slice reference.
+
+The PR's contract is that ``SimulatedGPU(vectorized=True)`` (batched slice
+computation, columnar segment buffer, closed-form idle-span warmth) reproduces
+the retained per-slice path: identical slice boundaries, RNG stream,
+executions and firmware events.  Power values may differ by ~1 ulp because
+idle-span warmth is relaxed once per span instead of once per slice -- the
+tolerances below document that bound.
+
+Scenarios mirror the paper's workloads: pure idle, a short (single-slice)
+kernel, a power-limited GEMM that throttles mid-execution, and an interleaved
+mix with a mid-recording timestamp read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.backend import BackendConfig, SimulatedDeviceBackend
+from repro.gpu.device import PowerSegment, SegmentArray, SimulatedGPU
+from repro.gpu.spec import mi300x_spec
+from repro.kernels.workloads import cb_gemm, mb_gemv
+
+POWER_RTOL = 1e-9
+POWER_ATOL = 1e-9
+
+SPEC = mi300x_spec()
+SHORT = cb_gemm(1024).activity_descriptor(SPEC)
+BIG = cb_gemm(8192).activity_descriptor(SPEC)
+GEMV = mb_gemv(4096).activity_descriptor(SPEC)
+
+
+def device_pair(seed=123):
+    return (
+        SimulatedGPU(SPEC, seed=seed, vectorized=True),
+        SimulatedGPU(SPEC, seed=seed, vectorized=False),
+    )
+
+
+def scenario_idle(device):
+    device.park(12e-3)
+    device.start_recording()
+    device.idle(1.7e-3)
+    device.idle(3e-6)
+    device.idle(4.3e-3)
+
+
+def scenario_short_kernel(device):
+    device.park()
+    device.start_recording()
+    device.idle(1.5e-3)
+    variation = device.draw_run_variation(SHORT)
+    for _ in range(30):
+        device.idle(1e-6)
+        device.execute_kernel(SHORT, run_variation=variation)
+    device.idle(1.3e-3)
+
+
+def scenario_throttling_gemm(device):
+    device.park()
+    device.start_recording()
+    device.idle(0.5e-3)
+    for _ in range(6):
+        device.execute_kernel(BIG)
+    device.idle(1e-3)
+
+
+def scenario_interleaved(device):
+    device.park()
+    device.start_recording()
+    device.idle(1.5e-3)
+    device.read_timestamp()
+    for i in range(8):
+        device.idle(2e-6)
+        device.execute_kernel(GEMV if i % 2 else SHORT)
+    device.idle(2.5e-3)
+    device.execute_kernel(BIG)
+    device.idle(0.7e-3)
+
+
+SCENARIOS = {
+    "idle": scenario_idle,
+    "short_kernel": scenario_short_kernel,
+    "throttling_gemm": scenario_throttling_gemm,
+    "interleaved": scenario_interleaved,
+}
+
+
+def segment_columns(segments):
+    return (
+        np.asarray([s.start_s for s in segments], dtype=float),
+        np.asarray([s.end_s for s in segments], dtype=float),
+        np.asarray(
+            [[s.power.xcd_w, s.power.iod_w, s.power.hbm_w] for s in segments], dtype=float
+        ),
+    )
+
+
+def assert_devices_equivalent(fast, reference, fast_segments, reference_segments):
+    # Slice boundaries are bit-identical; powers agree to the documented
+    # tolerance (closed-form idle-span warmth).
+    assert isinstance(fast_segments, SegmentArray)
+    ref_starts, ref_ends, ref_powers = segment_columns(reference_segments)
+    assert len(fast_segments) == len(reference_segments)
+    assert np.array_equal(fast_segments.starts_s, ref_starts)
+    assert np.array_equal(fast_segments.ends_s, ref_ends)
+    assert np.allclose(fast_segments.powers, ref_powers, rtol=POWER_RTOL, atol=POWER_ATOL)
+
+    fast_executions = fast.executions()
+    reference_executions = reference.executions()
+    assert len(fast_executions) == len(reference_executions)
+    for a, b in zip(fast_executions, reference_executions):
+        assert a.kernel_name == b.kernel_name
+        assert a.start_s == b.start_s
+        assert a.end_s == b.end_s
+        assert a.cold_caches == b.cold_caches
+        assert a.mean_frequency_ghz == pytest.approx(b.mean_frequency_ghz, rel=1e-12)
+        assert a.energy_j == pytest.approx(b.energy_j, rel=POWER_RTOL)
+        assert a.mean_power.total_w == pytest.approx(b.mean_power.total_w, rel=POWER_RTOL)
+
+    fast_events = fast.firmware_events()
+    reference_events = reference.firmware_events()
+    assert len(fast_events) == len(reference_events)
+    for a, b in zip(fast_events, reference_events):
+        assert a.time_s == b.time_s
+        assert a.state is b.state
+        assert a.frequency_ghz == b.frequency_ghz
+        assert a.power_w == pytest.approx(b.power_w, rel=POWER_RTOL, abs=POWER_ATOL)
+        assert np.isfinite(a.power_w)
+
+    assert fast.now_s() == reference.now_s()
+    assert fast.thermal.warmth == pytest.approx(reference.thermal.warmth, abs=1e-12)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_equivalence(name):
+    scenario = SCENARIOS[name]
+    fast, reference = device_pair()
+    scenario(fast)
+    scenario(reference)
+    fast_segments = fast.stop_recording()
+    reference_segments = reference.stop_recording()
+    assert_devices_equivalent(fast, reference, fast_segments, reference_segments)
+
+
+class TestBackendEquivalence:
+    """Full instrumented runs must agree record-for-record across engines."""
+
+    @pytest.fixture(scope="class")
+    def record_pair(self):
+        def one(vectorized):
+            backend = SimulatedDeviceBackend(
+                spec=SPEC, seed=11, config=BackendConfig(vectorized=vectorized)
+            )
+            kernel = cb_gemm(1024)
+            records = [
+                backend.run(kernel, executions=30, pre_delay_s=i * 0.7e-3, run_index=i)
+                for i in range(3)
+            ]
+            records.append(
+                backend.run(
+                    kernel,
+                    executions=10,
+                    pre_delay_s=0.3e-3,
+                    run_index=3,
+                    preceding=[(mb_gemv(4096), 4)],
+                )
+            )
+            return records
+
+        return one(True), one(False)
+
+    def test_execution_timings_identical(self, record_pair):
+        for fast, reference in zip(*record_pair):
+            assert len(fast.executions) == len(reference.executions)
+            for a, b in zip(fast.executions, reference.executions):
+                assert a == b
+            for a, b in zip(fast.preceding_executions, reference.preceding_executions):
+                assert a == b
+
+    def test_readings_match(self, record_pair):
+        for fast, reference in zip(*record_pair):
+            assert len(fast.readings) == len(reference.readings)
+            for a, b in zip(fast.readings, reference.readings):
+                assert a.gpu_timestamp_ticks == b.gpu_timestamp_ticks
+                assert a.window_s == b.window_s
+                assert a.total_w == pytest.approx(b.total_w, rel=POWER_RTOL)
+                for component in ("xcd", "iod", "hbm"):
+                    assert a.components[component] == pytest.approx(
+                        b.components[component], rel=POWER_RTOL
+                    )
+
+    def test_anchor_and_metadata_identical(self, record_pair):
+        for fast, reference in zip(*record_pair):
+            assert fast.anchor == reference.anchor
+            assert fast.pre_delay_s == reference.pre_delay_s
+            assert fast.metadata["logger_start_cpu_s"] == reference.metadata["logger_start_cpu_s"]
+            assert fast.metadata["logger_stop_cpu_s"] == reference.metadata["logger_stop_cpu_s"]
+            assert (
+                fast.metadata["run_variation_outlier"]
+                == reference.metadata["run_variation_outlier"]
+            )
+
+
+class TestDescriptorProfileCache:
+    def test_cache_is_not_poisoned_across_specs(self):
+        # Regression: the per-descriptor power-profile cache must be keyed by
+        # the device's power model, or a descriptor first run on one spec
+        # would replay that spec's utilisations on every later device.
+        import dataclasses
+
+        descriptor = cb_gemm(2048).activity_descriptor(SPEC)
+        first = SimulatedGPU(SPEC, seed=1, vectorized=True)
+        first.execute_kernel(descriptor)
+
+        other_spec = dataclasses.replace(
+            SPEC, power=dataclasses.replace(SPEC.power, xcd_stalled_floor=0.44,
+                                            xcd_activity_floor=0.9)
+        )
+        fast = SimulatedGPU(other_spec, seed=2, vectorized=True)
+        reference = SimulatedGPU(other_spec, seed=2, vectorized=False)
+        fast_result = fast.execute_kernel(descriptor)
+        reference_result = reference.execute_kernel(descriptor)
+        assert fast_result.mean_power.total_w == pytest.approx(
+            reference_result.mean_power.total_w, rel=POWER_RTOL
+        )
+
+
+class TestSegmentArray:
+    def test_behaves_like_a_sequence_of_segments(self):
+        fast, _ = device_pair()
+        fast.start_recording()
+        fast.idle(0.9e-3)
+        fast.execute_kernel(SHORT)
+        segments = fast.stop_recording()
+        assert isinstance(segments, SegmentArray)
+        assert len(segments) > 0
+        first = segments[0]
+        assert isinstance(first, PowerSegment)
+        assert first.duration_s > 0
+        assert [s.start_s for s in segments] == list(segments.starts_s)
+        tail = segments[1:]
+        assert isinstance(tail, SegmentArray)
+        assert len(tail) == len(segments) - 1
+
+    def test_equality_with_plain_segment_lists(self):
+        fast, _ = device_pair()
+        fast.start_recording()
+        fast.idle(0.4e-3)
+        segments = fast.stop_recording()
+        assert segments == list(segments)
+        assert segments == SegmentArray.from_segments(list(segments))
+        assert not (segments == list(segments)[:-1])
+
+    def test_empty_recording_equals_empty_list(self):
+        fast, _ = device_pair()
+        assert fast.stop_recording() == []
+
+    def test_from_segments_round_trip(self):
+        fast, _ = device_pair()
+        fast.start_recording()
+        fast.idle(0.6e-3)
+        segments = fast.stop_recording()
+        rebuilt = SegmentArray.from_segments([segments[i] for i in range(len(segments))])
+        assert rebuilt == segments

@@ -109,6 +109,59 @@ class TestThrottling:
         assert FirmwareState.THROTTLED in states
 
 
+class TestFiniteEventPower:
+    """Regression: kernel-arrival boosts used to record ``power_w=NaN``,
+    poisoning any aggregation over the event history."""
+
+    def test_first_arrival_records_zero_power(self, firmware):
+        firmware.notify_kernel_arrival(0.0)
+        boost_event = firmware.events[-1]
+        assert boost_event.state is FirmwareState.BOOST
+        assert boost_event.power_w == 0.0
+
+    def test_arrival_after_steps_records_last_known_power(self, firmware):
+        firmware.notify_kernel_arrival(0.0)
+        step_for(firmware, 0.01, 130.0, resident=False)
+        assert firmware.state is FirmwareState.IDLE
+        firmware.notify_kernel_arrival(0.011)
+        assert firmware.events[-1].state is FirmwareState.BOOST
+        assert firmware.events[-1].power_w == pytest.approx(130.0)
+
+    def test_all_event_fields_finite_in_throttling_scenario(self, firmware):
+        import math
+
+        budget = PowerBudget()
+        for cycle in range(3):
+            start = cycle * 12e-3
+            firmware.notify_kernel_arrival(start)
+            now = step_for(firmware, 4e-3, budget.board_limit_w * 1.1, resident=True, start=start)
+            step_for(firmware, 6e-3, 120.0, resident=False, start=now)
+        assert firmware.events
+        for event in firmware.events:
+            assert math.isfinite(event.time_s)
+            assert math.isfinite(event.frequency_ghz)
+            assert math.isfinite(event.power_w)
+
+    def test_mean_event_power_is_finite_on_device_workload(self):
+        import math
+
+        from repro.gpu.device import SimulatedGPU
+        from repro.gpu.spec import mi300x_spec
+        from repro.kernels.workloads import cb_gemm
+
+        spec = mi300x_spec()
+        device = SimulatedGPU(spec, seed=3)
+        descriptor = cb_gemm(8192).activity_descriptor(spec)
+        for _ in range(3):
+            device.park()
+            for _ in range(4):
+                device.execute_kernel(descriptor)
+        events = device.firmware_events()
+        assert events
+        mean_power = sum(event.power_w for event in events) / len(events)
+        assert math.isfinite(mean_power)
+
+
 class TestFirmwareConfig:
     def test_custom_config_honoured(self):
         config = FirmwareConfig(excursion_window_s=100e-6, throttle_hold_s=1e-3)

@@ -2,9 +2,12 @@
 
 import pytest
 
+from repro.gpu.activity import KernelActivityDescriptor, flat_profile_phases
+from repro.gpu.backend import BackendConfig, SimulatedDeviceBackend
+from repro.gpu.device import SimulatedGPU
 from repro.gpu.platform import InfinityPlatform
 from repro.gpu.scheduler import KernelLauncher, LaunchConfig
-from repro.gpu.spec import mi300x_platform_spec
+from repro.gpu.spec import mi300x_platform_spec, mi300x_spec
 from repro.kernels.workloads import cb_gemm
 
 
@@ -52,6 +55,57 @@ class TestKernelLauncher:
     def test_invalid_launch_config_rejected(self):
         with pytest.raises(ValueError):
             LaunchConfig(launch_latency_s=-1.0).validate()
+
+    def test_sequence_timings_match_launch_sequence(self, spec, descriptor):
+        timed = KernelLauncher(SimulatedGPU(spec, seed=77))
+        observed = KernelLauncher(SimulatedGPU(spec, seed=77))
+        timings = timed.sequence_timings(descriptor, executions=6, start_index=3)
+        reference = observed.launch_sequence(descriptor, executions=6, start_index=3)
+        assert [t.index for t in timings] == [o.execution_index for o in reference]
+        assert [t.cpu_start_s for t in timings] == [o.cpu_start_s for o in reference]
+        assert [t.cpu_end_s for t in timings] == [o.cpu_end_s for o in reference]
+        assert all(t.kernel_name == descriptor.name for t in timings)
+
+
+def submicrosecond_descriptor(duration_s=0.5e-6):
+    """A ~0.5 us kernel: shorter than the host timestamp-error spread."""
+    return KernelActivityDescriptor(
+        name="tiny-kernel",
+        base_duration_s=duration_s,
+        compute_utilization=0.3,
+        cold_executions=0,
+        phases=flat_profile_phases(),
+    )
+
+
+class TestObservedDurationClamp:
+    """Regression: independent start/end timestamp errors used to let
+    sub-microsecond kernels report ``cpu_end_s < cpu_start_s``."""
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_observed_duration_never_negative(self, spec, vectorized):
+        device = SimulatedGPU(spec, seed=5, vectorized=vectorized)
+        launcher = KernelLauncher(device, LaunchConfig())
+        descriptor = submicrosecond_descriptor()
+        observed = launcher.launch_sequence(descriptor, executions=300)
+        durations = [o.cpu_duration_s for o in observed]
+        assert min(durations) >= 0.0
+        # The scenario actually exercises the clamp: with a 0.6 us error on
+        # each timestamp, a 0.5 us kernel inverts frequently.
+        assert durations.count(0.0) > 0
+        for o in observed:
+            assert o.ground_truth.duration_s > 0
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_backend_run_accepts_submicrosecond_kernel(self, spec, vectorized):
+        # Before the clamp, ExecutionTiming's validation made this raise.
+        backend = SimulatedDeviceBackend(
+            spec=mi300x_spec(), seed=5, config=BackendConfig(vectorized=vectorized)
+        )
+        record = backend.run(
+            submicrosecond_descriptor(), executions=120, pre_delay_s=0.0, run_index=0
+        )
+        assert all(t.duration_s >= 0 for t in record.executions)
 
 
 class TestInfinityPlatform:

@@ -14,6 +14,30 @@ class TestThermalModel:
     def test_starts_cold(self):
         assert ThermalModel().warmth == pytest.approx(0.0)
 
+    @pytest.mark.parametrize("active", [True, False])
+    def test_relax_span_composes_per_slice_steps(self, active):
+        # The analytic basis of the vectorized device's idle handling: one
+        # closed-form relaxation over a span equals stepping its slices one
+        # by one, up to float rounding.
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            sliced = ThermalModel()
+            spanned = ThermalModel()
+            sliced.step(1.3e-3, active=True)
+            spanned.step(1.3e-3, active=True)
+            slices = rng.uniform(1e-7, 8e-4, size=rng.integers(1, 40))
+            for dt in slices:
+                sliced.step(float(dt), active=active)
+            spanned.relax_span(float(np.sum(slices)), active=active)
+            assert spanned.warmth == pytest.approx(sliced.warmth, abs=1e-12)
+
+    def test_relax_span_equals_step_for_a_single_slice(self):
+        stepped = ThermalModel()
+        relaxed = ThermalModel()
+        stepped.step(2.2e-3, active=True)
+        relaxed.relax_span(2.2e-3, active=True)
+        assert relaxed.warmth == stepped.warmth
+
     def test_heats_under_load(self):
         model = ThermalModel()
         model.step(10e-3, active=True)
