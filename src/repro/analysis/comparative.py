@@ -136,19 +136,28 @@ def summary_from_profile(profile: FineGrainProfile) -> KernelComponentSummary:
     )
 
 
+def comparison_from_results(results: Sequence[FinGraVResult]) -> ComponentComparison:
+    """Assemble a comparison from already-produced results (sweep-engine path)."""
+    return ComponentComparison(
+        summaries=tuple(summary_from_result(result) for result in results)
+    )
+
+
 def compare_kernels(
     profiler: FinGraVProfiler,
     kernels: Sequence[object],
     runs: int | None = None,
 ) -> tuple[ComponentComparison, list[FinGraVResult]]:
-    """Profile each kernel with the FinGraV methodology and compare components."""
+    """Profile each kernel with the FinGraV methodology and compare components.
+
+    Kernels share the profiler (and its backend) sequentially; the experiment
+    drivers instead fan independent per-kernel jobs out through
+    :mod:`repro.experiments.sweep` and use :func:`comparison_from_results`.
+    """
     if not kernels:
         raise ValueError("need at least one kernel to compare")
     results = [profiler.profile(kernel, runs=runs) for kernel in kernels]
-    comparison = ComponentComparison(
-        summaries=tuple(summary_from_result(result) for result in results)
-    )
-    return comparison, results
+    return comparison_from_results(results), results
 
 
 __all__ = [
@@ -156,5 +165,6 @@ __all__ = [
     "ComponentComparison",
     "summary_from_result",
     "summary_from_profile",
+    "comparison_from_results",
     "compare_kernels",
 ]

@@ -104,11 +104,14 @@ class InterleavingStudy:
         max_runs = max_runs or max(runs * 10, 400)
         period = self._backend.power_sample_period_s
         stitcher = ProfileStitcher(components=self._components)
-        lois: list[LogOfInterest] = []
+        series = None
         durations: list[float] = []
-        records = []
         run_index = 0
-        while run_index < runs or (len(lois) < min_lois and run_index < max_runs):
+
+        def loi_count() -> int:
+            return series.count_last_execution_lois() if series is not None else 0
+
+        while run_index < runs or (loi_count() < min_lois and run_index < max_runs):
             pre_delay = float(self._rng.uniform(0.0, 2.0 * period))
             record = self._backend.run(
                 kernel,
@@ -117,10 +120,15 @@ class InterleavingStudy:
                 run_index=run_index,
                 preceding=tuple(preceding),
             )
-            records.append(record)
             durations.append(record.last_execution.duration_s)
-            lois.extend(stitcher.collect([record]).lois_for_last_execution())
+            if series is None:
+                series = stitcher.collect([record])
+            else:
+                stitcher.extend(series, [record])
             run_index += 1
+        lois: list[LogOfInterest] = (
+            series.lois_for_last_execution() if series is not None else []
+        )
         execution_time = float(np.mean(durations)) if durations else 0.0
         return profile_from_lois(
             kernel_name=self._backend.kernel_name(kernel),

@@ -42,8 +42,8 @@ def fit_trend(
     """Polynomial trend of a profile (paper Figure 5 dashed line)."""
     if profile.is_empty:
         raise ValueError("cannot fit a trend to an empty profile")
-    times = profile.times()
-    powers = profile.series(component)
+    # Masked access: points lacking the component are dropped, not NaN-filled.
+    times, powers = profile.component_points(component)
     effective_degree = min(degree, max(len(times) - 1, 0))
     grid = np.linspace(float(times.min()), float(times.max()), num_points)
     if effective_degree == 0 or float(times.max()) == float(times.min()):
@@ -91,8 +91,7 @@ def profile_spread(profile: FineGrainProfile, component: str = "total") -> float
     if len(profile) < 3:
         return 0.0
     trend = fit_trend(profile, component=component)
-    times = profile.times()
-    powers = profile.series(component)
+    times, powers = profile.component_points(component)
     residuals = powers - trend.evaluate(times)
     mean_power = float(np.mean(powers))
     if mean_power == 0:

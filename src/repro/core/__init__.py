@@ -31,10 +31,13 @@ from .differentiation import (
 from .guidance import GuidanceEntry, GuidanceTable, PAPER_GUIDANCE, paper_guidance_table
 from .profile import (
     FineGrainProfile,
+    ProfileColumns,
     ProfileKind,
     ProfilePoint,
+    columns_from_lois,
     measurement_error,
     profile_from_lois,
+    profile_from_lois_reference,
 )
 from .profiler import FinGraVProfiler, FinGraVResult, ProfilerConfig
 from .records import (
@@ -96,10 +99,13 @@ __all__ = [
     "PAPER_GUIDANCE",
     "paper_guidance_table",
     "FineGrainProfile",
+    "ProfileColumns",
     "ProfileKind",
     "ProfilePoint",
+    "columns_from_lois",
     "measurement_error",
     "profile_from_lois",
+    "profile_from_lois_reference",
     "FinGraVProfiler",
     "FinGraVResult",
     "ProfilerConfig",

@@ -33,6 +33,11 @@ class BinningResult:
         return len(self.selected_indices)
 
     @property
+    def is_empty(self) -> bool:
+        """True when no run fell into the bin (``bin_around`` with no hits)."""
+        return not self.selected_indices
+
+    @property
     def num_outliers(self) -> int:
         return len(self.outlier_indices)
 
@@ -58,16 +63,34 @@ class BinningResult:
 
 
 class ExecutionTimeBinner:
-    """Selects the most-populated execution-time bin within a relative margin."""
+    """Selects the most-populated execution-time bin within a relative margin.
+
+    :meth:`bin` is the stateless reference implementation (one pure-Python
+    sliding window over a fresh sort).  :meth:`extend` is its incremental
+    counterpart for the profiler's top-up loop: the binner keeps the sorted
+    value array across calls, merges each new batch with ``O(batch log n)``
+    binary searches (plus one array splice) and re-selects the golden window
+    with vectorized array operations instead of re-scanning every duration in
+    Python.  Both produce bit-identical :class:`BinningResult`\\ s.
+    """
 
     def __init__(self, margin: float) -> None:
         if margin <= 0:
             raise ValueError("binning margin must be positive")
         self._margin = margin
+        # Incremental state (used only by extend()).
+        self._values: list[float] = []
+        self._sorted: np.ndarray = np.empty(0, dtype=float)
+        self._sorted_index: np.ndarray = np.empty(0, dtype=np.int64)
 
     @property
     def margin(self) -> float:
         return self._margin
+
+    @property
+    def num_values(self) -> int:
+        """How many execution times the incremental state currently holds."""
+        return len(self._values)
 
     def bin(self, values_s: Sequence[float]) -> BinningResult:
         """Bin execution times and return the golden selection.
@@ -115,12 +138,89 @@ class ExecutionTimeBinner:
             values_s=tuple(float(v) for v in values_s),
         )
 
+    def extend(self, new_values_s: Sequence[float]) -> BinningResult:
+        """Add a batch of execution times and re-select the golden bin.
+
+        Equivalent to calling :meth:`bin` on all values seen so far (the
+        equivalence is pinned by tests), but without re-sorting or re-scanning
+        the accumulated durations: the new batch is merged into the maintained
+        sorted array, and the sliding-window selection runs as array
+        operations.  Indices in the returned result refer to the order the
+        values were supplied across all :meth:`extend` calls.
+        """
+        new = np.asarray(list(new_values_s), dtype=float)
+        if new.size and bool(np.any(new <= 0)):
+            raise ValueError("execution times must be positive")
+        base = len(self._values)
+        self._values.extend(float(value) for value in new)
+        if not self._values:
+            raise ValueError("cannot bin an empty set of execution times")
+        if new.size:
+            order = np.argsort(new, kind="stable")
+            batch = new[order]
+            batch_index = (base + order).astype(np.int64)
+            if self._sorted.size == 0:
+                self._sorted = batch
+                self._sorted_index = batch_index
+            else:
+                positions = np.searchsorted(self._sorted, batch, side="left")
+                self._sorted = np.insert(self._sorted, positions, batch)
+                self._sorted_index = np.insert(self._sorted_index, positions, batch_index)
+        return self._select_window()
+
+    def _select_window(self) -> BinningResult:
+        """Vectorized golden-window selection over the maintained sorted array.
+
+        Replicates the scalar two-pointer scan of :meth:`bin` exactly: for the
+        window ending at each sorted position, the minimal start satisfying
+        the margin is found by binary search and then corrected with the
+        *same multiplication predicate* the scalar code uses (the division in
+        the search key may round differently at bin boundaries); the winner is
+        the first window, in end order, with maximal count and minimal spread.
+        """
+        sorted_values = self._sorted
+        n = sorted_values.size
+        limit = 1.0 + self._margin
+        start = np.searchsorted(sorted_values, sorted_values / limit, side="left")
+        while True:
+            invalid = sorted_values > sorted_values[start] * limit
+            if not bool(invalid.any()):
+                break
+            start = start + invalid
+        while True:
+            previous = np.maximum(start - 1, 0)
+            can_grow = (start > 0) & (sorted_values <= sorted_values[previous] * limit)
+            if not bool(can_grow.any()):
+                break
+            start = start - can_grow
+        counts = np.arange(1, n + 1) - start
+        spreads = sorted_values / sorted_values[start] - 1.0
+        best_count = int(counts.max())
+        candidate_spreads = np.where(counts == best_count, spreads, np.inf)
+        best_end = int(np.argmin(candidate_spreads))  # first occurrence = scan order
+        best_start = int(start[best_end])
+        selected = tuple(
+            sorted(int(i) for i in self._sorted_index[best_start:best_end + 1])
+        )
+        selected_set = set(selected)
+        outliers = tuple(i for i in range(n) if i not in selected_set)
+        return BinningResult(
+            margin=self._margin,
+            selected_indices=selected,
+            outlier_indices=outliers,
+            bin_low_s=float(sorted_values[best_start]),
+            bin_high_s=float(sorted_values[best_end]),
+            values_s=tuple(self._values),
+        )
+
     def bin_around(self, values_s: Sequence[float], target_s: float) -> BinningResult:
         """Select runs whose execution time lies within the margin of ``target_s``.
 
         This is the variant the paper suggests for profiling *outlier*
         executions (Section VI): instead of the most populated bin, focus on a
-        specific execution time.
+        specific execution time.  When no value falls within the margin the
+        result is an explicit empty bin (``is_empty`` true, NaN bounds) rather
+        than a fake zero-width bin at ``target_s``.
         """
         if target_s <= 0:
             raise ValueError("target execution time must be positive")
@@ -136,8 +236,8 @@ class ExecutionTimeBinner:
             margin=self._margin,
             selected_indices=selected,
             outlier_indices=outliers,
-            bin_low_s=min(chosen) if chosen else target_s,
-            bin_high_s=max(chosen) if chosen else target_s,
+            bin_low_s=min(chosen) if chosen else float("nan"),
+            bin_high_s=max(chosen) if chosen else float("nan"),
             values_s=tuple(float(v) for v in values_s),
         )
 

@@ -11,6 +11,13 @@ of interest of many runs (paper step 9).  Three kinds are produced:
 * ``run`` -- power over the whole run (warm-ups through SSP), used for the
   methodology-evaluation figures (Figs 5, 6, 8).
 
+Profiles are stored **columnar**: one time / run-index / execution-index array
+bundle plus one power array per component (:class:`ProfileColumns`).  At paper
+scale a profile holds tens of thousands of stitched points, so statistics,
+smoothing, restriction and export are pure array operations; the legacy
+per-point :class:`ProfilePoint` view is materialised lazily, only when a
+consumer actually indexes ``profile.points``.
+
 Profiles carry per-component series (total / xcd / iod / hbm), support
 polynomial smoothing (the paper's degree-4 regression for low-run-count
 profiles), and expose the power / energy summary statistics the analysis and
@@ -20,8 +27,7 @@ insight layers consume.
 from __future__ import annotations
 
 import enum
-import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -71,61 +77,314 @@ def point_from_loi(loi: LogOfInterest, components: Sequence[str] = COMPONENT_KEY
     )
 
 
-@dataclass(frozen=True)
+class ProfileColumns:
+    """Structure-of-arrays storage behind :class:`FineGrainProfile`.
+
+    ``powers_w`` maps component names to full-length value arrays; a component
+    missing from *some* points carries ``NaN`` at the missing positions and a
+    boolean presence array in ``masks``.  Components present in every point
+    (the overwhelmingly common case) have no mask entry.  Constructors
+    normalise masks: an all-true mask is dropped, an all-false component is
+    removed entirely.
+    """
+
+    __slots__ = ("time_s", "run_index", "execution_index", "powers_w", "masks")
+
+    def __init__(
+        self,
+        time_s: np.ndarray,
+        run_index: np.ndarray,
+        execution_index: np.ndarray,
+        powers_w: Mapping[str, np.ndarray],
+        masks: Mapping[str, np.ndarray] | None = None,
+    ) -> None:
+        self.time_s = np.asarray(time_s, dtype=float)
+        self.run_index = np.asarray(run_index, dtype=np.int64)
+        self.execution_index = np.asarray(execution_index, dtype=np.int64)
+        self.powers_w: dict[str, np.ndarray] = {}
+        self.masks: dict[str, np.ndarray] = {}
+        raw_masks = dict(masks or {})
+        for name, values in powers_w.items():
+            values = np.asarray(values, dtype=float)
+            mask = raw_masks.get(name)
+            if mask is not None:
+                mask = np.asarray(mask, dtype=bool)
+                if not mask.any():
+                    continue
+                if mask.all():
+                    mask = None
+            self.powers_w[name] = values
+            if mask is not None:
+                self.masks[name] = mask
+
+    def __len__(self) -> int:
+        return int(self.time_s.shape[0])
+
+    def freeze(self) -> "ProfileColumns":
+        """Mark every array read-only (profiles are immutable by convention)."""
+        for array in self._arrays():
+            array.setflags(write=False)
+        return self
+
+    def _arrays(self) -> Iterable[np.ndarray]:
+        yield self.time_s
+        yield self.run_index
+        yield self.execution_index
+        yield from self.powers_w.values()
+        yield from self.masks.values()
+
+    # ------------------------------------------------------------------ #
+    def sorted_by_time(self) -> "ProfileColumns":
+        """Stable-sorted (by time) view; the same permutation as sorting points."""
+        if len(self) <= 1 or bool(np.all(np.diff(self.time_s) >= 0)):
+            return self
+        return self.take(np.argsort(self.time_s, kind="stable"))
+
+    def take(self, indices: np.ndarray) -> "ProfileColumns":
+        """A new column bundle holding the rows at ``indices`` (in that order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return ProfileColumns(
+            time_s=self.time_s[indices],
+            run_index=self.run_index[indices],
+            execution_index=self.execution_index[indices],
+            powers_w={name: values[indices] for name, values in self.powers_w.items()},
+            masks={name: mask[indices] for name, mask in self.masks.items()},
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def empty() -> "ProfileColumns":
+        return ProfileColumns(
+            np.empty(0, dtype=float),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            {},
+        )
+
+    @staticmethod
+    def from_points(points: Sequence[ProfilePoint]) -> "ProfileColumns":
+        """Columnise a sequence of points (component order: first seen)."""
+        points = tuple(points)
+        n = len(points)
+        if n == 0:
+            return ProfileColumns.empty()
+        time_s = np.empty(n, dtype=float)
+        run_index = np.empty(n, dtype=np.int64)
+        execution_index = np.empty(n, dtype=np.int64)
+        values: dict[str, np.ndarray] = {}
+        present: dict[str, np.ndarray] = {}
+        for i, point in enumerate(points):
+            time_s[i] = point.time_s
+            run_index[i] = point.run_index
+            execution_index[i] = point.execution_index
+            for name, value in point.powers_w.items():
+                column = values.get(name)
+                if column is None:
+                    column = np.full(n, np.nan)
+                    values[name] = column
+                    present[name] = np.zeros(n, dtype=bool)
+                column[i] = value
+                present[name][i] = True
+        return ProfileColumns(time_s, run_index, execution_index, values, present)
+
+    def to_points(self) -> tuple[ProfilePoint, ...]:
+        """Materialise the legacy per-point view."""
+        names = list(self.powers_w)
+        points = []
+        for i in range(len(self)):
+            powers: dict[str, float] = {}
+            for name in names:
+                mask = self.masks.get(name)
+                if mask is None or mask[i]:
+                    powers[name] = float(self.powers_w[name][i])
+            points.append(
+                ProfilePoint(
+                    time_s=float(self.time_s[i]),
+                    powers_w=powers,
+                    run_index=int(self.run_index[i]),
+                    execution_index=int(self.execution_index[i]),
+                )
+            )
+        return tuple(points)
+
+    @staticmethod
+    def concatenate(chunks: Sequence["ProfileColumns"]) -> "ProfileColumns":
+        """Stack column bundles; components missing from a chunk become masked."""
+        chunks = [chunk for chunk in chunks if chunk is not None]
+        if not chunks:
+            return ProfileColumns.empty()
+        if len(chunks) == 1:
+            return chunks[0]
+        names: list[str] = []
+        for chunk in chunks:
+            for name in chunk.powers_w:
+                if name not in names:
+                    names.append(name)
+        powers: dict[str, np.ndarray] = {}
+        masks: dict[str, np.ndarray] = {}
+        for name in names:
+            parts: list[np.ndarray] = []
+            mask_parts: list[np.ndarray] = []
+            for chunk in chunks:
+                n = len(chunk)
+                if name in chunk.powers_w:
+                    parts.append(chunk.powers_w[name])
+                    mask = chunk.masks.get(name)
+                    mask_parts.append(mask if mask is not None else np.ones(n, dtype=bool))
+                else:
+                    parts.append(np.full(n, np.nan))
+                    mask_parts.append(np.zeros(n, dtype=bool))
+            powers[name] = np.concatenate(parts)
+            masks[name] = np.concatenate(mask_parts)
+        return ProfileColumns(
+            np.concatenate([chunk.time_s for chunk in chunks]),
+            np.concatenate([chunk.run_index for chunk in chunks]),
+            np.concatenate([chunk.execution_index for chunk in chunks]),
+            powers,
+            masks,
+        )
+
+
 class FineGrainProfile:
-    """A stitched fine-grain power profile of one kernel."""
+    """A stitched fine-grain power profile of one kernel.
 
-    kernel_name: str
-    kind: ProfileKind
-    points: tuple[ProfilePoint, ...]
-    execution_time_s: float
-    metadata: Mapping[str, object] = field(default_factory=dict)
+    Point data lives in a :class:`ProfileColumns` bundle; every statistic and
+    transformation below is an array operation over it.  ``points`` remains
+    available for legacy consumers and is materialised (then cached) only when
+    first accessed.  Construct either from ``points`` (the retained
+    object-based path) or from ``columns`` (the columnar hot path) -- the two
+    are interchangeable and produce bit-identical results.
+    """
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "points", tuple(sorted(self.points, key=lambda p: p.time_s)))
+    def __init__(
+        self,
+        kernel_name: str,
+        kind: ProfileKind,
+        points: Sequence[ProfilePoint] | None = None,
+        execution_time_s: float | None = None,
+        metadata: Mapping[str, object] | None = None,
+        *,
+        columns: ProfileColumns | None = None,
+    ) -> None:
+        if execution_time_s is None:
+            raise TypeError("execution_time_s is required")
+        if (points is None) == (columns is None):
+            raise TypeError("provide exactly one of points= or columns=")
+        self.kernel_name = kernel_name
+        self.kind = kind
+        self.execution_time_s = execution_time_s
+        self.metadata: Mapping[str, object] = dict(metadata or {})
+        self._points: tuple[ProfilePoint, ...] | None
+        self._columns: ProfileColumns | None
+        if columns is not None:
+            self._columns = columns.sorted_by_time().freeze()
+            self._points = None
+        else:
+            self._points = tuple(sorted(points, key=lambda p: p.time_s))
+            self._columns = None
+
+    # ------------------------------------------------------------------ #
+    # Storage views.
+    # ------------------------------------------------------------------ #
+    @property
+    def points(self) -> tuple[ProfilePoint, ...]:
+        """Per-point view, materialised from the columns on first access."""
+        if self._points is None:
+            self._points = self._columns.to_points()
+        return self._points
+
+    def columns(self) -> ProfileColumns:
+        """The columnar storage (built once from points on the legacy path)."""
+        if self._columns is None:
+            # Points were sorted at construction; no re-sort needed.
+            self._columns = ProfileColumns.from_points(self._points).freeze()
+        return self._columns
 
     # ------------------------------------------------------------------ #
     # Basic accessors.
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self.points)
+        if self._points is not None:
+            return len(self._points)
+        return len(self._columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FineGrainProfile):
+            return NotImplemented
+        return (
+            self.kernel_name == other.kernel_name
+            and self.kind == other.kind
+            and self.execution_time_s == other.execution_time_s
+            and dict(self.metadata) == dict(other.metadata)
+            and self.points == other.points
+        )
+
+    __hash__ = None  # mutable metadata mapping; profiles are not hashable
+
+    def __repr__(self) -> str:
+        return (
+            f"FineGrainProfile(kernel_name={self.kernel_name!r}, kind={self.kind!r}, "
+            f"points=<{len(self)}>, execution_time_s={self.execution_time_s!r})"
+        )
 
     @property
     def is_empty(self) -> bool:
-        return not self.points
+        return len(self) == 0
 
     @property
     def components(self) -> tuple[str, ...]:
-        if not self.points:
-            return ()
-        present = [c for c in COMPONENT_KEYS if self.points[0].has_component(c)]
-        extra = [c for c in self.points[0].powers_w if c not in present]
+        """Components present in *any* point (canonical keys first)."""
+        powers = self.columns().powers_w
+        present = [c for c in COMPONENT_KEYS if c in powers]
+        extra = [c for c in powers if c not in COMPONENT_KEYS]
         return tuple(present + sorted(extra))
 
     def times(self) -> np.ndarray:
-        """Point times as a float array; built once and cached (read-only)."""
-        cached = self.__dict__.get("_times_cache")
-        if cached is None:
-            cached = np.asarray([point.time_s for point in self.points], dtype=float)
-            cached.setflags(write=False)
-            object.__setattr__(self, "_times_cache", cached)
-        return cached
+        """Point times as a read-only float array."""
+        return self.columns().time_s
 
     def series(self, component: str = "total") -> np.ndarray:
-        """Per-component power array; built once per component and cached."""
-        cache: dict[str, np.ndarray] | None = self.__dict__.get("_series_cache")
-        if cache is None:
-            cache = {}
-            object.__setattr__(self, "_series_cache", cache)
-        cached = cache.get(component)
-        if cached is None:
-            cached = np.asarray([point.power(component) for point in self.points], dtype=float)
-            cached.setflags(write=False)
-            cache[component] = cached
-        return cached
+        """Per-component power array, aligned with :meth:`times`.
+
+        Positions whose point lacks the component are ``NaN`` (see
+        :meth:`component_mask`); statistics below skip them.  An empty profile
+        yields an empty array for any component name.
+        """
+        cols = self.columns()
+        try:
+            return cols.powers_w[component]
+        except KeyError as exc:
+            if len(cols) == 0:
+                return cols.time_s  # the (read-only) empty float array
+            raise KeyError(f"profile point has no component {component!r}") from exc
+
+    def component_mask(self, component: str) -> np.ndarray | None:
+        """Presence mask for a partially present component (None = everywhere)."""
+        self.series(component)  # raise KeyError for unknown components
+        return self.columns().masks.get(component)
 
     def run_indices(self) -> list[int]:
-        return [point.run_index for point in self.points]
+        return self.columns().run_index.tolist()
+
+    def _component_values(self, component: str) -> np.ndarray:
+        """The component's values at the points that actually carry it."""
+        values = self.series(component)
+        mask = self.columns().masks.get(component)
+        return values if mask is None else values[mask]
+
+    def component_points(self, component: str) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) restricted to points that carry the component.
+
+        For fully present components this is ``(times(), series(component))``;
+        for partially present ones the NaN holes are dropped.  Consumers that
+        fit or plot a single component should use this instead of reading
+        :meth:`series` raw, so missing points never poison a fit with NaNs.
+        """
+        values = self.series(component)
+        mask = self.columns().masks.get(component)
+        if mask is None:
+            return self.times(), values
+        return self.times()[mask], values[mask]
 
     # ------------------------------------------------------------------ #
     # Statistics.
@@ -133,27 +392,30 @@ class FineGrainProfile:
     def mean_power_w(self, component: str = "total") -> float:
         if self.is_empty:
             raise ValueError("profile has no points")
-        return float(np.mean(self.series(component)))
+        return float(np.mean(self._component_values(component)))
 
     def median_power_w(self, component: str = "total") -> float:
         if self.is_empty:
             raise ValueError("profile has no points")
-        return float(np.median(self.series(component)))
+        return float(np.median(self._component_values(component)))
 
     def max_power_w(self, component: str = "total") -> float:
         if self.is_empty:
             raise ValueError("profile has no points")
-        return float(np.max(self.series(component)))
+        return float(np.max(self._component_values(component)))
 
     def min_power_w(self, component: str = "total") -> float:
         if self.is_empty:
             raise ValueError("profile has no points")
-        return float(np.min(self.series(component)))
+        return float(np.min(self._component_values(component)))
 
     def power_std_w(self, component: str = "total") -> float:
-        if len(self.points) < 2:
+        if len(self) < 2:
             return 0.0
-        return float(np.std(self.series(component), ddof=1))
+        values = self._component_values(component)
+        if values.shape[0] < 2:
+            return 0.0
+        return float(np.std(values, ddof=1))
 
     def energy_j(self, component: str = "total") -> float:
         """Energy of one kernel execution implied by the profile.
@@ -184,8 +446,7 @@ class FineGrainProfile:
             raise ValueError("cannot smooth an empty profile")
         if degree < 0:
             raise ValueError("degree must be non-negative")
-        times = self.times()
-        powers = self.series(component)
+        times, powers = self.component_points(component)
         effective_degree = min(degree, max(len(times) - 1, 0))
         grid = np.linspace(float(times.min()), float(times.max()), num_points)
         if effective_degree == 0 or float(times.max()) == float(times.min()):
@@ -196,62 +457,124 @@ class FineGrainProfile:
     def binned_mean(
         self, component: str = "total", bins: int = 20
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Mean power in equal-width time bins (a robust alternative to polyfit)."""
+        """Mean power in equal-width time bins (a robust alternative to polyfit).
+
+        One :func:`np.bincount` pass over the bin assignments replaces the
+        per-bin Python mask loop.
+        """
         if self.is_empty:
             raise ValueError("cannot bin an empty profile")
-        times = self.times()
-        powers = self.series(component)
+        times, powers = self.component_points(component)
         edges = np.linspace(float(times.min()), float(times.max()) + 1e-12, bins + 1)
         centers = 0.5 * (edges[:-1] + edges[1:])
-        means = np.full(bins, np.nan)
-        which = np.digitize(times, edges) - 1
-        which = np.clip(which, 0, bins - 1)
-        for b in range(bins):
-            mask = which == b
-            if np.any(mask):
-                means[b] = float(np.mean(powers[mask]))
-        valid = ~np.isnan(means)
-        return centers[valid], means[valid]
+        which = np.clip(np.digitize(times, edges) - 1, 0, bins - 1)
+        counts = np.bincount(which, minlength=bins)
+        sums = np.bincount(which, weights=powers, minlength=bins)
+        valid = counts > 0
+        return centers[valid], sums[valid] / counts[valid]
 
     # ------------------------------------------------------------------ #
     # Construction / transformation helpers.
     # ------------------------------------------------------------------ #
     def restricted_to_runs(self, run_indices: Iterable[int]) -> "FineGrainProfile":
-        wanted = set(run_indices)
+        cols = self.columns()
+        wanted = np.fromiter((int(i) for i in run_indices), dtype=np.int64)
+        keep = np.nonzero(np.isin(cols.run_index, wanted))[0]
         return FineGrainProfile(
             kernel_name=self.kernel_name,
             kind=self.kind,
-            points=tuple(p for p in self.points if p.run_index in wanted),
             execution_time_s=self.execution_time_s,
             metadata=dict(self.metadata),
+            columns=cols.take(keep),
         )
 
     def subsampled(self, max_points: int, seed: int = 0) -> "FineGrainProfile":
         """Randomly keep at most ``max_points`` points (used for #runs ablations)."""
         if max_points <= 0:
             raise ValueError("max_points must be positive")
-        if len(self.points) <= max_points:
+        if len(self) <= max_points:
             return self
         rng = np.random.default_rng(seed)
-        chosen = rng.choice(len(self.points), size=max_points, replace=False)
+        chosen = rng.choice(len(self), size=max_points, replace=False)
         return FineGrainProfile(
             kernel_name=self.kernel_name,
             kind=self.kind,
-            points=tuple(self.points[i] for i in sorted(chosen)),
             execution_time_s=self.execution_time_s,
             metadata=dict(self.metadata),
+            columns=self.columns().take(np.sort(chosen)),
         )
 
     def to_rows(self) -> list[dict[str, float]]:
         """Flatten the profile to rows for CSV/JSON export."""
+        cols = self.columns()
+        names = list(cols.powers_w)
         rows = []
-        for point in self.points:
-            row: dict[str, float] = {"time_s": point.time_s}
-            row.update({f"{name}_w": value for name, value in point.powers_w.items()})
-            row["run_index"] = point.run_index
-            row["execution_index"] = point.execution_index
+        for i in range(len(cols)):
+            row: dict[str, float] = {"time_s": float(cols.time_s[i])}
+            for name in names:
+                mask = cols.masks.get(name)
+                if mask is None or mask[i]:
+                    row[f"{name}_w"] = float(cols.powers_w[name][i])
+            row["run_index"] = int(cols.run_index[i])
+            row["execution_index"] = int(cols.execution_index[i])
             rows.append(row)
         return rows
+
+
+def component_column(
+    readings: Sequence[object], component: str
+) -> tuple[np.ndarray, np.ndarray | None] | None:
+    """Columnise one component across power readings.
+
+    Returns ``(values, presence-mask)`` -- the mask is ``None`` when the
+    component is present in every reading -- or ``None`` when it is present in
+    none.  The single source of the NaN-fill / presence-mask rules shared by
+    :func:`columns_from_lois` and the stitched series' cached power columns.
+    """
+    n = len(readings)
+    if component == "total":
+        return (
+            np.fromiter((reading.total_w for reading in readings), dtype=float, count=n),
+            None,
+        )
+    raw = [reading.components.get(component) for reading in readings]
+    if all(value is not None for value in raw):
+        return np.asarray(raw, dtype=float), None
+    if any(value is not None for value in raw):
+        return (
+            np.asarray(
+                [value if value is not None else np.nan for value in raw], dtype=float
+            ),
+            np.asarray([value is not None for value in raw], dtype=bool),
+        )
+    return None
+
+
+def columns_from_lois(
+    lois: Sequence[LogOfInterest], components: Sequence[str] = COMPONENT_KEYS
+) -> ProfileColumns:
+    """Columnise logs of interest directly -- no intermediate point objects."""
+    lois = list(lois)
+    n = len(lois)
+    if n == 0:
+        return ProfileColumns.empty()
+    time_s = np.fromiter((loi.toi_s for loi in lois), dtype=float, count=n)
+    run_index = np.fromiter((loi.run_index for loi in lois), dtype=np.int64, count=n)
+    execution_index = np.fromiter(
+        (loi.execution_index for loi in lois), dtype=np.int64, count=n
+    )
+    readings = [loi.reading for loi in lois]
+    powers: dict[str, np.ndarray] = {}
+    masks: dict[str, np.ndarray] = {}
+    for component in components:
+        column = component_column(readings, component)
+        if column is None:
+            continue
+        values, mask = column
+        powers[component] = values
+        if mask is not None:
+            masks[component] = mask
+    return ProfileColumns(time_s, run_index, execution_index, powers, masks)
 
 
 def profile_from_lois(
@@ -262,7 +585,30 @@ def profile_from_lois(
     components: Sequence[str] = COMPONENT_KEYS,
     metadata: Mapping[str, object] | None = None,
 ) -> FineGrainProfile:
-    """Build a profile directly from logs of interest (TOI on the x-axis)."""
+    """Build a profile directly from logs of interest (TOI on the x-axis).
+
+    The columns are filled straight from the LOIs; no :class:`ProfilePoint`
+    objects are created.  :func:`profile_from_lois_reference` is the retained
+    object-based construction, pinned bit-identical by the equivalence tests.
+    """
+    return FineGrainProfile(
+        kernel_name=kernel_name,
+        kind=kind,
+        execution_time_s=execution_time_s,
+        metadata=dict(metadata or {}),
+        columns=columns_from_lois(lois, components),
+    )
+
+
+def profile_from_lois_reference(
+    kernel_name: str,
+    kind: ProfileKind,
+    lois: Sequence[LogOfInterest],
+    execution_time_s: float,
+    components: Sequence[str] = COMPONENT_KEYS,
+    metadata: Mapping[str, object] | None = None,
+) -> FineGrainProfile:
+    """Object-based reference construction (one frozen point per LOI)."""
     points = tuple(point_from_loi(loi, components) for loi in lois)
     return FineGrainProfile(
         kernel_name=kernel_name,
@@ -301,9 +647,13 @@ def idle_normalized(value_w: float, idle_w: float, peak_w: float) -> float:
 __all__ = [
     "ProfileKind",
     "ProfilePoint",
+    "ProfileColumns",
     "FineGrainProfile",
     "point_from_loi",
+    "component_column",
+    "columns_from_lois",
     "profile_from_lois",
+    "profile_from_lois_reference",
     "measurement_error",
     "idle_normalized",
 ]

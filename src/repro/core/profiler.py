@@ -85,6 +85,11 @@ class ProfilerConfig:
     #: record each top-up batch), retained as the reference implementation for
     #: equivalence tests and the scaling benchmark.
     vectorized: bool = True
+    #: Build profiles columnar (arrays straight from the stitched series, lazy
+    #: point materialisation).  ``False`` selects the retained object-based
+    #: construction (one frozen ProfilePoint per LOI), pinned bit-identical by
+    #: the equivalence tests.
+    columnar: bool = True
 
     def with_overrides(self, **kwargs: object) -> "ProfilerConfig":
         return replace(self, **kwargs)
@@ -246,14 +251,18 @@ class FinGraVProfiler:
         records = self._collect_runs(kernel, planned_runs, executions_per_run, preceding, 0)
 
         # Step 6: golden-run selection by execution-time binning.  The binner
-        # is built once; the top-up loop re-bins (with incrementally grown
-        # durations) only when new records actually arrived.
+        # is built once; on the vectorized path it maintains its sorted state
+        # across top-up batches (ExecutionTimeBinner.extend), so each re-bin
+        # costs O(batch) searches instead of a Python re-scan of every run.
         binning: BinningResult | None = None
         golden_indices: Sequence[int] | None = None
         binner = ExecutionTimeBinner(margin) if config.apply_binning else None
         ssp_durations = [record.ssp_execution.duration_s for record in records]
         if binner is not None:
-            binning = binner.bin(ssp_durations)
+            if config.vectorized:
+                binning = binner.extend(ssp_durations)
+            else:
+                binning = binner.bin(ssp_durations)
             golden_indices = [records[i].run_index for i in binning.selected_indices]
 
         # Step 7: sync and LOI extraction (via the stitcher).
@@ -262,6 +271,7 @@ class FinGraVProfiler:
             calibration=calibration if config.synchronize else None,
             synchronize=config.synchronize,
             vectorized=config.vectorized,
+            columnar=config.columnar,
         )
         series = stitcher.collect(records)
 
@@ -315,7 +325,7 @@ class FinGraVProfiler:
             extra_budget -= batch
             if binner is not None and extra_records:
                 if config.vectorized:
-                    ssp_durations.extend(
+                    binning = binner.extend(
                         record.ssp_execution.duration_s for record in extra_records
                     )
                 else:
@@ -325,7 +335,7 @@ class FinGraVProfiler:
                     ssp_durations = [
                         record.ssp_execution.duration_s for record in records
                     ]
-                binning = binner.bin(ssp_durations)
+                    binning = binner.bin(ssp_durations)
                 golden_indices = [records[i].run_index for i in binning.selected_indices]
             if config.vectorized:
                 series = stitcher.extend(series, extra_records)

@@ -15,8 +15,21 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from .profile import FineGrainProfile, ProfileKind, ProfilePoint, profile_from_lois
-from .records import COMPONENT_KEYS, DelayCalibration, LogOfInterest, RunRecord
+from .profile import (
+    FineGrainProfile,
+    ProfileColumns,
+    ProfileKind,
+    ProfilePoint,
+    component_column,
+    profile_from_lois_reference,
+)
+from .records import (
+    COMPONENT_KEYS,
+    DelayCalibration,
+    LogOfInterest,
+    PowerReading,
+    RunRecord,
+)
 from .timesync import (
     extract_lois,
     extract_lois_batch,
@@ -58,6 +71,15 @@ class StitchedRunSeries:
         self._exec_index_list: list[int] = []
         self._run_index_arr: np.ndarray | None = None
         self._exec_index_arr: np.ndarray | None = None
+        # Columnar LOI storage backing the array-native profile builds: TOI
+        # per LOI, the reading behind each LOI, and the owning run's last
+        # execution index (so "SSP = last execution" masks are one compare).
+        self._toi_list: list[float] = []
+        self._flat_readings: list[PowerReading] = []
+        self._last_exec_list: list[int] = []
+        self._toi_arr: np.ndarray | None = None
+        self._last_exec_arr: np.ndarray | None = None
+        self._power_columns: dict[str, tuple[np.ndarray, np.ndarray | None] | None] = {}
         for run_index, run in dict(runs or {}).items():
             self.add_run(run, (lois_by_run or {}).get(run_index, ()))
 
@@ -103,12 +125,18 @@ class StitchedRunSeries:
         for loi in lois:
             self._run_index_list.append(loi.run_index)
             self._exec_index_list.append(loi.execution_index)
+            self._toi_list.append(loi.toi_s)
+            self._flat_readings.append(loi.reading)
+            self._last_exec_list.append(last_index if last_index is not None else -1)
             self._by_execution.setdefault(loi.execution_index, []).append(loi)
             if last_index is not None and loi.execution_index == last_index:
                 self._last_execution.append(loi)
         if lois:
             self._run_index_arr = None
             self._exec_index_arr = None
+            self._toi_arr = None
+            self._last_exec_arr = None
+            self._power_columns.clear()
 
     def reading_match(self, run_index: int) -> tuple[np.ndarray, np.ndarray] | None:
         """Cached (window-end times, execution positions) for one run, if any."""
@@ -139,6 +167,39 @@ class StitchedRunSeries:
             self._exec_index_arr = np.asarray(self._exec_index_list, dtype=np.int64)
         return self._run_index_arr, self._exec_index_arr
 
+    def loi_index_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(run_index, execution_index) arrays over all LOIs, in stitch order."""
+        return self._loi_arrays()
+
+    def loi_toi_array(self) -> np.ndarray:
+        """Times of interest over all LOIs, in stitch order."""
+        if self._toi_arr is None:
+            self._toi_arr = np.asarray(self._toi_list, dtype=float)
+        return self._toi_arr
+
+    def loi_last_execution_array(self) -> np.ndarray:
+        """Per-LOI last-execution index of the LOI's own run, in stitch order."""
+        if self._last_exec_arr is None:
+            self._last_exec_arr = np.asarray(self._last_exec_list, dtype=np.int64)
+        return self._last_exec_arr
+
+    def loi_power_column(
+        self, component: str
+    ) -> tuple[np.ndarray, np.ndarray | None] | None:
+        """(values, presence-mask) of one component across all LOIs.
+
+        The mask is ``None`` when the component is present in every LOI's
+        reading; the whole return is ``None`` when it is present in none.
+        Columns are built once per component and invalidated when runs are
+        added, so repeated profile builds over the same series are array
+        slices, not per-LOI attribute walks.
+        """
+        if component in self._power_columns:
+            return self._power_columns[component]
+        column = component_column(self._flat_readings, component)
+        self._power_columns[component] = column
+        return column
+
     def count_lois(
         self,
         min_execution_index: int | None = None,
@@ -167,7 +228,14 @@ class StitchedRunSeries:
 
 
 class ProfileStitcher:
-    """Builds fine-grain profiles from run records."""
+    """Builds fine-grain profiles from run records.
+
+    ``columnar=True`` (the default) assembles profiles directly from the
+    series' columnar LOI views -- one boolean mask plus array slices per
+    profile, no intermediate :class:`ProfilePoint` objects.  ``columnar=False``
+    retains the object-based construction; equivalence tests pin the two
+    bit-identical.
+    """
 
     def __init__(
         self,
@@ -175,11 +243,13 @@ class ProfileStitcher:
         calibration: DelayCalibration | None = None,
         synchronize: bool = True,
         vectorized: bool = True,
+        columnar: bool = True,
     ) -> None:
         self._components = tuple(components)
         self._calibration = calibration
         self._synchronize = synchronize
         self._vectorized = vectorized
+        self._columnar = columnar
 
     @property
     def synchronize(self) -> bool:
@@ -188,6 +258,10 @@ class ProfileStitcher:
     @property
     def vectorized(self) -> bool:
         return self._vectorized
+
+    @property
+    def columnar(self) -> bool:
+        return self._columnar
 
     # ------------------------------------------------------------------ #
     # LOI extraction across runs.
@@ -256,15 +330,24 @@ class ProfileStitcher:
         extra (tail) executions legitimately belong to the same profile and
         multiply the LOI yield of very short kernels.
         """
+        which: int | str = "last" if min_execution_index is None else min_execution_index
+        execution_time = self._execution_time(series, golden_runs, which=which)
+        if self._columnar:
+            run_idx, exec_idx = series.loi_index_arrays()
+            if min_execution_index is None:
+                mask = exec_idx == series.loi_last_execution_array()
+            else:
+                mask = exec_idx >= min_execution_index
+            return self._profile_from_series(
+                series, self._golden_mask(mask, run_idx, golden_runs),
+                ProfileKind.SSP, execution_time, metadata,
+            )
         if min_execution_index is None:
             lois = series.lois_for_last_execution()
-            which: int | str = "last"
         else:
             lois = series.lois_from_execution(min_execution_index)
-            which = min_execution_index
         lois = self._filtered(lois, golden_runs)
-        execution_time = self._execution_time(series, golden_runs, which=which)
-        return profile_from_lois(
+        return profile_from_lois_reference(
             series.kernel_name, ProfileKind.SSP, lois, execution_time,
             components=self._components, metadata=metadata,
         )
@@ -277,9 +360,15 @@ class ProfileStitcher:
         metadata: Mapping[str, object] | None = None,
     ) -> FineGrainProfile:
         """Profile of the SSE execution (first post-warm-up) across runs."""
-        lois = self._filtered(series.lois_for_execution(sse_index), golden_runs)
         execution_time = self._execution_time(series, golden_runs, which=sse_index)
-        return profile_from_lois(
+        if self._columnar:
+            run_idx, exec_idx = series.loi_index_arrays()
+            mask = self._golden_mask(exec_idx == sse_index, run_idx, golden_runs)
+            return self._profile_from_series(
+                series, mask, ProfileKind.SSE, execution_time, metadata
+            )
+        lois = self._filtered(series.lois_for_execution(sse_index), golden_runs)
+        return profile_from_lois_reference(
             series.kernel_name, ProfileKind.SSE, lois, execution_time,
             components=self._components, metadata=metadata,
         )
@@ -291,9 +380,15 @@ class ProfileStitcher:
         golden_runs: Sequence[int] | None = None,
     ) -> FineGrainProfile:
         """Profile of an arbitrary execution index (used for outlier studies)."""
-        lois = self._filtered(series.lois_for_execution(execution_index), golden_runs)
         execution_time = self._execution_time(series, golden_runs, which=execution_index)
-        return profile_from_lois(
+        if self._columnar:
+            run_idx, exec_idx = series.loi_index_arrays()
+            mask = self._golden_mask(exec_idx == execution_index, run_idx, golden_runs)
+            return self._profile_from_series(
+                series, mask, ProfileKind.CUSTOM, execution_time, None
+            )
+        lois = self._filtered(series.lois_for_execution(execution_index), golden_runs)
+        return profile_from_lois_reference(
             series.kernel_name, ProfileKind.CUSTOM, lois, execution_time,
             components=self._components,
         )
@@ -315,8 +410,32 @@ class ProfileStitcher:
         visible, exactly as in the paper's figures.
         """
         selected = set(golden_runs) if golden_runs is not None else None
-        points: list[ProfilePoint] = []
         durations: list[float] = []
+        if self._columnar:
+            chunks: list[ProfileColumns] = []
+            for run_index, run in series.runs.items():
+                if selected is not None and run_index not in selected:
+                    continue
+                if not run.executions:
+                    continue
+                origin = run.first_execution.cpu_start_s
+                durations.append(run.last_execution.cpu_end_s - origin)
+                chunks.append(
+                    self._run_columns(
+                        run,
+                        origin,
+                        include_non_execution_readings,
+                        cached_match=series.reading_match(run_index),
+                    )
+                )
+            return FineGrainProfile(
+                kernel_name=series.kernel_name,
+                kind=ProfileKind.RUN,
+                execution_time_s=mean_duration_or_zero(durations),
+                metadata=dict(metadata or {}),
+                columns=ProfileColumns.concatenate(chunks),
+            )
+        points: list[ProfilePoint] = []
         for run_index, run in series.runs.items():
             if selected is not None and run_index not in selected:
                 continue
@@ -339,6 +458,57 @@ class ProfileStitcher:
             points=tuple(points),
             execution_time_s=execution_time,
             metadata=dict(metadata or {}),
+        )
+
+    def _run_columns(
+        self,
+        run: RunRecord,
+        origin_cpu_s: float,
+        include_idle: bool,
+        cached_match: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> ProfileColumns:
+        """One run's whole-run profile rows as a column bundle (no points)."""
+        reading_columns = run.reading_columns()
+        if not reading_columns.uniform_components:
+            # Readings disagree on their component sets; per-reading presence
+            # needs the scalar path.  Columnise its points.
+            return ProfileColumns.from_points(
+                self._run_points(run, origin_cpu_s, include_idle, cached_match)
+            )
+        if cached_match is not None:
+            times, positions = cached_match
+        else:
+            times = self._window_end_times(run)
+            positions = match_execution_positions(run, times)
+        times = np.asarray(times, dtype=float)
+        if include_idle:
+            keep = np.arange(times.shape[0])
+        else:
+            span_start = run.first_execution.cpu_start_s
+            span_end = run.last_execution.cpu_end_s
+            keep = np.nonzero((times >= span_start) & (times <= span_end))[0]
+        available = reading_columns.powers_w
+        powers = {
+            component: available[component][keep]
+            for component in self._components
+            if component in available
+        }
+        exec_index_by_pos = np.fromiter(
+            (execution.index for execution in run.executions),
+            dtype=np.int64,
+            count=len(run.executions),
+        )
+        kept_positions = np.asarray(positions, dtype=np.int64)[keep]
+        execution_index = np.where(
+            kept_positions >= 0,
+            exec_index_by_pos[np.clip(kept_positions, 0, None)],
+            -1,
+        )
+        return ProfileColumns(
+            time_s=times[keep] - origin_cpu_s,
+            run_index=np.full(keep.shape[0], run.run_index, dtype=np.int64),
+            execution_index=execution_index,
+            powers_w=powers,
         )
 
     def _window_end_times(self, run: RunRecord) -> np.ndarray:
@@ -428,6 +598,52 @@ class ProfileStitcher:
     # ------------------------------------------------------------------ #
     # Helpers.
     # ------------------------------------------------------------------ #
+    def _profile_from_series(
+        self,
+        series: StitchedRunSeries,
+        mask: np.ndarray,
+        kind: ProfileKind,
+        execution_time: float,
+        metadata: Mapping[str, object] | None,
+    ) -> FineGrainProfile:
+        """Slice the series' columnar LOI views into a profile (no points)."""
+        keep = np.nonzero(mask)[0]
+        run_idx, exec_idx = series.loi_index_arrays()
+        powers: dict[str, np.ndarray] = {}
+        masks: dict[str, np.ndarray] = {}
+        if keep.size:
+            for component in self._components:
+                column = series.loi_power_column(component)
+                if column is None:
+                    continue
+                values, presence = column
+                powers[component] = values[keep]
+                if presence is not None:
+                    masks[component] = presence[keep]
+        columns = ProfileColumns(
+            time_s=series.loi_toi_array()[keep],
+            run_index=run_idx[keep],
+            execution_index=exec_idx[keep],
+            powers_w=powers,
+            masks=masks,
+        )
+        return FineGrainProfile(
+            kernel_name=series.kernel_name,
+            kind=kind,
+            execution_time_s=execution_time,
+            metadata=dict(metadata or {}),
+            columns=columns,
+        )
+
+    @staticmethod
+    def _golden_mask(
+        mask: np.ndarray, run_idx: np.ndarray, golden_runs: Sequence[int] | None
+    ) -> np.ndarray:
+        if golden_runs is None:
+            return mask
+        wanted = np.fromiter((int(i) for i in golden_runs), dtype=np.int64)
+        return mask & np.isin(run_idx, wanted)
+
     @staticmethod
     def _filtered(
         lois: Sequence[LogOfInterest], golden_runs: Sequence[int] | None

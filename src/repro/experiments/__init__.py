@@ -1,9 +1,13 @@
-"""One driver per paper table/figure, plus ablations.
+"""One driver per paper table/figure, plus ablations and the sweep engine.
 
 Each module exposes ``run_<experiment>()`` returning a result object with the
 rows/series the paper reports and boolean checks for the paper's qualitative
-claims.  The matching benchmark under ``benchmarks/`` calls the driver and
-prints the regenerated table/figure data.
+claims.  Drivers register their per-kernel profiling work as
+:class:`~repro.experiments.sweep.ProfileJob` specs, so a
+:class:`~repro.experiments.sweep.SweepRunner` can fan the whole suite out
+across a process pool (``python -m repro.experiments.sweep --all``); the
+matching benchmark under ``benchmarks/`` calls the driver and prints the
+regenerated table/figure data.
 """
 
 from .ablations import (
@@ -19,10 +23,13 @@ from .ablations import (
 from .common import (
     FAST_SCALE,
     PAPER_SCALE,
+    TINY_SCALE,
     ExperimentScale,
     default_scale,
     make_backend,
     make_profiler,
+    power_sample_period_s,
+    scale_by_name,
 )
 from .fig5 import Fig5Result, run_fig5
 from .fig6 import Fig6Result, run_fig6
@@ -30,6 +37,17 @@ from .fig7 import Fig7Result, run_fig7
 from .fig8 import Fig8Result, run_fig8
 from .fig9 import Fig9Result, run_fig9
 from .fig10 import Fig10Result, run_fig10
+from .sweep import (
+    EXPERIMENT_NAMES,
+    KernelSpec,
+    ProfileJob,
+    SweepRunner,
+    default_runner,
+    execute_job,
+    kernel_spec,
+    run_jobs,
+    run_sweep,
+)
 from .table1 import Table1Result, run_table1
 from .table2 import Table2Result, run_table2
 
@@ -44,8 +62,11 @@ __all__ = [
     "run_sampler_ablation",
     "FAST_SCALE",
     "PAPER_SCALE",
+    "TINY_SCALE",
     "ExperimentScale",
     "default_scale",
+    "scale_by_name",
+    "power_sample_period_s",
     "make_backend",
     "make_profiler",
     "Fig5Result",
@@ -60,6 +81,15 @@ __all__ = [
     "run_fig9",
     "Fig10Result",
     "run_fig10",
+    "EXPERIMENT_NAMES",
+    "KernelSpec",
+    "ProfileJob",
+    "SweepRunner",
+    "default_runner",
+    "execute_job",
+    "kernel_spec",
+    "run_jobs",
+    "run_sweep",
     "Table1Result",
     "run_table1",
     "Table2Result",

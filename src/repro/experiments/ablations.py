@@ -19,17 +19,20 @@ the simulation substrate) depends on:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dataclass_replace
+from typing import Mapping
 
 import numpy as np
 
 from ..analysis.trends import profile_spread
 from ..core.baselines import CoarseSamplerEstimator, CoverageReport
 from ..core.binning import ExecutionTimeBinner
+from ..core.profiler import FinGraVResult
 from ..core.stitching import ProfileStitcher
 from ..core.timesync import extract_lois, synchronizer_for_run
 from ..gpu.spec import ClockSpec, GPUSpec, mi300x_spec
 from ..kernels.workloads import cb_gemm
 from .common import ExperimentScale, default_scale, make_backend, make_profiler
+from .sweep import ProfileJob, SweepRunner, kernel_spec, run_jobs
 
 
 # --------------------------------------------------------------------------- #
@@ -56,24 +59,52 @@ class SamplerAblationResult:
         }
 
 
-def run_sampler_ablation(
+def sampler_ablation_jobs(
     scale: ExperimentScale | None = None, seed: int = 31, runs: int | None = None
-) -> SamplerAblationResult:
+) -> list[ProfileJob]:
+    """The averaging-vs-instantaneous sampler pair as independent jobs."""
     scale = scale or default_scale()
     runs = runs or scale.gemm_runs
-    kernel = cb_gemm(2048)
+    spec = kernel_spec("cb_gemm", 2048)
+    return [
+        ProfileJob(
+            job_id="ablations/sampler/averaging",
+            kernel=spec, runs=runs,
+            backend_seed=seed, profiler_seed=seed + 100,
+            sampler="averaging",
+        ),
+        ProfileJob(
+            job_id="ablations/sampler/instantaneous",
+            kernel=spec, runs=runs,
+            backend_seed=seed + 1, profiler_seed=seed + 101,
+            sampler="instantaneous",
+        ),
+    ]
 
-    averaging_backend = make_backend(seed=seed, sampler="averaging")
-    averaging_result = make_profiler(averaging_backend, seed=seed + 100).profile(kernel, runs=runs)
 
-    instant_backend = make_backend(seed=seed + 1, sampler="instantaneous")
-    instant_result = make_profiler(instant_backend, seed=seed + 101).profile(kernel, runs=runs)
-
+def sampler_ablation_from_results(
+    results: Mapping[str, object],
+    scale: ExperimentScale | None = None,
+    seed: int = 31,
+) -> SamplerAblationResult:
+    del scale, seed
+    averaging: FinGraVResult = results["ablations/sampler/averaging"]
+    instantaneous: FinGraVResult = results["ablations/sampler/instantaneous"]
     return SamplerAblationResult(
-        kernel_name=kernel.name,
-        averaging_error=averaging_result.sse_vs_ssp_error(),
-        instantaneous_error=instant_result.sse_vs_ssp_error(),
+        kernel_name=averaging.kernel_name,
+        averaging_error=averaging.sse_vs_ssp_error(),
+        instantaneous_error=instantaneous.sse_vs_ssp_error(),
     )
+
+
+def run_sampler_ablation(
+    scale: ExperimentScale | None = None,
+    seed: int = 31,
+    runs: int | None = None,
+    runner: SweepRunner | None = None,
+) -> SamplerAblationResult:
+    jobs = sampler_ablation_jobs(scale=scale, seed=seed, runs=runs)
+    return sampler_ablation_from_results(run_jobs(jobs, runner), scale=scale, seed=seed)
 
 
 # --------------------------------------------------------------------------- #
@@ -160,18 +191,31 @@ class BinningMarginSweep:
         return all(a <= b + 1e-9 for a, b in zip(fractions, fractions[1:]))
 
 
-def run_binning_margin_sweep(
+def binning_margin_jobs(
+    scale: ExperimentScale | None = None, seed: int = 33, runs: int | None = None
+) -> list[ProfileJob]:
+    """The single CB-4K-GEMM profile job behind the margin sweep."""
+    scale = scale or default_scale()
+    return [
+        ProfileJob(
+            job_id="ablations/margins/CB-4K-GEMM",
+            kernel=kernel_spec("cb_gemm", 4096),
+            runs=runs or scale.methodology_runs,
+            backend_seed=seed,
+            profiler_seed=seed + 100,
+        )
+    ]
+
+
+def binning_margin_from_results(
+    results: Mapping[str, object],
     scale: ExperimentScale | None = None,
     seed: int = 33,
-    runs: int | None = None,
     margins: tuple[float, ...] = (0.005, 0.01, 0.02, 0.05, 0.10),
 ) -> BinningMarginSweep:
-    scale = scale or default_scale()
-    runs = runs or scale.methodology_runs
-    kernel = cb_gemm(4096)
-    backend = make_backend(seed=seed)
-    profiler = make_profiler(backend, seed=seed + 100)
-    result = profiler.profile(kernel, runs=runs)
+    del scale, seed
+    result: FinGraVResult = results["ablations/margins/CB-4K-GEMM"]
+    kernel_name = result.kernel_name
 
     stitcher = ProfileStitcher(calibration=result.calibration)
     series = stitcher.collect(list(result.runs))
@@ -191,7 +235,20 @@ def run_binning_margin_sweep(
                 profile_spread=spread,
             )
         )
-    return BinningMarginSweep(kernel_name=kernel.name, points=tuple(points))
+    return BinningMarginSweep(kernel_name=kernel_name, points=tuple(points))
+
+
+def run_binning_margin_sweep(
+    scale: ExperimentScale | None = None,
+    seed: int = 33,
+    runs: int | None = None,
+    margins: tuple[float, ...] = (0.005, 0.01, 0.02, 0.05, 0.10),
+    runner: SweepRunner | None = None,
+) -> BinningMarginSweep:
+    jobs = binning_margin_jobs(scale=scale, seed=seed, runs=runs)
+    return binning_margin_from_results(
+        run_jobs(jobs, runner), scale=scale, seed=seed, margins=margins
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -284,11 +341,15 @@ def run_drift_sensitivity(
 
 __all__ = [
     "SamplerAblationResult",
+    "sampler_ablation_jobs",
+    "sampler_ablation_from_results",
     "run_sampler_ablation",
     "CoarseCoverageResult",
     "run_coarse_coverage",
     "BinningMarginPoint",
     "BinningMarginSweep",
+    "binning_margin_jobs",
+    "binning_margin_from_results",
     "run_binning_margin_sweep",
     "DriftSensitivityPoint",
     "DriftSensitivityResult",

@@ -38,6 +38,17 @@ class ExperimentScale:
                 raise ValueError(f"{field_name} must be positive")
 
 
+#: Minimal budgets for smoke jobs (CI sweep) and the integration tests.
+TINY_SCALE = ExperimentScale(
+    name="tiny",
+    gemm_runs=40,
+    gemv_runs=100,
+    collective_runs=40,
+    interleaved_runs=30,
+    methodology_runs=60,
+    reduced_runs=20,
+)
+
 #: Small budgets for unit/integration tests and quick local runs.
 FAST_SCALE = ExperimentScale(
     name="fast",
@@ -64,12 +75,33 @@ PAPER_SCALE = ExperimentScale(
 def default_scale() -> ExperimentScale:
     """Scale selected via the ``FINGRAV_SCALE`` environment variable.
 
-    ``FINGRAV_SCALE=paper`` selects the paper's run budgets; anything else
-    (including unset) selects the fast budgets.
+    ``FINGRAV_SCALE`` may name any known scale (``tiny`` / ``fast`` /
+    ``paper``); anything else (including unset) selects the fast budgets.
     """
-    if os.environ.get("FINGRAV_SCALE", "fast").lower() == "paper":
-        return PAPER_SCALE
-    return FAST_SCALE
+    try:
+        return scale_by_name(os.environ.get("FINGRAV_SCALE", "fast"))
+    except ValueError:
+        return FAST_SCALE
+
+
+def scale_by_name(name: str) -> ExperimentScale:
+    """Look up a scale by name (``tiny`` / ``fast`` / ``paper``)."""
+    scales = {scale.name: scale for scale in (TINY_SCALE, FAST_SCALE, PAPER_SCALE)}
+    try:
+        return scales[name.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown scale {name!r}; pick one of {sorted(scales)}") from exc
+
+
+_POWER_SAMPLE_PERIOD_S: float | None = None
+
+
+def power_sample_period_s() -> float:
+    """The standard backend's power-logger period (cached spec constant)."""
+    global _POWER_SAMPLE_PERIOD_S
+    if _POWER_SAMPLE_PERIOD_S is None:
+        _POWER_SAMPLE_PERIOD_S = make_backend(seed=0).power_sample_period_s
+    return _POWER_SAMPLE_PERIOD_S
 
 
 def make_backend(
@@ -106,9 +138,12 @@ def make_profiler(
 
 __all__ = [
     "ExperimentScale",
+    "TINY_SCALE",
     "FAST_SCALE",
     "PAPER_SCALE",
     "default_scale",
+    "scale_by_name",
+    "power_sample_period_s",
     "make_backend",
     "make_profiler",
 ]

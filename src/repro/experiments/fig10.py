@@ -14,12 +14,14 @@ total / XCD / IOD / HBM power next to CB-8K-GEMM.  Expected relationships:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
-from ..analysis.comparative import ComponentComparison, compare_kernels
+from ..analysis.comparative import ComponentComparison, comparison_from_results
 from ..core.profiler import FinGraVResult
 from ..kernels.collectives import TransferRegime
 from ..kernels.workloads import cb_gemm, collective_suite
-from .common import ExperimentScale, default_scale, make_backend, make_profiler
+from .common import ExperimentScale, default_scale
+from .sweep import ProfileJob, SweepRunner, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -83,26 +85,51 @@ class Fig10Result:
         return summary
 
 
-def run_fig10(
+def fig10_jobs(
     scale: ExperimentScale | None = None,
     seed: int = 10,
     collective_runs: int | None = None,
     gemm_runs: int | None = None,
-) -> Fig10Result:
-    """Reproduce Figure 10 (collectives vs CB-8K-GEMM component comparison)."""
+) -> list[ProfileJob]:
+    """Per-kernel profile jobs for Figure 10 (8 collectives + CB-8K-GEMM)."""
     scale = scale or default_scale()
     collective_runs = collective_runs or scale.collective_runs
     gemm_runs = gemm_runs or scale.gemm_runs
+    jobs: list[ProfileJob] = []
+    for offset, kernel in enumerate(collective_suite()):
+        jobs.append(
+            ProfileJob(
+                job_id=f"fig10/{kernel.name}",
+                kernel=kernel_spec("collective", kernel.name),
+                runs=collective_runs,
+                backend_seed=seed + offset,
+                profiler_seed=seed + 100 + offset,
+            )
+        )
+    gemm = cb_gemm(8192)
+    jobs.append(
+        ProfileJob(
+            job_id=f"fig10/{gemm.name}",
+            kernel=kernel_spec("cb_gemm", 8192),
+            runs=gemm_runs,
+            backend_seed=seed + len(jobs),
+            profiler_seed=seed + 100 + len(jobs),
+        )
+    )
+    return jobs
 
+
+def fig10_from_results(
+    results: Mapping[str, object],
+    scale: ExperimentScale | None = None,
+    seed: int = 10,
+) -> Fig10Result:
+    """Assemble the Figure-10 result from executed sweep jobs."""
+    del scale, seed
     collectives = collective_suite()
     gemm = cb_gemm(8192)
-    backend = make_backend(seed=seed)
-    profiler = make_profiler(backend, seed=seed + 100)
-
-    comm_comparison, comm_results = compare_kernels(profiler, collectives, runs=collective_runs)
-    gemm_comparison, gemm_results = compare_kernels(profiler, [gemm], runs=gemm_runs)
-    comparison = ComponentComparison(
-        summaries=tuple(list(comm_comparison.summaries) + list(gemm_comparison.summaries))
+    ordered: tuple[FinGraVResult, ...] = tuple(
+        results[f"fig10/{kernel.name}"] for kernel in (*collectives, gemm)
     )
     latency_bound = tuple(
         kernel.name for kernel in collectives
@@ -113,12 +140,26 @@ def run_fig10(
         if kernel.regime() is TransferRegime.BANDWIDTH_BOUND
     )
     return Fig10Result(
-        comparison=comparison,
-        results=tuple(comm_results + gemm_results),
+        comparison=comparison_from_results(ordered),
+        results=ordered,
         latency_bound_names=latency_bound,
         bandwidth_bound_names=bandwidth_bound,
         gemm_name=gemm.name,
     )
 
 
-__all__ = ["Fig10Result", "run_fig10"]
+def run_fig10(
+    scale: ExperimentScale | None = None,
+    seed: int = 10,
+    collective_runs: int | None = None,
+    gemm_runs: int | None = None,
+    runner: SweepRunner | None = None,
+) -> Fig10Result:
+    """Reproduce Figure 10 (collectives vs CB-8K-GEMM component comparison)."""
+    jobs = fig10_jobs(
+        scale=scale, seed=seed, collective_runs=collective_runs, gemm_runs=gemm_runs
+    )
+    return fig10_from_results(run_jobs(jobs, runner), scale=scale, seed=seed)
+
+
+__all__ = ["Fig10Result", "fig10_jobs", "fig10_from_results", "run_fig10"]

@@ -15,6 +15,7 @@ The paper evaluates the methodology's ingredients on the compute-bound 4K GEMM:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -22,8 +23,8 @@ from ..analysis.trends import fit_trend, profile_spread, trend_agreement
 from ..core.profile import FineGrainProfile
 from ..core.profiler import FinGraVResult
 from ..core.stitching import ProfileStitcher
-from ..kernels.workloads import cb_gemm
-from .common import ExperimentScale, default_scale, make_backend, make_profiler
+from .common import ExperimentScale, default_scale
+from .sweep import ProfileJob, SweepRunner, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -88,22 +89,34 @@ class Fig5Result:
         return [self.summary()]
 
 
-def run_fig5(
+def fig5_jobs(
     scale: ExperimentScale | None = None,
     seed: int = 5,
     runs: int | None = None,
+) -> list[ProfileJob]:
+    """The single full-methodology CB-4K-GEMM profile job behind Figure 5."""
+    scale = scale or default_scale()
+    return [
+        ProfileJob(
+            job_id="fig5/CB-4K-GEMM",
+            kernel=kernel_spec("cb_gemm", 4096),
+            runs=runs or scale.methodology_runs,
+            backend_seed=seed,
+            profiler_seed=seed + 100,
+        )
+    ]
+
+
+def fig5_from_results(
+    results: Mapping[str, object],
+    scale: ExperimentScale | None = None,
+    seed: int = 5,
     reduced_runs: int | None = None,
 ) -> Fig5Result:
-    """Reproduce Figure 5 (methodology evaluation on CB-4K-GEMM)."""
+    """Assemble the Figure-5 result (re-stitching the job's recorded runs)."""
     scale = scale or default_scale()
-    runs = runs or scale.methodology_runs
     reduced_runs = reduced_runs or scale.reduced_runs
-    kernel = cb_gemm(4096)
-
-    # Full methodology (synchronised, binned).
-    backend = make_backend(seed=seed)
-    profiler = make_profiler(backend, seed=seed + 100)
-    synchronized = profiler.profile(kernel, runs=runs)
+    synchronized: FinGraVResult = results["fig5/CB-4K-GEMM"]
 
     # Unsynchronised placement of the *same* runs (the red profile in Fig. 5).
     unsync_stitcher = ProfileStitcher(synchronize=False)
@@ -164,4 +177,18 @@ def run_fig5(
     )
 
 
-__all__ = ["Fig5Result", "run_fig5"]
+def run_fig5(
+    scale: ExperimentScale | None = None,
+    seed: int = 5,
+    runs: int | None = None,
+    reduced_runs: int | None = None,
+    runner: SweepRunner | None = None,
+) -> Fig5Result:
+    """Reproduce Figure 5 (methodology evaluation on CB-4K-GEMM)."""
+    jobs = fig5_jobs(scale=scale, seed=seed, runs=runs)
+    return fig5_from_results(
+        run_jobs(jobs, runner), scale=scale, seed=seed, reduced_runs=reduced_runs
+    )
+
+
+__all__ = ["Fig5Result", "fig5_jobs", "fig5_from_results", "run_fig5"]

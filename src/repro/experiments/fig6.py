@@ -11,12 +11,13 @@ the paper) where it stabilises.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 from ..core.profiler import FinGraVResult
-from ..kernels.workloads import cb_gemm
-from .common import ExperimentScale, default_scale, make_backend, make_profiler
+from .common import ExperimentScale, default_scale
+from .sweep import ProfileJob, SweepRunner, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -107,18 +108,33 @@ def _binned_series(result: FinGraVResult, component: str, bins: int) -> RunShape
     )
 
 
-def run_fig6(
+def fig6_jobs(
+    scale: ExperimentScale | None = None,
+    seed: int = 6,
+    runs: int | None = None,
+) -> list[ProfileJob]:
+    """The single CB-8K-GEMM profile job behind Figure 6."""
+    scale = scale or default_scale()
+    return [
+        ProfileJob(
+            job_id="fig6/CB-8K-GEMM",
+            kernel=kernel_spec("cb_gemm", 8192),
+            runs=runs or scale.gemm_runs,
+            backend_seed=seed,
+            profiler_seed=seed + 100,
+        )
+    ]
+
+
+def fig6_from_results(
+    results: Mapping[str, object],
     scale: ExperimentScale | None = None,
     seed: int = 6,
     bins: int = 28,
-    runs: int | None = None,
 ) -> Fig6Result:
-    """Reproduce Figure 6 (CB-8K-GEMM whole-run total and XCD power)."""
-    scale = scale or default_scale()
-    backend = make_backend(seed=seed)
-    profiler = make_profiler(backend, seed=seed + 100)
-    kernel = cb_gemm(8192)
-    result = profiler.profile(kernel, runs=runs or scale.gemm_runs)
+    """Assemble the Figure-6 result from the executed sweep job."""
+    del scale, seed
+    result: FinGraVResult = results["fig6/CB-8K-GEMM"]
     return Fig6Result(
         kernel_name=result.kernel_name,
         result=result,
@@ -132,4 +148,16 @@ def run_fig6(
     )
 
 
-__all__ = ["RunShapeSeries", "Fig6Result", "run_fig6"]
+def run_fig6(
+    scale: ExperimentScale | None = None,
+    seed: int = 6,
+    bins: int = 28,
+    runs: int | None = None,
+    runner: SweepRunner | None = None,
+) -> Fig6Result:
+    """Reproduce Figure 6 (CB-8K-GEMM whole-run total and XCD power)."""
+    jobs = fig6_jobs(scale=scale, seed=seed, runs=runs)
+    return fig6_from_results(run_jobs(jobs, runner), scale=scale, seed=seed, bins=bins)
+
+
+__all__ = ["RunShapeSeries", "Fig6Result", "fig6_jobs", "fig6_from_results", "run_fig6"]

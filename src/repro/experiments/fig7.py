@@ -16,13 +16,16 @@ profiles.  The expected relationships are:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
-from ..analysis.comparative import ComponentComparison, compare_kernels
+from ..analysis.comparative import ComponentComparison, comparison_from_results
 from ..analysis.errors import ErrorSummary, summarize_errors
 from ..analysis.proportionality import ProportionalityAssessment, assess_proportionality
 from ..core.profiler import FinGraVResult
-from ..kernels.workloads import cb_gemms, mb_gemvs
-from .common import ExperimentScale, default_scale, make_backend, make_profiler
+from ..gpu.spec import mi300x_spec
+from ..kernels.workloads import GEMM_SIZES, cb_gemms, mb_gemvs
+from .common import ExperimentScale, default_scale, power_sample_period_s
+from .sweep import ProfileJob, SweepRunner, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -91,37 +94,56 @@ class Fig7Result:
         return summary
 
 
-def run_fig7(
+def fig7_jobs(
     scale: ExperimentScale | None = None,
     seed: int = 7,
     gemm_runs: int | None = None,
     gemv_runs: int | None = None,
-) -> Fig7Result:
-    """Reproduce Figure 7 (component comparison of the six GEMM/GEMV kernels)."""
+) -> list[ProfileJob]:
+    """Per-kernel profile jobs for Figure 7 (one independent job per kernel)."""
     scale = scale or default_scale()
     gemm_runs = gemm_runs or scale.gemm_runs
     gemv_runs = gemv_runs or scale.gemv_runs
+    jobs: list[ProfileJob] = []
+    offset = 0
+    for key, runs in (("cb_gemm", gemm_runs), ("mb_gemv", gemv_runs)):
+        for size in GEMM_SIZES:
+            spec = kernel_spec(key, size)
+            jobs.append(
+                ProfileJob(
+                    job_id=f"fig7/{spec.build().name}",
+                    kernel=spec,
+                    runs=runs,
+                    backend_seed=seed + offset,
+                    profiler_seed=seed + 100 + offset,
+                )
+            )
+            offset += 1
+    return jobs
 
+
+def fig7_from_results(
+    results: Mapping[str, object],
+    scale: ExperimentScale | None = None,
+    seed: int = 7,
+) -> Fig7Result:
+    """Assemble the Figure-7 result from executed sweep jobs."""
+    del scale, seed  # assembly depends only on the job results
     gemms = cb_gemms()
     gemvs = mb_gemvs()
-    backend = make_backend(seed=seed)
-    profiler = make_profiler(backend, seed=seed + 100)
-
-    gemm_comparison, gemm_results = compare_kernels(profiler, gemms, runs=gemm_runs)
-    gemv_comparison, gemv_results = compare_kernels(profiler, gemvs, runs=gemv_runs)
-    results = tuple(gemm_results + gemv_results)
-    comparison = ComponentComparison(
-        summaries=tuple(list(gemm_comparison.summaries) + list(gemv_comparison.summaries))
+    ordered: tuple[FinGraVResult, ...] = tuple(
+        results[f"fig7/{kernel.name}"] for kernel in (*gemms, *gemvs)
     )
-    errors = summarize_errors(results, backend.power_sample_period_s)
+    comparison = comparison_from_results(ordered)
+    errors = summarize_errors(ordered, power_sample_period_s())
     proportionality = assess_proportionality(
         kernels=[*gemms, *gemvs],
         summaries=comparison.summaries,
-        spec=backend.device.spec,
+        spec=mi300x_spec(),
     )
     return Fig7Result(
         comparison=comparison,
-        results=results,
+        results=ordered,
         errors=errors,
         proportionality=proportionality,
         cb_names=tuple(k.name for k in gemms),
@@ -129,4 +151,16 @@ def run_fig7(
     )
 
 
-__all__ = ["Fig7Result", "run_fig7"]
+def run_fig7(
+    scale: ExperimentScale | None = None,
+    seed: int = 7,
+    gemm_runs: int | None = None,
+    gemv_runs: int | None = None,
+    runner: SweepRunner | None = None,
+) -> Fig7Result:
+    """Reproduce Figure 7 (component comparison of the six GEMM/GEMV kernels)."""
+    jobs = fig7_jobs(scale=scale, seed=seed, gemm_runs=gemm_runs, gemv_runs=gemv_runs)
+    return fig7_from_results(run_jobs(jobs, runner), scale=scale, seed=seed)
+
+
+__all__ = ["Fig7Result", "fig7_jobs", "fig7_from_results", "run_fig7"]

@@ -10,13 +10,14 @@ number (~80 %), far larger than for CB-8K-GEMM (~20 %).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 from ..core.profiler import FinGraVResult
-from ..kernels.workloads import cb_gemm
-from .common import ExperimentScale, default_scale, make_backend, make_profiler
+from .common import ExperimentScale, default_scale
 from .fig6 import RunShapeSeries, _binned_series
+from .sweep import ProfileJob, SweepRunner, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -65,18 +66,33 @@ class Fig8Result:
         }
 
 
-def run_fig8(
+def fig8_jobs(
+    scale: ExperimentScale | None = None,
+    seed: int = 8,
+    runs: int | None = None,
+) -> list[ProfileJob]:
+    """The single CB-2K-GEMM profile job behind Figure 8."""
+    scale = scale or default_scale()
+    return [
+        ProfileJob(
+            job_id="fig8/CB-2K-GEMM",
+            kernel=kernel_spec("cb_gemm", 2048),
+            runs=runs or scale.gemm_runs,
+            backend_seed=seed,
+            profiler_seed=seed + 100,
+        )
+    ]
+
+
+def fig8_from_results(
+    results: Mapping[str, object],
     scale: ExperimentScale | None = None,
     seed: int = 8,
     bins: int = 24,
-    runs: int | None = None,
 ) -> Fig8Result:
-    """Reproduce Figure 8 (CB-2K-GEMM whole-run total and XCD power)."""
-    scale = scale or default_scale()
-    backend = make_backend(seed=seed)
-    profiler = make_profiler(backend, seed=seed + 100)
-    kernel = cb_gemm(2048)
-    result = profiler.profile(kernel, runs=runs or scale.gemm_runs)
+    """Assemble the Figure-8 result from the executed sweep job."""
+    del scale, seed
+    result: FinGraVResult = results["fig8/CB-2K-GEMM"]
     return Fig8Result(
         kernel_name=result.kernel_name,
         result=result,
@@ -89,4 +105,16 @@ def run_fig8(
     )
 
 
-__all__ = ["Fig8Result", "run_fig8"]
+def run_fig8(
+    scale: ExperimentScale | None = None,
+    seed: int = 8,
+    bins: int = 24,
+    runs: int | None = None,
+    runner: SweepRunner | None = None,
+) -> Fig8Result:
+    """Reproduce Figure 8 (CB-2K-GEMM whole-run total and XCD power)."""
+    jobs = fig8_jobs(scale=scale, seed=seed, runs=runs)
+    return fig8_from_results(run_jobs(jobs, runner), scale=scale, seed=seed, bins=bins)
+
+
+__all__ = ["Fig8Result", "fig8_jobs", "fig8_from_results", "run_fig8"]

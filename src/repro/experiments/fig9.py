@@ -17,10 +17,13 @@ is essentially unaffected.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
-from ..analysis.interleaving import InterleavedMeasurement, InterleavingStudy
-from ..kernels.workloads import interleaving_scenarios
-from .common import ExperimentScale, default_scale, make_backend, make_profiler
+from ..analysis.interleaving import InterleavedMeasurement
+from ..core.profile import FineGrainProfile
+from ..core.profiler import FinGraVResult
+from .common import ExperimentScale, default_scale
+from .sweep import KernelSpec, ProfileJob, SweepRunner, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -76,33 +79,118 @@ class Fig9Result:
         return summary
 
 
+#: The five Figure-9 scenarios as picklable job specs, mirroring
+#: :func:`repro.kernels.workloads.interleaving_scenarios`.
+_SCENARIOS: tuple[tuple[str, KernelSpec, tuple[tuple[KernelSpec, int], ...]], ...] = (
+    ("CB->8K", kernel_spec("cb_gemm", 8192), ((kernel_spec("cb_gemm", 2048), 60),)),
+    ("MB->2K", kernel_spec("cb_gemm", 2048), ((kernel_spec("mb_gemv", 4096), 40),)),
+    (
+        "CB->2K",
+        kernel_spec("cb_gemm", 2048),
+        ((kernel_spec("cb_gemm", 8192), 2), (kernel_spec("cb_gemm", 4096), 40)),
+    ),
+    (
+        "MB->8K gemv",
+        kernel_spec("mb_gemv", 8192),
+        ((kernel_spec("mb_gemv", 4096), 20), (kernel_spec("mb_gemv", 2048), 20)),
+    ),
+    (
+        "CB->4K gemv",
+        kernel_spec("mb_gemv", 4096),
+        ((kernel_spec("cb_gemm", 8192), 2), (kernel_spec("cb_gemm", 4096), 4)),
+    ),
+)
+
+
+def _isolated_kernels() -> list[tuple[str, KernelSpec]]:
+    """Distinct kernels of interest, in first-appearance order."""
+    isolated: dict[str, KernelSpec] = {}
+    for _, spec, _ in _SCENARIOS:
+        isolated.setdefault(spec.build().name, spec)
+    return list(isolated.items())
+
+
+def fig9_jobs(
+    scale: ExperimentScale | None = None,
+    seed: int = 9,
+    runs: int | None = None,
+    isolated_runs: int | None = None,
+) -> list[ProfileJob]:
+    """Isolated-SSP jobs per kernel of interest plus one job per scenario."""
+    scale = scale or default_scale()
+    runs = runs or scale.interleaved_runs
+    jobs: list[ProfileJob] = []
+    for offset, (name, spec) in enumerate(_isolated_kernels()):
+        kernel_runs = isolated_runs
+        if kernel_runs is None:
+            kernel_runs = scale.gemv_runs if "GEMV" in name else scale.gemm_runs
+        jobs.append(
+            ProfileJob(
+                job_id=f"fig9/isolated/{name}",
+                kernel=spec,
+                runs=kernel_runs,
+                backend_seed=seed + offset,
+                profiler_seed=seed + 100 + offset,
+            )
+        )
+    for offset, (label, spec, preceding) in enumerate(_SCENARIOS):
+        jobs.append(
+            ProfileJob(
+                job_id=f"fig9/interleaved/{label}",
+                kernel=spec,
+                runs=runs,
+                backend_seed=seed + 10 + offset,
+                profiler_seed=seed + 110 + offset,
+                preceding=preceding,
+                interleave_seed=seed + 200 + offset,
+            )
+        )
+    return jobs
+
+
+def fig9_from_results(
+    results: Mapping[str, object],
+    scale: ExperimentScale | None = None,
+    seed: int = 9,
+) -> Fig9Result:
+    """Assemble the Figure-9 measurements from executed sweep jobs."""
+    del scale, seed
+    measurements: list[InterleavedMeasurement] = []
+    for label, spec, preceding in _SCENARIOS:
+        kernel_name = spec.build().name
+        reference: FinGraVResult = results[f"fig9/isolated/{kernel_name}"]
+        interleaved: FineGrainProfile = results[f"fig9/interleaved/{label}"]
+        if interleaved.is_empty:
+            raise ValueError(
+                f"scenario {label}: no logs of interest were captured; "
+                "increase the number of runs"
+            )
+        measurements.append(
+            InterleavedMeasurement(
+                label=label,
+                kernel_name=kernel_name,
+                isolated_ssp_w=reference.ssp_profile.mean_power_w("total"),
+                interleaved_w=interleaved.mean_power_w("total"),
+                preceding_description=tuple(
+                    f"{p.build().name} x{count}" for p, count in preceding
+                ),
+                lois=len(interleaved),
+                interleaved_profile=interleaved,
+            )
+        )
+    return Fig9Result(measurements=tuple(measurements))
+
+
 def run_fig9(
     scale: ExperimentScale | None = None,
     seed: int = 9,
     runs: int | None = None,
     isolated_runs: int | None = None,
+    runner: SweepRunner | None = None,
 ) -> Fig9Result:
     """Reproduce Figure 9 (interleaved GEMM/GEMV power comparison)."""
-    scale = scale or default_scale()
-    runs = runs or scale.interleaved_runs
-    backend = make_backend(seed=seed)
-    profiler = make_profiler(backend, seed=seed + 100)
-    study = InterleavingStudy(backend, profiler=profiler, runs=runs, seed=seed + 200)
-
-    scenarios = interleaving_scenarios()
-    # Profile each distinct kernel of interest once in isolation and share it.
-    isolated = {}
-    for scenario in scenarios:
-        name = backend.kernel_name(scenario.kernel_of_interest)
-        if name not in isolated:
-            kernel = scenario.kernel_of_interest
-            kernel_runs = isolated_runs
-            if kernel_runs is None:
-                kernel_runs = scale.gemv_runs if "GEMV" in name else scale.gemm_runs
-            isolated[name] = study.isolated_ssp(kernel, runs=kernel_runs)
-
-    measurements = study.run_scenarios(scenarios, isolated=isolated, runs=runs)
-    return Fig9Result(measurements=tuple(measurements))
+    jobs = fig9_jobs(scale=scale, seed=seed, runs=runs, isolated_runs=isolated_runs)
+    return fig9_from_results(run_jobs(jobs, runner), scale=scale, seed=seed)
 
 
-__all__ = ["Fig9Result", "run_fig9"]
+__all__ = ["Fig9Result", "fig9_jobs", "fig9_from_results", "run_fig9"]

@@ -1,0 +1,444 @@
+"""Parallel experiment sweep engine: process-pool fan-out of profile jobs.
+
+Every figure/table driver in this package expresses its per-kernel profiling
+work as :class:`ProfileJob` specs instead of looping over ``profiler.profile``
+inline.  A job is fully self-contained -- it names the kernel through the
+picklable :class:`KernelSpec` registry and carries its own backend/profiler
+seeds -- so executing it in the driver process, a worker process, or another
+machine produces bit-identical results.  :class:`SweepRunner` fans pending
+jobs out across a process pool (``workers > 1``), memoises finished jobs in a
+content-keyed on-disk cache, and returns results keyed by job id, which makes
+assembly deterministic regardless of worker count or completion order.
+
+Command line::
+
+    python -m repro.experiments.sweep --all --scale fast --workers 8
+    python -m repro.experiments.sweep --experiments fig7 table1 --json out.json
+
+Environment knobs picked up by :func:`default_runner` (used whenever a driver
+is called without an explicit runner): ``FINGRAV_WORKERS`` (worker count,
+default 1) and ``FINGRAV_PROFILE_CACHE`` (cache directory, default disabled).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from ..kernels.gemm import square_gemm
+from ..kernels.workloads import cb_gemm, collective_suite, mb_gemv
+from .common import ExperimentScale, default_scale, make_backend, make_profiler, scale_by_name
+
+#: Bump when job execution semantics change, to invalidate on-disk caches.
+_CACHE_SCHEMA = 1
+
+
+# --------------------------------------------------------------------------- #
+# Kernel registry: names -> factories, so jobs stay picklable.
+# --------------------------------------------------------------------------- #
+def _collective(name: str):
+    for kernel in collective_suite():
+        if kernel.name == name:
+            return kernel
+    raise KeyError(f"no collective kernel named {name!r}")
+
+
+KERNEL_BUILDERS: dict[str, Callable[..., object]] = {
+    "cb_gemm": cb_gemm,
+    "mb_gemv": mb_gemv,
+    "square_gemm": square_gemm,
+    "collective": _collective,
+}
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A picklable, content-hashable recipe for building a kernel."""
+
+    key: str
+    args: tuple = ()
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    def build(self) -> object:
+        try:
+            builder = KERNEL_BUILDERS[self.key]
+        except KeyError as exc:
+            raise KeyError(f"unknown kernel builder {self.key!r}") from exc
+        return builder(*self.args, **dict(self.kwargs))
+
+
+def kernel_spec(key: str, *args: object, **kwargs: object) -> KernelSpec:
+    """Convenience constructor: ``kernel_spec("cb_gemm", 4096)``."""
+    return KernelSpec(key=key, args=tuple(args), kwargs=tuple(sorted(kwargs.items())))
+
+
+@dataclass(frozen=True)
+class ProfileJob:
+    """One self-contained profiling job.
+
+    A plain job runs the full FinGraV methodology on ``kernel``.  When
+    ``interleave_seed`` is set the job instead measures the single-execution
+    interleaved profile of ``kernel`` after ``preceding`` (the Figure-9
+    scenarios) and returns a :class:`~repro.core.profile.FineGrainProfile`
+    rather than a :class:`~repro.core.profiler.FinGraVResult`.
+    """
+
+    job_id: str
+    kernel: KernelSpec
+    runs: int
+    backend_seed: int
+    profiler_seed: int
+    sampler: str = "averaging"
+    synchronize: bool = True
+    apply_binning: bool = True
+    differentiate: bool = True
+    max_additional_runs: int = 200
+    preceding: tuple[tuple[KernelSpec, int], ...] = ()
+    interleave_seed: int | None = None
+    min_lois: int = 5
+    max_runs: int | None = None
+
+
+def execute_job(job: ProfileJob) -> object:
+    """Run one job from scratch; deterministic in the job's seeds alone."""
+    kernel = job.kernel.build()
+    backend = make_backend(seed=job.backend_seed, sampler=job.sampler)
+    profiler = make_profiler(
+        backend,
+        seed=job.profiler_seed,
+        synchronize=job.synchronize,
+        apply_binning=job.apply_binning,
+        differentiate=job.differentiate,
+        max_additional_runs=job.max_additional_runs,
+    )
+    if job.interleave_seed is None:
+        return profiler.profile(kernel, runs=job.runs)
+    from ..analysis.interleaving import InterleavingStudy
+
+    study = InterleavingStudy(
+        backend, profiler=profiler, runs=job.runs, seed=job.interleave_seed
+    )
+    preceding = tuple((spec.build(), count) for spec, count in job.preceding)
+    return study.interleaved_profile(
+        kernel, preceding, runs=job.runs, min_lois=job.min_lois, max_runs=job.max_runs
+    )
+
+
+def job_key(job: ProfileJob) -> str:
+    """Content hash of everything that determines a job's result (not its id)."""
+    payload = asdict(job)
+    payload.pop("job_id")
+    digest = hashlib.sha256(
+        f"{_CACHE_SCHEMA}:{sorted(payload.items())!r}".encode()
+    ).hexdigest()
+    return digest
+
+
+# --------------------------------------------------------------------------- #
+# The runner.
+# --------------------------------------------------------------------------- #
+class SweepRunner:
+    """Executes profile jobs, optionally in parallel and through a disk cache.
+
+    ``workers <= 1`` runs jobs inline (no subprocesses); ``workers > 1`` fans
+    pending jobs out over a :class:`ProcessPoolExecutor`.  Because jobs are
+    independent and internally seeded, results are identical for any worker
+    count; a determinism test pins this.  When ``cache_dir`` is set, finished
+    jobs are pickled under their content key and replayed on later sweeps.
+    """
+
+    def __init__(self, workers: int = 1, cache_dir: str | Path | None = None) -> None:
+        self.workers = max(int(workers), 1)
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------ #
+    def run(self, jobs: Sequence[ProfileJob]) -> dict[str, object]:
+        """Execute jobs (deduplicated by id) and return {job_id: result}."""
+        unique: dict[str, ProfileJob] = {}
+        for job in jobs:
+            existing = unique.get(job.job_id)
+            if existing is not None:
+                if existing != job:
+                    raise ValueError(f"conflicting jobs share id {job.job_id!r}")
+                continue
+            unique[job.job_id] = job
+
+        results: dict[str, object] = {}
+        pending: list[ProfileJob] = []
+        for job in unique.values():
+            cached = self._cache_load(job)
+            if cached is not None:
+                results[job.job_id] = cached
+                self.cache_hits += 1
+            else:
+                pending.append(job)
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                outcomes = [execute_job(job) for job in pending]
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(pending))
+                ) as pool:
+                    outcomes = list(pool.map(execute_job, pending))
+            for job, outcome in zip(pending, outcomes):
+                results[job.job_id] = outcome
+                self._cache_store(job, outcome)
+        return results
+
+    # ------------------------------------------------------------------ #
+    def _cache_path(self, job: ProfileJob) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{job_key(job)}.pkl"
+
+    def _cache_load(self, job: ProfileJob) -> object | None:
+        path = self._cache_path(job)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            return None  # corrupt entry: fall through to recompute
+
+    def _cache_store(self, job: ProfileJob, result: object) -> None:
+        path = self._cache_path(job)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            staging = path.with_suffix(".tmp")
+            with staging.open("wb") as handle:
+                pickle.dump(result, handle)
+            staging.replace(path)
+        except Exception:
+            pass  # the cache is an optimisation; never fail a sweep over it
+
+
+def default_runner() -> SweepRunner:
+    """Runner configured from FINGRAV_WORKERS / FINGRAV_PROFILE_CACHE."""
+    workers = int(os.environ.get("FINGRAV_WORKERS", "1") or 1)
+    cache = os.environ.get("FINGRAV_PROFILE_CACHE") or None
+    return SweepRunner(workers=workers, cache_dir=cache)
+
+
+def run_jobs(
+    jobs: Sequence[ProfileJob], runner: SweepRunner | None = None
+) -> dict[str, object]:
+    """Execute jobs with the given runner (or a fresh default one)."""
+    return (runner or default_runner()).run(jobs)
+
+
+# --------------------------------------------------------------------------- #
+# The full-suite sweep (python -m repro.experiments.sweep).
+# --------------------------------------------------------------------------- #
+EXPERIMENT_NAMES: tuple[str, ...] = (
+    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "table1", "table2", "ablations",
+)
+
+
+def run_sweep(
+    experiments: Sequence[str],
+    scale: ExperimentScale | None = None,
+    runner: SweepRunner | None = None,
+) -> dict[str, object]:
+    """Run the requested experiment drivers through one shared job pool.
+
+    All drivers' jobs are collected first and executed in a single
+    :meth:`SweepRunner.run` call, so the pool is saturated across experiment
+    boundaries; each driver then assembles its result object from the shared
+    result dictionary.  Returns {experiment name: result object}.
+    """
+    from . import ablations, fig5, fig6, fig7, fig8, fig9, fig10, table1, table2
+
+    scale = scale or default_scale()
+    runner = runner or default_runner()
+    requested = list(dict.fromkeys(experiments))
+    unknown = [name for name in requested if name not in EXPERIMENT_NAMES]
+    if unknown:
+        raise ValueError(f"unknown experiments: {unknown}; pick from {EXPERIMENT_NAMES}")
+
+    needs = set(requested)
+    if "table2" in needs:
+        # Table II composes Figure 7 and Figure 9; make sure their jobs ride
+        # along so the assembly below can reuse them.
+        needs.update(("fig7", "fig9"))
+
+    jobs: list[ProfileJob] = []
+    if "fig5" in needs:
+        jobs += fig5.fig5_jobs(scale=scale)
+    if "fig6" in needs:
+        jobs += fig6.fig6_jobs(scale=scale)
+    if "fig7" in needs:
+        jobs += fig7.fig7_jobs(scale=scale)
+    if "fig8" in needs:
+        jobs += fig8.fig8_jobs(scale=scale)
+    if "fig9" in needs:
+        jobs += fig9.fig9_jobs(scale=scale)
+    if "fig10" in needs:
+        jobs += fig10.fig10_jobs(scale=scale)
+    if "table1" in needs:
+        jobs += table1.table1_jobs(scale=scale)
+    if "ablations" in needs:
+        jobs += ablations.sampler_ablation_jobs(scale=scale)
+        jobs += ablations.binning_margin_jobs(scale=scale)
+
+    results = runner.run(jobs)
+
+    assembled: dict[str, object] = {}
+    if "fig5" in needs:
+        assembled["fig5"] = fig5.fig5_from_results(results, scale=scale)
+    if "fig6" in needs:
+        assembled["fig6"] = fig6.fig6_from_results(results, scale=scale)
+    if "fig7" in needs:
+        assembled["fig7"] = fig7.fig7_from_results(results, scale=scale)
+    if "fig8" in needs:
+        assembled["fig8"] = fig8.fig8_from_results(results, scale=scale)
+    if "fig9" in needs:
+        assembled["fig9"] = fig9.fig9_from_results(results, scale=scale)
+    if "fig10" in needs:
+        assembled["fig10"] = fig10.fig10_from_results(results, scale=scale)
+    if "table1" in needs:
+        assembled["table1"] = table1.table1_from_results(results, scale=scale)
+    if "table2" in requested:
+        assembled["table2"] = table2.run_table2(
+            scale=scale, fig7=assembled["fig7"], fig9=assembled["fig9"]
+        )
+    if "ablations" in needs:
+        assembled["ablations"] = {
+            "sampler": ablations.sampler_ablation_from_results(results, scale=scale),
+            "margins": ablations.binning_margin_from_results(results, scale=scale),
+            # Coverage and drift are raw-record studies (backend.run loops, no
+            # FinGraV profile), so they run inline at their fixed small budgets
+            # instead of through the profile-job pool.
+            "coarse_coverage": ablations.run_coarse_coverage(scale=scale),
+            "drift": ablations.run_drift_sensitivity(scale=scale),
+        }
+    return {name: assembled[name] for name in requested if name in assembled}
+
+
+def _summarize(name: str, result: object) -> object:
+    """JSON-friendly summary of one experiment's result object."""
+    if name == "ablations":
+        sampler = result["sampler"]
+        return {
+            "sampler": sampler.to_row(),
+            "margins": result["margins"].rows(),
+            "coarse_coverage": result["coarse_coverage"].to_row(),
+            "drift": result["drift"].rows(),
+        }
+    if hasattr(result, "summary"):
+        return result.summary()
+    if hasattr(result, "rows"):
+        return result.rows()
+    return repr(result)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.sweep",
+        description="Run the paper's experiment suite through the parallel sweep engine.",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment driver")
+    parser.add_argument(
+        "--experiments", nargs="+", default=(), metavar="NAME",
+        help=f"drivers to run (any of: {', '.join(EXPERIMENT_NAMES)})",
+    )
+    parser.add_argument(
+        "--scale", default=None,
+        help="run budgets: tiny, fast or paper (default: FINGRAV_SCALE or fast)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: FINGRAV_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="content-keyed on-disk profile cache (default: FINGRAV_PROFILE_CACHE)",
+    )
+    parser.add_argument("--json", default=None, metavar="PATH", help="write summaries to a JSON file")
+    parser.add_argument("--list", action="store_true", help="list experiment names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENT_NAMES:
+            print(name)
+        return 0
+    requested = list(EXPERIMENT_NAMES) if args.all else list(args.experiments)
+    if not requested:
+        parser.error("nothing to run: pass --all or --experiments")
+
+    scale = scale_by_name(args.scale) if args.scale else default_scale()
+    workers = args.workers if args.workers is not None else int(
+        os.environ.get("FINGRAV_WORKERS", "1") or 1
+    )
+    cache = args.cache if args.cache is not None else (
+        os.environ.get("FINGRAV_PROFILE_CACHE") or None
+    )
+    runner = SweepRunner(workers=workers, cache_dir=cache)
+
+    print(f"[sweep] scale={scale.name} workers={runner.workers} "
+          f"cache={runner.cache_dir or 'off'} experiments={' '.join(requested)}")
+    begin = time.perf_counter()
+    results = run_sweep(requested, scale=scale, runner=runner)
+    elapsed = time.perf_counter() - begin
+
+    summaries = {}
+    for name, result in results.items():
+        summary = _summarize(name, result)
+        summaries[name] = summary
+        print(f"\n=== {name} ===")
+        print(json.dumps(summary, indent=2, default=str))
+    print(f"\n[sweep] done in {elapsed:.1f}s "
+          f"({runner.cache_hits} cache hits, {runner.workers} workers)")
+
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            {
+                "scale": scale.name,
+                "workers": runner.workers,
+                "seconds": elapsed,
+                "cache_hits": runner.cache_hits,
+                "summaries": summaries,
+            },
+            indent=2,
+            default=str,
+        ) + "\n")
+        print(f"[sweep] summaries written to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    # Delegate to the canonical module instance so worker processes always
+    # unpickle against repro.experiments.sweep, not a __main__ copy.
+    from repro.experiments.sweep import main as _canonical_main
+
+    raise SystemExit(_canonical_main())
+
+
+__all__ = [
+    "KernelSpec",
+    "kernel_spec",
+    "ProfileJob",
+    "execute_job",
+    "job_key",
+    "SweepRunner",
+    "default_runner",
+    "run_jobs",
+    "run_sweep",
+    "EXPERIMENT_NAMES",
+    "main",
+]

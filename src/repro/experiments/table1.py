@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Mapping
 
 from ..core.guidance import GuidanceEntry, paper_guidance_table
 from ..core.profiler import FinGraVResult
-from ..kernels.gemm import square_gemm
-from ..kernels.workloads import cb_gemm
-from .common import ExperimentScale, default_scale, make_backend, make_profiler
+from .common import ExperimentScale, default_scale
+from .sweep import KernelSpec, ProfileJob, SweepRunner, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -122,12 +122,12 @@ class Table1Result:
         )
 
 
-#: Representative kernel per guidance range: (range upper bound tag, factory).
-_REPRESENTATIVES: tuple[tuple[str, object], ...] = (
-    ("25-50us", lambda: cb_gemm(2048)),
-    ("50-200us", lambda: cb_gemm(4096)),
-    ("200us-1ms", lambda: square_gemm(6144, name="CB-6K-GEMM")),
-    (">1ms", lambda: cb_gemm(8192)),
+#: Representative kernel per guidance range: (range upper bound tag, spec).
+_REPRESENTATIVES: tuple[tuple[str, KernelSpec], ...] = (
+    ("25-50us", kernel_spec("cb_gemm", 2048)),
+    ("50-200us", kernel_spec("cb_gemm", 4096)),
+    ("200us-1ms", kernel_spec("square_gemm", 6144, name="CB-6K-GEMM")),
+    (">1ms", kernel_spec("cb_gemm", 8192)),
 )
 
 
@@ -146,23 +146,56 @@ def _measure_row(entry: GuidanceEntry, result: FinGraVResult) -> GuidanceRowMeas
     )
 
 
-def run_table1(
+def table1_jobs(
     scale: ExperimentScale | None = None,
     seed: int = 1,
     runs: int | None = None,
-) -> Table1Result:
-    """Regenerate Table I by measuring LOI economics per execution-time range."""
+) -> list[ProfileJob]:
+    """One profile job per guidance range's representative kernel."""
     scale = scale or default_scale()
+    return [
+        ProfileJob(
+            job_id=f"table1/{tag}",
+            kernel=spec,
+            runs=runs or scale.gemm_runs,
+            backend_seed=seed + offset,
+            profiler_seed=seed + 100 + offset,
+        )
+        for offset, (tag, spec) in enumerate(_REPRESENTATIVES)
+    ]
+
+
+def table1_from_results(
+    results: Mapping[str, object],
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+) -> Table1Result:
+    """Assemble the regenerated Table I from executed sweep jobs."""
+    del scale, seed
     table = paper_guidance_table()
     measurements: list[GuidanceRowMeasurement] = []
-    for offset, (_, factory) in enumerate(_REPRESENTATIVES):
-        kernel = factory()
-        backend = make_backend(seed=seed + offset)
-        profiler = make_profiler(backend, seed=seed + 100 + offset)
-        result = profiler.profile(kernel, runs=runs or scale.gemm_runs)
+    for tag, _ in _REPRESENTATIVES:
+        result: FinGraVResult = results[f"table1/{tag}"]
         entry = table.lookup(result.execution_time_s)
         measurements.append(_measure_row(entry, result))
     return Table1Result(measurements=tuple(measurements))
 
 
-__all__ = ["GuidanceRowMeasurement", "Table1Result", "run_table1"]
+def run_table1(
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+    runs: int | None = None,
+    runner: SweepRunner | None = None,
+) -> Table1Result:
+    """Regenerate Table I by measuring LOI economics per execution-time range."""
+    jobs = table1_jobs(scale=scale, seed=seed, runs=runs)
+    return table1_from_results(run_jobs(jobs, runner), scale=scale, seed=seed)
+
+
+__all__ = [
+    "GuidanceRowMeasurement",
+    "Table1Result",
+    "table1_jobs",
+    "table1_from_results",
+    "run_table1",
+]

@@ -13,6 +13,7 @@ from ..analysis.insights import Takeaway, derive_takeaways
 from .common import ExperimentScale, default_scale
 from .fig7 import Fig7Result, run_fig7
 from .fig9 import Fig9Result, run_fig9
+from .sweep import SweepRunner
 
 
 @dataclass(frozen=True)
@@ -48,15 +49,17 @@ def run_table2(
     seed: int = 2,
     fig7: Fig7Result | None = None,
     fig9: Fig9Result | None = None,
+    runner: SweepRunner | None = None,
 ) -> Table2Result:
     """Re-derive Table II.
 
     ``fig7`` / ``fig9`` results can be passed in to avoid re-running those
-    experiments when they have already been produced in the same session.
+    experiments when they have already been produced in the same session
+    (``repro.experiments.sweep --all`` does exactly that).
     """
     scale = scale or default_scale()
-    fig7 = fig7 or run_fig7(scale=scale, seed=seed + 70)
-    fig9 = fig9 or run_fig9(scale=scale, seed=seed + 90)
+    fig7 = fig7 or run_fig7(scale=scale, seed=seed + 70, runner=runner)
+    fig9 = fig9 or run_fig9(scale=scale, seed=seed + 90, runner=runner)
     takeaways = derive_takeaways(
         comparison=fig7.comparison,
         errors=fig7.errors,

@@ -1,7 +1,13 @@
 """Plain-text visualisation and export helpers (no plotting dependencies)."""
 
 from .ascii import render_bar_chart, render_profile, render_series
-from .export import profile_to_csv, profile_to_json, rows_to_csv, rows_to_json
+from .export import (
+    profile_to_csv,
+    profile_to_json,
+    profile_to_npz,
+    rows_to_csv,
+    rows_to_json,
+)
 
 __all__ = [
     "render_bar_chart",
@@ -9,6 +15,7 @@ __all__ = [
     "render_series",
     "profile_to_csv",
     "profile_to_json",
+    "profile_to_npz",
     "rows_to_csv",
     "rows_to_json",
 ]

@@ -76,8 +76,8 @@ def render_profile(
     scale = {"s": 1.0, "ms": 1e3, "us": 1e6}.get(time_unit)
     if scale is None:
         raise ValueError("time_unit must be one of 's', 'ms', 'us'")
-    times = profile.times() * scale
-    powers = profile.series(component)
+    times, powers = profile.component_points(component)
+    times = times * scale
     header = (
         f"{profile.kernel_name} [{profile.kind.value}] {component} power, "
         f"{len(profile)} points"

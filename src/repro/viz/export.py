@@ -12,6 +12,8 @@ import json
 from pathlib import Path
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from ..core.profile import FineGrainProfile
 
 
@@ -46,10 +48,58 @@ def rows_to_json(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path
 
 
 def profile_to_csv(profile: FineGrainProfile, path: str | Path) -> Path:
-    """Write a fine-grain profile's points to CSV."""
+    """Write a fine-grain profile's points to CSV.
+
+    Streams the profile's column arrays directly; when every component is
+    fully present (the normal case) no per-point dictionaries are built.
+    """
     if profile.is_empty:
         raise ValueError(f"profile of {profile.kernel_name} is empty")
-    return rows_to_csv(profile.to_rows(), path)
+    cols = profile.columns()
+    if cols.masks:
+        # Ragged component presence: fall back to per-row dictionaries.
+        return rows_to_csv(profile.to_rows(), path)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = ["time_s", *(f"{name}_w" for name in cols.powers_w),
+                  "run_index", "execution_index"]
+    columns = [cols.time_s, *cols.powers_w.values(), cols.run_index, cols.execution_index]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(fieldnames)
+        writer.writerows(zip(*columns))
+    return path
+
+
+def profile_to_npz(profile: FineGrainProfile, path: str | Path) -> Path:
+    """Write a profile's column arrays to a compressed ``.npz`` bundle.
+
+    The lossless array-native export: ``time_s`` / ``run_index`` /
+    ``execution_index`` plus one ``power_<component>_w`` array (and, for
+    partially present components, a ``mask_<component>`` boolean array).
+    """
+    if profile.is_empty:
+        raise ValueError(f"profile of {profile.kernel_name} is empty")
+    cols = profile.columns()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {
+        "time_s": cols.time_s,
+        "run_index": cols.run_index,
+        "execution_index": cols.execution_index,
+    }
+    for name, values in cols.powers_w.items():
+        arrays[f"power_{name}_w"] = values
+    for name, mask in cols.masks.items():
+        arrays[f"mask_{name}"] = mask
+    np.savez_compressed(
+        path,
+        kernel=np.asarray(profile.kernel_name),
+        kind=np.asarray(profile.kind.value),
+        execution_time_s=np.asarray(profile.execution_time_s),
+        **arrays,
+    )
+    return path
 
 
 def profile_to_json(profile: FineGrainProfile, path: str | Path) -> Path:
@@ -68,4 +118,10 @@ def profile_to_json(profile: FineGrainProfile, path: str | Path) -> Path:
     return path
 
 
-__all__ = ["rows_to_csv", "rows_to_json", "profile_to_csv", "profile_to_json"]
+__all__ = [
+    "rows_to_csv",
+    "rows_to_json",
+    "profile_to_csv",
+    "profile_to_json",
+    "profile_to_npz",
+]

@@ -1,0 +1,175 @@
+"""Tests for the parallel experiment sweep engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweep import (
+    KernelSpec,
+    ProfileJob,
+    SweepRunner,
+    execute_job,
+    job_key,
+    kernel_spec,
+    run_sweep,
+)
+
+
+def small_jobs() -> list[ProfileJob]:
+    """Two genuinely small profile jobs (shared by the determinism tests)."""
+    return [
+        ProfileJob(
+            job_id="test/CB-2K-GEMM",
+            kernel=kernel_spec("cb_gemm", 2048),
+            runs=10,
+            backend_seed=51,
+            profiler_seed=151,
+            max_additional_runs=40,
+        ),
+        ProfileJob(
+            job_id="test/CB-4K-GEMM",
+            kernel=kernel_spec("cb_gemm", 4096),
+            runs=10,
+            backend_seed=52,
+            profiler_seed=152,
+            max_additional_runs=40,
+        ),
+    ]
+
+
+def assert_result_maps_identical(left, right) -> None:
+    assert set(left) == set(right)
+    for job_id in left:
+        a, b = left[job_id], right[job_id]
+        for attribute in ("ssp_profile", "sse_profile", "run_profile"):
+            pa, pb = getattr(a, attribute), getattr(b, attribute)
+            assert len(pa) == len(pb)
+            assert np.array_equal(pa.times(), pb.times())
+            assert pa.components == pb.components
+            for component in pa.components:
+                assert np.array_equal(pa.series(component), pb.series(component))
+        assert a.num_runs == b.num_runs
+        assert a.golden_run_indices == b.golden_run_indices
+
+
+class TestKernelSpec:
+    def test_builds_registered_kernels(self):
+        assert kernel_spec("cb_gemm", 2048).build().name == "CB-2K-GEMM"
+        assert kernel_spec("mb_gemv", 8192).build().name == "MB-8K-GEMV"
+        assert (
+            kernel_spec("square_gemm", 6144, name="CB-6K-GEMM").build().name
+            == "CB-6K-GEMM"
+        )
+        assert kernel_spec("collective", "AG-64KB").build().name == "AG-64KB"
+
+    def test_unknown_builder_rejected(self):
+        with pytest.raises(KeyError):
+            KernelSpec(key="warp_drive").build()
+
+
+class TestJobKey:
+    def test_content_keyed_not_id_keyed(self):
+        job = small_jobs()[0]
+        renamed = ProfileJob(**{**job.__dict__, "job_id": "other/name"})
+        assert job_key(job) == job_key(renamed)
+
+    def test_any_config_field_changes_the_key(self):
+        job = small_jobs()[0]
+        for field, value in (
+            ("backend_seed", 99), ("profiler_seed", 99), ("runs", 11),
+            ("sampler", "instantaneous"), ("synchronize", False),
+        ):
+            changed = ProfileJob(**{**job.__dict__, field: value})
+            assert job_key(job) != job_key(changed), field
+
+
+class TestSweepRunner:
+    @pytest.fixture(scope="class")
+    def serial_results(self):
+        return SweepRunner(workers=1).run(small_jobs())
+
+    def test_serial_matches_direct_execution(self, serial_results):
+        direct = {job.job_id: execute_job(job) for job in small_jobs()}
+        assert_result_maps_identical(serial_results, direct)
+
+    def test_parallel_matches_serial(self, serial_results):
+        parallel = SweepRunner(workers=2).run(small_jobs())
+        assert_result_maps_identical(serial_results, parallel)
+
+    def test_duplicate_identical_jobs_deduplicated(self, serial_results):
+        jobs = small_jobs() + small_jobs()
+        results = SweepRunner(workers=1).run(jobs)
+        assert set(results) == {job.job_id for job in small_jobs()}
+
+    def test_conflicting_job_ids_rejected(self):
+        first, second = small_jobs()
+        clashing = ProfileJob(**{**second.__dict__, "job_id": first.job_id})
+        with pytest.raises(ValueError):
+            SweepRunner(workers=1).run([first, clashing])
+
+    def test_cache_replays_results(self, tmp_path, serial_results):
+        cache_dir = tmp_path / "profile-cache"
+        warm = SweepRunner(workers=1, cache_dir=cache_dir)
+        first = warm.run(small_jobs())
+        assert warm.cache_hits == 0
+        assert sorted(cache_dir.glob("*.pkl"))
+        replay = SweepRunner(workers=1, cache_dir=cache_dir)
+        second = replay.run(small_jobs())
+        assert replay.cache_hits == len(small_jobs())
+        assert_result_maps_identical(first, second)
+        assert_result_maps_identical(second, serial_results)
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        cache_dir = tmp_path / "profile-cache"
+        runner = SweepRunner(workers=1, cache_dir=cache_dir)
+        runner.run(small_jobs()[:1])
+        for entry in cache_dir.glob("*.pkl"):
+            entry.write_bytes(b"not a pickle")
+        retry = SweepRunner(workers=1, cache_dir=cache_dir)
+        results = retry.run(small_jobs()[:1])
+        assert retry.cache_hits == 0
+        assert set(results) == {small_jobs()[0].job_id}
+
+
+class TestInterleavedJobs:
+    def test_interleaved_job_returns_profile(self):
+        job = ProfileJob(
+            job_id="test/interleaved",
+            kernel=kernel_spec("cb_gemm", 2048),
+            runs=8,
+            backend_seed=61,
+            profiler_seed=161,
+            preceding=((kernel_spec("cb_gemm", 4096), 4),),
+            interleave_seed=261,
+            max_runs=120,
+        )
+        profile = execute_job(job)
+        assert not profile.is_empty
+        assert profile.kernel_name == "CB-2K-GEMM"
+        # Deterministic re-execution.
+        again = execute_job(job)
+        assert np.array_equal(profile.times(), again.times())
+        assert np.array_equal(profile.series(), again.series())
+
+
+class TestRunSweep:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(["fig99"])
+
+
+class TestFig9ScenarioTable:
+    def test_job_specs_match_workloads_scenarios(self):
+        """fig9's picklable scenario table must mirror the canonical one."""
+        from repro.experiments.fig9 import _SCENARIOS
+        from repro.kernels.workloads import interleaving_scenarios
+
+        canonical = interleaving_scenarios()
+        assert len(_SCENARIOS) == len(canonical)
+        for (label, spec, preceding), scenario in zip(_SCENARIOS, canonical):
+            assert label == scenario.label
+            assert spec.build().name == scenario.kernel_of_interest.name
+            assert [(p.build().name, count) for p, count in preceding] == [
+                (kernel.name, count) for kernel, count in scenario.preceding
+            ]
