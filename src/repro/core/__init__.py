@@ -39,7 +39,7 @@ from .profile import (
     profile_from_lois,
     profile_from_lois_reference,
 )
-from .profiler import FinGraVProfiler, FinGraVResult, ProfilerConfig
+from .profiler import FinGraVProfiler, FinGraVResult, ProfilerConfig, SlimFinGraVResult
 from .records import (
     COMPONENT_KEYS,
     DelayCalibration,
@@ -108,6 +108,7 @@ __all__ = [
     "profile_from_lois_reference",
     "FinGraVProfiler",
     "FinGraVResult",
+    "SlimFinGraVResult",
     "ProfilerConfig",
     "COMPONENT_KEYS",
     "DelayCalibration",

@@ -388,28 +388,42 @@ class FineGrainProfile:
 
     # ------------------------------------------------------------------ #
     # Statistics.
+    #
+    # Empty-profile contract: a profile with zero points has no power, so
+    # every summary statistic (mean / median / max / min / energy) returns a
+    # clean ``float("nan")`` -- quietly, never through NumPy's
+    # mean-of-empty-slice warning path -- on both the columnar and the
+    # object storage.  ``power_std_w`` keeps its documented 0.0 for fewer
+    # than two values.  Consumers that must not silently propagate NaN
+    # should check :attr:`is_empty` first (as :func:`measurement_error`
+    # does).
     # ------------------------------------------------------------------ #
     def mean_power_w(self, component: str = "total") -> float:
+        """Mean power over the profile's points (NaN for an empty profile)."""
         if self.is_empty:
-            raise ValueError("profile has no points")
+            return float("nan")
         return float(np.mean(self._component_values(component)))
 
     def median_power_w(self, component: str = "total") -> float:
+        """Median power over the profile's points (NaN for an empty profile)."""
         if self.is_empty:
-            raise ValueError("profile has no points")
+            return float("nan")
         return float(np.median(self._component_values(component)))
 
     def max_power_w(self, component: str = "total") -> float:
+        """Maximum power over the profile's points (NaN for an empty profile)."""
         if self.is_empty:
-            raise ValueError("profile has no points")
+            return float("nan")
         return float(np.max(self._component_values(component)))
 
     def min_power_w(self, component: str = "total") -> float:
+        """Minimum power over the profile's points (NaN for an empty profile)."""
         if self.is_empty:
-            raise ValueError("profile has no points")
+            return float("nan")
         return float(np.min(self._component_values(component)))
 
     def power_std_w(self, component: str = "total") -> float:
+        """Sample standard deviation of power (0.0 with fewer than 2 values)."""
         if len(self) < 2:
             return 0.0
         values = self._component_values(component)
@@ -422,7 +436,7 @@ class FineGrainProfile:
 
         Energy is power integrated over time (paper Section I); for a profile
         of a single execution this is the mean profile power multiplied by the
-        kernel execution time.
+        kernel execution time (NaN for an empty profile).
         """
         return self.mean_power_w(component) * self.execution_time_s
 
@@ -628,8 +642,12 @@ def measurement_error(
 
     The paper quantifies the cost of skipping power-profile differentiation as
     the relative difference between the SSE and SSP profiles (up to 80 % for
-    CB-2K-GEMM, about 20 % for CB-8K-GEMM).
+    CB-2K-GEMM, about 20 % for CB-8K-GEMM).  Empty profiles are rejected
+    explicitly (their statistics are NaN by contract, which would silently
+    poison the relative error).
     """
+    if sse_profile.is_empty or ssp_profile.is_empty:
+        raise ValueError("measurement error needs non-empty SSE and SSP profiles")
     ssp_power = ssp_profile.mean_power_w(component)
     sse_power = sse_profile.mean_power_w(component)
     if ssp_power <= 0:

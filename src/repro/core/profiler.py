@@ -90,6 +90,13 @@ class ProfilerConfig:
     #: construction (one frozen ProfilePoint per LOI), pinned bit-identical by
     #: the equivalence tests.
     columnar: bool = True
+    #: What :meth:`FinGraVProfiler.profile` returns.  ``"full"`` is the
+    #: complete :class:`FinGraVResult` (raw run records included);
+    #: ``"slim"`` is its :class:`SlimFinGraVResult` projection -- bit-identical
+    #: profiles plus the summary/golden-run metadata, but no raw runs -- which
+    #: shrinks worker-IPC and cache payloads for consumers that never
+    #: re-stitch the runs.
+    result_mode: str = "full"
 
     def with_overrides(self, **kwargs: object) -> "ProfilerConfig":
         return replace(self, **kwargs)
@@ -132,6 +139,15 @@ class FinGraVResult:
     def ssp_loi_count(self) -> int:
         return len(self.ssp_profile)
 
+    @property
+    def executions_per_run(self) -> int:
+        """Kernel executions in each run (1 when no runs were recorded)."""
+        return self.runs[0].num_executions if self.runs else 1
+
+    @property
+    def is_slim(self) -> bool:
+        return False
+
     def sse_vs_ssp_error(self, component: str = "total") -> float:
         """Relative measurement error of reporting SSE instead of SSP power."""
         if self.sse_profile.is_empty or self.ssp_profile.is_empty:
@@ -140,24 +156,122 @@ class FinGraVResult:
 
     def summary(self) -> dict[str, object]:
         """Compact summary used by reports and the experiment drivers."""
-        summary: dict[str, object] = {
-            "kernel": self.kernel_name,
-            "execution_time_s": self.execution_time_s,
-            "runs": self.num_runs,
-            "golden_runs": self.num_golden_runs,
-            "warmup_executions": self.plan.warmup_executions,
-            "sse_executions": self.plan.sse_executions,
-            "ssp_executions": self.plan.ssp_executions,
-            "throttling_detected": self.plan.throttling_detected,
-            "ssp_lois": self.ssp_loi_count,
-        }
-        if not self.ssp_profile.is_empty:
-            summary["ssp_mean_total_w"] = self.ssp_profile.mean_power_w("total")
-        if not self.sse_profile.is_empty:
-            summary["sse_mean_total_w"] = self.sse_profile.mean_power_w("total")
-        if not self.ssp_profile.is_empty and not self.sse_profile.is_empty:
-            summary["sse_vs_ssp_error"] = self.sse_vs_ssp_error()
-        return summary
+        return _result_summary(self)
+
+    def slim(self) -> "SlimFinGraVResult":
+        """Project this result to its slim form (no raw run records).
+
+        The profiles are carried over as-is (bit-identical), along with the
+        summary and golden-run metadata every non-re-stitching consumer
+        reads; only the raw ``runs`` tuple and the binning detail are
+        dropped.  Use it to cut serialisation cost wherever the consumer
+        never re-stitches the raw runs (worker IPC, the sweep's on-disk
+        cache).
+        """
+        return SlimFinGraVResult(
+            kernel_name=self.kernel_name,
+            execution_time_s=self.execution_time_s,
+            guidance=self.guidance,
+            plan=self.plan,
+            calibration=self.calibration,
+            num_runs=self.num_runs,
+            golden_run_indices=self.golden_run_indices,
+            executions_per_run=self.executions_per_run,
+            ssp_profile=self.ssp_profile,
+            sse_profile=self.sse_profile,
+            run_profile=self.run_profile,
+            config=self.config,
+            metadata=dict(self.metadata),
+        )
+
+
+@dataclass(frozen=True)
+class SlimFinGraVResult:
+    """A :class:`FinGraVResult` without the raw run records.
+
+    Everything a consumer needs *unless* it re-stitches the raw runs: the
+    three profiles (the same objects the full result holds -- bit-identical),
+    the plan/guidance/calibration, and the run bookkeeping (total run count,
+    golden-run indices, executions per run) that the full result derives from
+    ``runs``/``binning``.  Accessing ``runs`` or ``binning`` raises with a
+    pointer at ``result_mode="full"``.
+    """
+
+    kernel_name: str
+    execution_time_s: float
+    guidance: GuidanceEntry
+    plan: DifferentiationPlan
+    calibration: DelayCalibration | None
+    num_runs: int
+    golden_run_indices: tuple[int, ...]
+    executions_per_run: int
+    ssp_profile: FineGrainProfile
+    sse_profile: FineGrainProfile
+    run_profile: FineGrainProfile
+    config: ProfilerConfig
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_golden_runs(self) -> int:
+        return len(self.golden_run_indices)
+
+    @property
+    def ssp_loi_count(self) -> int:
+        return len(self.ssp_profile)
+
+    @property
+    def is_slim(self) -> bool:
+        return True
+
+    @property
+    def runs(self) -> tuple[RunRecord, ...]:
+        raise AttributeError(
+            "slim results carry no raw runs; profile with "
+            "ProfilerConfig(result_mode='full') to re-stitch run records"
+        )
+
+    @property
+    def binning(self) -> BinningResult:
+        raise AttributeError(
+            "slim results carry no binning detail; profile with "
+            "ProfilerConfig(result_mode='full') for the full BinningResult"
+        )
+
+    def sse_vs_ssp_error(self, component: str = "total") -> float:
+        """Relative measurement error of reporting SSE instead of SSP power."""
+        if self.sse_profile.is_empty or self.ssp_profile.is_empty:
+            raise ValueError("both SSE and SSP profiles are needed for the error")
+        return measurement_error(self.sse_profile, self.ssp_profile, component)
+
+    def summary(self) -> dict[str, object]:
+        """Compact summary -- identical to the full result's."""
+        return _result_summary(self)
+
+    def slim(self) -> "SlimFinGraVResult":
+        return self
+
+
+def _result_summary(result: "FinGraVResult | SlimFinGraVResult") -> dict[str, object]:
+    """The summary dictionary shared by the full and slim result forms."""
+    summary: dict[str, object] = {
+        "kernel": result.kernel_name,
+        "execution_time_s": result.execution_time_s,
+        "runs": result.num_runs,
+        "golden_runs": result.num_golden_runs,
+        "warmup_executions": result.plan.warmup_executions,
+        "sse_executions": result.plan.sse_executions,
+        "ssp_executions": result.plan.ssp_executions,
+        "throttling_detected": result.plan.throttling_detected,
+        "ssp_lois": result.ssp_loi_count,
+    }
+    if not result.ssp_profile.is_empty:
+        summary["ssp_mean_total_w"] = result.ssp_profile.mean_power_w("total")
+    if not result.sse_profile.is_empty:
+        summary["sse_mean_total_w"] = result.sse_profile.mean_power_w("total")
+    if not result.ssp_profile.is_empty and not result.sse_profile.is_empty:
+        summary["sse_vs_ssp_error"] = result.sse_vs_ssp_error()
+    return summary
 
 
 class FinGraVProfiler:
@@ -171,6 +285,11 @@ class FinGraVProfiler:
     ) -> None:
         self._backend = backend
         self._config = config or ProfilerConfig()
+        if self._config.result_mode not in ("full", "slim"):
+            raise ValueError(
+                f"unknown result_mode {self._config.result_mode!r}; "
+                "pick 'full' or 'slim'"
+            )
         self._guidance = guidance or paper_guidance_table()
         self._rng = np.random.default_rng(self._config.seed)
 
@@ -206,12 +325,13 @@ class FinGraVProfiler:
         runs: int | None = None,
         preceding: Sequence[PrecedingWork] = (),
         metadata: Mapping[str, object] | None = None,
-    ) -> FinGraVResult:
+    ) -> "FinGraVResult | SlimFinGraVResult":
         """Collect the fine-grain power profiles of ``kernel``.
 
         ``preceding`` optionally schedules other kernels inside every run just
         before the kernel of interest (the interleaved-execution studies of
-        paper Section V-C3).
+        paper Section V-C3).  With ``config.result_mode == "slim"`` the
+        returned result is the slim projection (same profiles, no raw runs).
         """
         config = self._config
 
@@ -355,7 +475,7 @@ class FinGraVProfiler:
         )
         run_profile = stitcher.run_profile(series, golden_indices, metadata=base_metadata)
 
-        return FinGraVResult(
+        result = FinGraVResult(
             kernel_name=self._backend.kernel_name(kernel),
             execution_time_s=execution_time,
             guidance=guidance,
@@ -369,6 +489,9 @@ class FinGraVProfiler:
             config=config,
             metadata=base_metadata,
         )
+        if config.result_mode == "slim":
+            return result.slim()
+        return result
 
     # ------------------------------------------------------------------ #
     # Internals.
@@ -416,4 +539,4 @@ class FinGraVProfiler:
         return f"{self._backend.kernel_name(kernel)} x{executions}"
 
 
-__all__ = ["ProfilerConfig", "FinGraVResult", "FinGraVProfiler"]
+__all__ = ["ProfilerConfig", "FinGraVResult", "SlimFinGraVResult", "FinGraVProfiler"]

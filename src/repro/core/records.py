@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import enum
 import math
+from array import array
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -119,6 +121,256 @@ class DelayCalibration:
         return self.mean_round_trip_s / 2.0
 
 
+class _LazyRecordView(SequenceABC):
+    """Shared scaffolding of the columnar, tuple-compatible record views.
+
+    Subclasses store their columns in the slots named by ``_STATE_FIELDS``
+    (which also defines the pickled state, in order) and implement
+    ``_build(i)`` to materialise the record object at one position.  The base
+    provides the tuple-compatible Sequence protocol with per-position
+    memoisation: each position materialises at most once, so repeated
+    indexing (and iteration) hands back the *same* object -- consumers may
+    rely on identity, exactly as with a stored tuple.  The memo itself is
+    never pickled.
+    """
+
+    __slots__ = ()
+
+    _STATE_FIELDS: tuple[str, ...] = ()
+
+    def _build(self, i: int):
+        raise NotImplementedError
+
+    def _item(self, i: int):
+        items = self._items
+        if items is None:
+            items = self._items = [None] * len(self)
+        obj = items[i]
+        if obj is None:
+            obj = items[i] = self._build(i)
+        return obj
+
+    def _materialize(self) -> tuple:
+        return tuple(self._item(i) for i in range(len(self)))
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self._materialize()[index]
+        i = index.__index__()
+        n = len(self)
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(f"{type(self).__name__} index out of range")
+        return self._item(i)
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def _eq_sequence(self, other) -> bool:
+        return len(self) == len(other) and all(a == b for a, b in zip(self, other))
+
+    __hash__ = None  # type: ignore[assignment]  # mutable arrays back the views
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self._STATE_FIELDS)
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(self._STATE_FIELDS, state):
+            setattr(self, name, value)
+        self._items = None
+
+
+class ExecutionTimings(_LazyRecordView):
+    """Columnar, tuple-compatible view over host-observed execution timings.
+
+    The vectorized backend stages each launch sequence's start/end times in an
+    :class:`ExecutionArena` instead of constructing one frozen
+    :class:`ExecutionTiming` per execution; run records then adopt the arena's
+    columns through this view.  It behaves exactly like the tuple of
+    :class:`ExecutionTiming` objects the reference path stores -- same length,
+    elements, iteration order and equality -- but the objects are materialised
+    lazily, while columnar consumers read ``indices`` / ``starts_s`` /
+    ``ends_s`` directly and never touch objects.
+    """
+
+    __slots__ = ("indices", "starts_s", "ends_s", "kernel_names", "_items")
+
+    _STATE_FIELDS = ("indices", "starts_s", "ends_s", "kernel_names")
+
+    def __init__(self, indices, starts_s, ends_s, kernel_names) -> None:
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.starts_s = np.asarray(starts_s, dtype=float)
+        self.ends_s = np.asarray(ends_s, dtype=float)
+        self.kernel_names = tuple(kernel_names)
+        if not (
+            self.indices.shape == self.starts_s.shape == self.ends_s.shape
+            and len(self.kernel_names) == self.indices.shape[0]
+        ):
+            raise ValueError("execution-timing columns must share one length")
+        self._items: list[ExecutionTiming | None] | None = None
+
+    def __len__(self) -> int:
+        return self.indices.shape[0]
+
+    def _build(self, i: int) -> ExecutionTiming:
+        # Same field values the reference path's constructor would produce;
+        # __dict__ fill skips the (already satisfied) validation.
+        timing = ExecutionTiming.__new__(ExecutionTiming)
+        fields = timing.__dict__
+        fields["index"] = int(self.indices[i])
+        fields["cpu_start_s"] = float(self.starts_s[i])
+        fields["cpu_end_s"] = float(self.ends_s[i])
+        fields["kernel_name"] = self.kernel_names[i]
+        return timing
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ExecutionTimings):
+            return (
+                np.array_equal(self.indices, other.indices)
+                and np.array_equal(self.starts_s, other.starts_s)
+                and np.array_equal(self.ends_s, other.ends_s)
+                and self.kernel_names == other.kernel_names
+            )
+        if isinstance(other, (tuple, list)):
+            return self._eq_sequence(other)
+        return NotImplemented
+
+    def durations_s(self) -> np.ndarray:
+        """Per-execution durations as one array (``ends_s - starts_s``)."""
+        return self.ends_s - self.starts_s
+
+    def __repr__(self) -> str:
+        return f"ExecutionTimings(n={len(self)})"
+
+
+class PowerReadings(_LazyRecordView):
+    """Columnar, tuple-compatible view over a run's power readings.
+
+    Built by the vectorized backend straight from the sampler's columnar
+    output: timestamp ticks, one shared averaging-window length, total watts
+    and an ``(n, k)`` per-component power matrix.  Indexing or iterating
+    materialises :class:`PowerReading` objects with the identical field values
+    the reference path constructs, so the view is interchangeable with the
+    reference tuple; columnar consumers (:class:`ReadingColumns`, the LOI
+    extractors) adopt the arrays directly.
+    """
+
+    __slots__ = (
+        "gpu_timestamp_ticks", "window_s", "total_w",
+        "component_names", "components_w", "_items",
+    )
+
+    _STATE_FIELDS = (
+        "gpu_timestamp_ticks", "window_s", "total_w",
+        "component_names", "components_w",
+    )
+
+    def __init__(self, gpu_timestamp_ticks, window_s, total_w, component_names, components_w) -> None:
+        self.gpu_timestamp_ticks = np.asarray(gpu_timestamp_ticks, dtype=np.int64)
+        self.window_s = float(window_s)
+        self.total_w = np.asarray(total_w, dtype=float)
+        self.component_names = tuple(component_names)
+        self.components_w = np.asarray(components_w, dtype=float).reshape(
+            self.gpu_timestamp_ticks.shape[0], len(self.component_names)
+        )
+        if self.total_w.shape != self.gpu_timestamp_ticks.shape:
+            raise ValueError("power-reading columns must share one length")
+        self._items: list[PowerReading | None] | None = None
+
+    def __len__(self) -> int:
+        return self.gpu_timestamp_ticks.shape[0]
+
+    def _build(self, i: int) -> PowerReading:
+        reading = PowerReading.__new__(PowerReading)
+        fields = reading.__dict__
+        fields["gpu_timestamp_ticks"] = int(self.gpu_timestamp_ticks[i])
+        fields["window_s"] = self.window_s
+        fields["total_w"] = float(self.total_w[i])
+        row = self.components_w[i]
+        fields["components"] = {
+            name: float(row[j]) for j, name in enumerate(self.component_names)
+        }
+        return reading
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PowerReadings):
+            return (
+                self.window_s == other.window_s
+                and self.component_names == other.component_names
+                and np.array_equal(self.gpu_timestamp_ticks, other.gpu_timestamp_ticks)
+                and np.array_equal(self.total_w, other.total_w)
+                and np.array_equal(self.components_w, other.components_w)
+            )
+        if isinstance(other, (tuple, list)):
+            return self._eq_sequence(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"PowerReadings(n={len(self)}, window_s={self.window_s})"
+
+
+class ExecutionArena:
+    """Reusable columnar staging area for one record field's execution timings.
+
+    The vectorized launch path appends each execution's ``(start, end)``
+    floats into the arena's flat buffers -- one block descriptor per launch
+    sequence carries the kernel name and the contiguous index range -- and
+    :meth:`take` snapshots the staged block(s) as an
+    :class:`ExecutionTimings` view, resetting the arena for the next field.
+    One arena lives on the backend and is recycled across runs, so the
+    per-execution cost of a run collapses to two ``array.append`` calls.
+    """
+
+    __slots__ = ("_starts", "_ends", "_blocks")
+
+    def __init__(self) -> None:
+        self._starts = array("d")
+        self._ends = array("d")
+        self._blocks: list[tuple[str, int, int]] = []
+
+    def begin(self) -> None:
+        """Drop any staged executions (e.g. leftovers of an aborted run)."""
+        del self._starts[:]
+        del self._ends[:]
+        self._blocks.clear()
+
+    def stage(self, kernel_name: str, start_index: int, count: int):
+        """Open a block of ``count`` executions indexed from ``start_index``.
+
+        Returns the two bound append callables ``(append_start, append_end)``
+        the launch loop feeds; exactly ``count`` pairs must be appended.
+        """
+        self._blocks.append((kernel_name, start_index, count))
+        return self._starts.append, self._ends.append
+
+    def take(self) -> "ExecutionTimings | tuple":
+        """Snapshot staged executions as a view; ``()`` when nothing staged."""
+        if not self._blocks:
+            return ()
+        staged = sum(count for _, _, count in self._blocks)
+        if staged != len(self._starts) or staged != len(self._ends):
+            raise ValueError(
+                f"arena staged {staged} executions but holds "
+                f"{len(self._starts)} starts / {len(self._ends)} ends"
+            )
+        names: list[str] = []
+        index_parts: list[np.ndarray] = []
+        for kernel_name, start_index, count in self._blocks:
+            names.extend([kernel_name] * count)
+            index_parts.append(
+                np.arange(start_index, start_index + count, dtype=np.int64)
+            )
+        view = ExecutionTimings(
+            indices=index_parts[0] if len(index_parts) == 1 else np.concatenate(index_parts),
+            starts_s=np.array(self._starts, dtype=float),
+            ends_s=np.array(self._ends, dtype=float),
+            kernel_names=names,
+        )
+        self.begin()
+        return view
+
+
 class ReadingColumns:
     """Structure-of-arrays view over a run's power readings.
 
@@ -193,7 +445,30 @@ class ReadingColumns:
 
     @staticmethod
     def from_readings(readings: Sequence[PowerReading]) -> "ReadingColumns":
+        if isinstance(readings, PowerReadings):
+            return ReadingColumns._adopt(readings)
         return ReadingColumns(readings)
+
+    @classmethod
+    def _adopt(cls, view: PowerReadings) -> "ReadingColumns":
+        """Adopt a :class:`PowerReadings` view's arrays directly (zero copy).
+
+        Produces the identical columns :meth:`__init__` + :meth:`_build_powers`
+        would derive by iterating materialised readings: the same ticks, a
+        constant window column, ``total`` first then the component keys in
+        sorted order, and ``uniform_components=True`` (every reading of a view
+        shares one component set by construction).
+        """
+        columns = cls.__new__(cls)
+        columns._readings = view
+        columns.gpu_timestamp_ticks = view.gpu_timestamp_ticks
+        columns._window_s = np.full(len(view), view.window_s, dtype=float)
+        powers: dict[str, np.ndarray] = {"total": view.total_w}
+        for name in sorted(view.component_names):
+            powers[name] = view.components_w[:, view.component_names.index(name)]
+        columns._powers_w = powers
+        columns._uniform = True
+        return columns
 
 
 @dataclass(frozen=True)
@@ -216,6 +491,16 @@ class ExecutionColumns:
 
     @staticmethod
     def from_executions(executions: Sequence[ExecutionTiming]) -> "ExecutionColumns":
+        if isinstance(executions, ExecutionTimings):
+            # Columnar source: sort the adopted arrays, no object iteration.
+            starts = executions.starts_s
+            order = np.argsort(starts, kind="stable")
+            return ExecutionColumns(
+                indices=executions.indices[order],
+                starts_s=starts[order],
+                ends_s=executions.ends_s[order],
+                positions=order.astype(np.int64),
+            )
         starts = np.asarray([e.cpu_start_s for e in executions], dtype=float)
         order = np.argsort(starts, kind="stable")
         return ExecutionColumns(
@@ -234,6 +519,12 @@ class RunRecord:
     a random delay, optional preceding (interleaved) kernels, then the
     back-to-back executions of the kernel of interest, all while the power
     logger records.
+
+    ``readings`` / ``executions`` / ``preceding_executions`` hold either plain
+    tuples of the record objects (the reference backend path) or the
+    tuple-compatible columnar views :class:`PowerReadings` /
+    :class:`ExecutionTimings` (the vectorized arena path).  Both compare equal
+    element-wise; the ``*_columns`` accessors adopt a view's arrays directly.
     """
 
     run_index: int
@@ -276,13 +567,22 @@ class RunRecord:
         return self.last_execution
 
     def execution(self, index: int) -> ExecutionTiming:
-        for execution in self.executions:
-            if execution.index == index:
-                return execution
+        executions = self.executions
+        if isinstance(executions, ExecutionTimings):
+            matches = np.nonzero(executions.indices == index)[0]
+            if matches.size:
+                return executions[int(matches[0])]
+        else:
+            for execution in executions:
+                if execution.index == index:
+                    return execution
         raise KeyError(f"run {self.run_index} has no execution with index {index}")
 
     def execution_durations(self) -> list[float]:
-        return [execution.duration_s for execution in self.executions]
+        executions = self.executions
+        if isinstance(executions, ExecutionTimings):
+            return executions.durations_s().tolist()
+        return [execution.duration_s for execution in executions]
 
     def reading_columns(self) -> ReadingColumns:
         """Columnar (NumPy) view over the readings, built once and cached."""
@@ -299,6 +599,15 @@ class RunRecord:
             cached = ExecutionColumns.from_executions(self.executions)
             object.__setattr__(self, "_execution_columns", cached)
         return cached
+
+    def __getstate__(self) -> dict:
+        # The cached columnar views are cheap to rebuild but expensive to
+        # serialise (and the reading columns pin materialised objects); keep
+        # them out of pickles so IPC/cache payloads carry only the record data.
+        state = dict(self.__dict__)
+        state.pop("_reading_columns", None)
+        state.pop("_execution_columns", None)
+        return state
 
     def role_of(self, index: int, warmup_executions: int, sse_index: int) -> ExecutionRole:
         """Classify an execution index into warmup / SSE / intermediate / SSP."""
@@ -348,6 +657,9 @@ def mean_duration(executions: Sequence[ExecutionTiming]) -> float:
 __all__ = [
     "COMPONENT_KEYS",
     "PowerReading",
+    "PowerReadings",
+    "ExecutionTimings",
+    "ExecutionArena",
     "ReadingColumns",
     "ExecutionColumns",
     "ExecutionRole",

@@ -26,6 +26,7 @@ from .profile import (
 from .records import (
     COMPONENT_KEYS,
     DelayCalibration,
+    ExecutionTimings,
     LogOfInterest,
     PowerReading,
     RunRecord,
@@ -493,11 +494,14 @@ class ProfileStitcher:
             for component in self._components
             if component in available
         }
-        exec_index_by_pos = np.fromiter(
-            (execution.index for execution in run.executions),
-            dtype=np.int64,
-            count=len(run.executions),
-        )
+        if isinstance(run.executions, ExecutionTimings):
+            exec_index_by_pos = run.executions.indices
+        else:
+            exec_index_by_pos = np.fromiter(
+                (execution.index for execution in run.executions),
+                dtype=np.int64,
+                count=len(run.executions),
+            )
         kept_positions = np.asarray(positions, dtype=np.int64)[keep]
         execution_index = np.where(
             kept_positions >= 0,

@@ -18,7 +18,6 @@ ended (the time of interest, TOI).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import chain
 from operator import attrgetter
 from typing import Iterable, Sequence
 
@@ -27,6 +26,7 @@ import numpy as np
 from .records import (
     DelayCalibration,
     ExecutionTiming,
+    ExecutionTimings,
     LogOfInterest,
     PowerReading,
     RunRecord,
@@ -216,6 +216,26 @@ def _loi_from(
     )
 
 
+def _execution_starts(run: RunRecord) -> np.ndarray:
+    """Execution start times in record order, without materialising objects."""
+    executions = run.executions
+    if isinstance(executions, ExecutionTimings):
+        return executions.starts_s
+    return np.fromiter(
+        map(attrgetter("cpu_start_s"), executions), dtype=float, count=len(executions)
+    )
+
+
+def _execution_ends(run: RunRecord) -> np.ndarray:
+    """Execution end times in record order, without materialising objects."""
+    executions = run.executions
+    if isinstance(executions, ExecutionTimings):
+        return executions.ends_s
+    return np.fromiter(
+        map(attrgetter("cpu_end_s"), executions), dtype=float, count=len(executions)
+    )
+
+
 #: Per-run result of a batched extraction: the LOIs plus the reading-match
 #: cache (window-end CPU times and matched execution positions, -1 for idle)
 #: that profile builders reuse to avoid re-matching readings.
@@ -244,13 +264,8 @@ def extract_lois_batch(
     exec_counts = [run.num_executions for run in runs]
     if min(exec_counts) == 0:
         return None
-    all_executions = list(chain.from_iterable(run.executions for run in runs))
-    starts = np.fromiter(
-        map(attrgetter("cpu_start_s"), all_executions), dtype=float, count=len(all_executions)
-    )
-    ends = np.fromiter(
-        map(attrgetter("cpu_end_s"), all_executions), dtype=float, count=len(all_executions)
-    )
+    starts = np.concatenate([_execution_starts(run) for run in runs])
+    ends = np.concatenate([_execution_ends(run) for run in runs])
     if starts.shape[0] > 1 and bool(
         np.any(np.diff(starts) < 0) or np.any(np.diff(ends) < 0)
     ):
@@ -270,11 +285,11 @@ def extract_lois_batch(
     reading_owner = np.repeat(run_ordinals, reading_counts)
     exec_owner = np.repeat(run_ordinals, exec_counts)
 
-    all_readings = list(chain.from_iterable(run.readings for run in runs))
-    ticks = np.fromiter(
-        map(attrgetter("gpu_timestamp_ticks"), all_readings),
-        dtype=np.int64,
-        count=len(all_readings),
+    # The per-run columnar views (cached on the records and reused by every
+    # later profile build) supply the ticks; reading *objects* are touched
+    # only for the few matched LOIs below.
+    ticks = np.concatenate(
+        [run.reading_columns().gpu_timestamp_ticks for run in runs]
     )
     if synchronize:
         capture = np.asarray(
@@ -320,7 +335,7 @@ def extract_lois_batch(
         lois_per_run[ordinal].append(
             _loi_from(
                 run.run_index,
-                all_readings[i],
+                run.readings[i - reading_offsets[ordinal]],
                 float(times[i]),
                 run.executions[local_positions[i]],
             )

@@ -41,7 +41,9 @@ from .sweep import (
     EXPERIMENT_NAMES,
     KernelSpec,
     ProfileJob,
+    SweepJobError,
     SweepRunner,
+    configured_result_mode,
     default_runner,
     execute_job,
     kernel_spec,
@@ -84,7 +86,9 @@ __all__ = [
     "EXPERIMENT_NAMES",
     "KernelSpec",
     "ProfileJob",
+    "SweepJobError",
     "SweepRunner",
+    "configured_result_mode",
     "default_runner",
     "execute_job",
     "kernel_spec",

@@ -32,7 +32,7 @@ from ..core.timesync import extract_lois, synchronizer_for_run
 from ..gpu.spec import ClockSpec, GPUSpec, mi300x_spec
 from ..kernels.workloads import cb_gemm
 from .common import ExperimentScale, default_scale, make_backend, make_profiler
-from .sweep import ProfileJob, SweepRunner, kernel_spec, run_jobs
+from .sweep import ProfileJob, SweepRunner, configured_result_mode, kernel_spec, run_jobs
 
 
 # --------------------------------------------------------------------------- #
@@ -66,18 +66,22 @@ def sampler_ablation_jobs(
     scale = scale or default_scale()
     runs = runs or scale.gemm_runs
     spec = kernel_spec("cb_gemm", 2048)
+    # The ablation compares SSE-vs-SSP errors (profiles only): ship slim.
+    result_mode = configured_result_mode()
     return [
         ProfileJob(
             job_id="ablations/sampler/averaging",
             kernel=spec, runs=runs,
             backend_seed=seed, profiler_seed=seed + 100,
             sampler="averaging",
+            result_mode=result_mode,
         ),
         ProfileJob(
             job_id="ablations/sampler/instantaneous",
             kernel=spec, runs=runs,
             backend_seed=seed + 1, profiler_seed=seed + 101,
             sampler="instantaneous",
+            result_mode=result_mode,
         ),
     ]
 
@@ -203,6 +207,9 @@ def binning_margin_jobs(
             runs=runs or scale.methodology_runs,
             backend_seed=seed,
             profiler_seed=seed + 100,
+            # The margin sweep re-bins and re-stitches the raw run records,
+            # so this job must ship the full result (never slim).
+            result_mode="full",
         )
     ]
 

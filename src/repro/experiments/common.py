@@ -124,14 +124,22 @@ def make_profiler(
     apply_binning: bool = True,
     differentiate: bool = True,
     max_additional_runs: int = 200,
+    result_mode: str = "full",
 ) -> FinGraVProfiler:
-    """A FinGraV profiler with the standard configuration."""
+    """A FinGraV profiler with the standard configuration.
+
+    ``result_mode="slim"`` makes ``profile()`` return the slim result
+    projection (bit-identical profiles, no raw runs) -- what the sweep engine
+    ships through worker IPC and its on-disk cache for drivers that never
+    re-stitch the raw runs.
+    """
     config = ProfilerConfig(
         seed=seed,
         synchronize=synchronize,
         apply_binning=apply_binning,
         differentiate=differentiate,
         max_additional_runs=max_additional_runs,
+        result_mode=result_mode,
     )
     return FinGraVProfiler(backend, config)
 

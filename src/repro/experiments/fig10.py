@@ -21,7 +21,7 @@ from ..core.profiler import FinGraVResult
 from ..kernels.collectives import TransferRegime
 from ..kernels.workloads import cb_gemm, collective_suite
 from .common import ExperimentScale, default_scale
-from .sweep import ProfileJob, SweepRunner, kernel_spec, run_jobs
+from .sweep import ProfileJob, SweepRunner, configured_result_mode, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -96,6 +96,8 @@ def fig10_jobs(
     collective_runs = collective_runs or scale.collective_runs
     gemm_runs = gemm_runs or scale.gemm_runs
     jobs: list[ProfileJob] = []
+    # Assembly only reads profiles/summaries, never the raw runs: ship slim.
+    result_mode = configured_result_mode()
     for offset, kernel in enumerate(collective_suite()):
         jobs.append(
             ProfileJob(
@@ -104,6 +106,7 @@ def fig10_jobs(
                 runs=collective_runs,
                 backend_seed=seed + offset,
                 profiler_seed=seed + 100 + offset,
+                result_mode=result_mode,
             )
         )
     gemm = cb_gemm(8192)
@@ -114,6 +117,7 @@ def fig10_jobs(
             runs=gemm_runs,
             backend_seed=seed + len(jobs),
             profiler_seed=seed + 100 + len(jobs),
+            result_mode=result_mode,
         )
     )
     return jobs

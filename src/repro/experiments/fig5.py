@@ -103,6 +103,9 @@ def fig5_jobs(
             runs=runs or scale.methodology_runs,
             backend_seed=seed,
             profiler_seed=seed + 100,
+            # Figure 5 re-stitches the raw run records through baseline
+            # stitchers, so this job must ship the full result (never slim).
+            result_mode="full",
         )
     ]
 

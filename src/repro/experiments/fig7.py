@@ -25,7 +25,7 @@ from ..core.profiler import FinGraVResult
 from ..gpu.spec import mi300x_spec
 from ..kernels.workloads import GEMM_SIZES, cb_gemms, mb_gemvs
 from .common import ExperimentScale, default_scale, power_sample_period_s
-from .sweep import ProfileJob, SweepRunner, kernel_spec, run_jobs
+from .sweep import ProfileJob, SweepRunner, configured_result_mode, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -106,6 +106,8 @@ def fig7_jobs(
     gemv_runs = gemv_runs or scale.gemv_runs
     jobs: list[ProfileJob] = []
     offset = 0
+    # Assembly only reads profiles/summaries, never the raw runs: ship slim.
+    result_mode = configured_result_mode()
     for key, runs in (("cb_gemm", gemm_runs), ("mb_gemv", gemv_runs)):
         for size in GEMM_SIZES:
             spec = kernel_spec(key, size)
@@ -116,6 +118,7 @@ def fig7_jobs(
                     runs=runs,
                     backend_seed=seed + offset,
                     profiler_seed=seed + 100 + offset,
+                    result_mode=result_mode,
                 )
             )
             offset += 1

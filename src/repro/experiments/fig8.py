@@ -17,7 +17,7 @@ import numpy as np
 from ..core.profiler import FinGraVResult
 from .common import ExperimentScale, default_scale
 from .fig6 import RunShapeSeries, _binned_series
-from .sweep import ProfileJob, SweepRunner, kernel_spec, run_jobs
+from .sweep import ProfileJob, SweepRunner, configured_result_mode, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -80,6 +80,8 @@ def fig8_jobs(
             runs=runs or scale.gemm_runs,
             backend_seed=seed,
             profiler_seed=seed + 100,
+            # Assembly reads the profiles only: ship the slim result.
+            result_mode=configured_result_mode(),
         )
     ]
 

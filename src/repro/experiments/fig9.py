@@ -23,7 +23,7 @@ from ..analysis.interleaving import InterleavedMeasurement
 from ..core.profile import FineGrainProfile
 from ..core.profiler import FinGraVResult
 from .common import ExperimentScale, default_scale
-from .sweep import KernelSpec, ProfileJob, SweepRunner, kernel_spec, run_jobs
+from .sweep import KernelSpec, ProfileJob, SweepRunner, configured_result_mode, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -120,6 +120,9 @@ def fig9_jobs(
     scale = scale or default_scale()
     runs = runs or scale.interleaved_runs
     jobs: list[ProfileJob] = []
+    # Assembly reads only the isolated SSP profiles: ship slim results (the
+    # interleaved scenario jobs return a bare FineGrainProfile regardless).
+    result_mode = configured_result_mode()
     for offset, (name, spec) in enumerate(_isolated_kernels()):
         kernel_runs = isolated_runs
         if kernel_runs is None:
@@ -131,6 +134,7 @@ def fig9_jobs(
                 runs=kernel_runs,
                 backend_seed=seed + offset,
                 profiler_seed=seed + 100 + offset,
+                result_mode=result_mode,
             )
         )
     for offset, (label, spec, preceding) in enumerate(_SCENARIOS):

@@ -10,6 +10,20 @@ jobs out across a process pool (``workers > 1``), memoises finished jobs in a
 content-keyed on-disk cache, and returns results keyed by job id, which makes
 assembly deterministic regardless of worker count or completion order.
 
+Jobs default to ``result_mode="full"`` (a complete
+:class:`~repro.core.profiler.FinGraVResult`, raw runs included), but every
+driver whose ``*_from_results`` assembly never re-stitches the raw runs
+registers its jobs with ``result_mode="slim"``: the worker then ships a
+:class:`~repro.core.profiler.SlimFinGraVResult` -- bit-identical profiles
+plus the summary/golden-run metadata -- through IPC and the on-disk cache,
+cutting the pickled payload several-fold.  Drivers that *do* re-stitch
+(Figure 5, the binning-margin ablation) pin ``result_mode="full"``.
+
+A failing job no longer aborts the sweep: every pending job still runs, the
+finished ones are cached and attached to the raised :class:`SweepJobError`
+(``.completed`` / ``.failures``), and the error message names the failing
+job id(s).
+
 Command line::
 
     python -m repro.experiments.sweep --all --scale fast --workers 8
@@ -18,16 +32,21 @@ Command line::
 Environment knobs picked up by :func:`default_runner` (used whenever a driver
 is called without an explicit runner): ``FINGRAV_WORKERS`` (worker count,
 default 1) and ``FINGRAV_PROFILE_CACHE`` (cache directory, default disabled).
+``FINGRAV_RESULT_MODE`` (``slim`` / ``full``) overrides every driver's default
+result mode at job-construction time -- it participates in the cache key, so
+switching modes never replays a stale payload shape.
 """
 
 from __future__ import annotations
 
 import argparse
 import hashlib
+import itertools
 import json
 import os
 import pickle
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -38,7 +57,13 @@ from ..kernels.workloads import cb_gemm, collective_suite, mb_gemv
 from .common import ExperimentScale, default_scale, make_backend, make_profiler, scale_by_name
 
 #: Bump when job execution semantics change, to invalidate on-disk caches.
-_CACHE_SCHEMA = 1
+_CACHE_SCHEMA = 2
+
+#: Staging files older than this are considered orphaned by a dead writer.
+_STALE_STAGING_S = 3600.0
+
+#: Distinguishes staging files written concurrently by one process.
+_STAGING_COUNTER = itertools.count()
 
 
 # --------------------------------------------------------------------------- #
@@ -105,6 +130,19 @@ class ProfileJob:
     interleave_seed: int | None = None
     min_lois: int = 5
     max_runs: int | None = None
+    #: "full" ships the complete FinGraVResult; "slim" ships the raw-run-free
+    #: projection (see the module docstring).  Part of the cache key.
+    result_mode: str = "full"
+
+
+def configured_result_mode(default: str = "slim") -> str:
+    """The result mode a driver should register its jobs with.
+
+    ``FINGRAV_RESULT_MODE`` (``slim`` / ``full``) overrides the driver's
+    default; anything else (including unset) keeps it.
+    """
+    override = os.environ.get("FINGRAV_RESULT_MODE", "").strip().lower()
+    return override if override in ("slim", "full") else default
 
 
 def execute_job(job: ProfileJob) -> object:
@@ -118,6 +156,9 @@ def execute_job(job: ProfileJob) -> object:
         apply_binning=job.apply_binning,
         differentiate=job.differentiate,
         max_additional_runs=job.max_additional_runs,
+        # Interleaved jobs return a bare profile; the study's own isolated
+        # profiling stays full regardless of the job's shipping mode.
+        result_mode=job.result_mode if job.interleave_seed is None else "full",
     )
     if job.interleave_seed is None:
         return profiler.profile(kernel, runs=job.runs)
@@ -142,6 +183,43 @@ def job_key(job: ProfileJob) -> str:
     return digest
 
 
+def _execute_job_guarded(job: ProfileJob) -> tuple[object, str | None]:
+    """Run one job, trapping its failure instead of poisoning the whole map.
+
+    Returns ``(result, None)`` on success and ``(None, description)`` on
+    failure; the description carries the exception type, message and
+    traceback so the sweep can re-raise with full context after the
+    surviving jobs are collected.
+    """
+    try:
+        return execute_job(job), None
+    except Exception as exc:
+        return None, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+
+
+class SweepJobError(RuntimeError):
+    """One or more sweep jobs failed (the rest completed and were cached).
+
+    ``failures`` maps the failing job ids to their error descriptions;
+    ``completed`` holds the results of every job that did finish (cache
+    hits included), so callers can salvage partial sweeps.
+    """
+
+    def __init__(self, failures: Mapping[str, str], completed: Mapping[str, object]) -> None:
+        self.failures = dict(failures)
+        self.completed = dict(completed)
+        #: Experiments :func:`run_sweep` still assembled from the completed
+        #: jobs (set by run_sweep before re-raising; empty for runner-level
+        #: callers).
+        self.assembled: dict[str, object] = {}
+        names = ", ".join(sorted(self.failures))
+        first = next(iter(self.failures.values())).splitlines()[0]
+        super().__init__(
+            f"{len(self.failures)} sweep job(s) failed ({names}); "
+            f"{len(self.completed)} completed and were kept. First failure: {first}"
+        )
+
+
 # --------------------------------------------------------------------------- #
 # The runner.
 # --------------------------------------------------------------------------- #
@@ -162,7 +240,13 @@ class SweepRunner:
 
     # ------------------------------------------------------------------ #
     def run(self, jobs: Sequence[ProfileJob]) -> dict[str, object]:
-        """Execute jobs (deduplicated by id) and return {job_id: result}."""
+        """Execute jobs (deduplicated by id) and return {job_id: result}.
+
+        Job failures are collected, not fatal per-job: every pending job
+        still executes, finished results are cached, and a
+        :class:`SweepJobError` naming the failing job id(s) is raised at the
+        end with the completed results attached.
+        """
         unique: dict[str, ProfileJob] = {}
         for job in jobs:
             existing = unique.get(job.job_id)
@@ -172,6 +256,7 @@ class SweepRunner:
                 continue
             unique[job.job_id] = job
 
+        self._sweep_stale_staging()
         results: dict[str, object] = {}
         pending: list[ProfileJob] = []
         for job in unique.values():
@@ -184,15 +269,23 @@ class SweepRunner:
 
         if pending:
             if self.workers == 1 or len(pending) == 1:
-                outcomes = [execute_job(job) for job in pending]
+                outcomes = [_execute_job_guarded(job) for job in pending]
             else:
                 with ProcessPoolExecutor(
                     max_workers=min(self.workers, len(pending))
                 ) as pool:
-                    outcomes = list(pool.map(execute_job, pending))
-            for job, outcome in zip(pending, outcomes):
-                results[job.job_id] = outcome
-                self._cache_store(job, outcome)
+                    outcomes = list(pool.map(_execute_job_guarded, pending))
+            # Every job ran to an outcome; keep and cache the survivors
+            # before surfacing any failure, so a retry replays them for free.
+            failures: dict[str, str] = {}
+            for job, (outcome, error) in zip(pending, outcomes):
+                if error is None:
+                    results[job.job_id] = outcome
+                    self._cache_store(job, outcome)
+                else:
+                    failures[job.job_id] = error
+            if failures:
+                raise SweepJobError(failures, results)
         return results
 
     # ------------------------------------------------------------------ #
@@ -215,14 +308,44 @@ class SweepRunner:
         path = self._cache_path(job)
         if path is None:
             return
+        # The staging name is unique per writer (pid + in-process counter):
+        # two sweeps sharing FINGRAV_PROFILE_CACHE previously staged to the
+        # same `<key>.tmp` and could interleave writes, atomically renaming a
+        # corrupt mix of both into place.
+        staging = path.with_name(
+            f"{path.name}.{os.getpid()}-{next(_STAGING_COUNTER)}.tmp"
+        )
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            staging = path.with_suffix(".tmp")
             with staging.open("wb") as handle:
                 pickle.dump(result, handle)
             staging.replace(path)
         except Exception:
             pass  # the cache is an optimisation; never fail a sweep over it
+        finally:
+            # A failed write (or a replace that raced a directory removal)
+            # must not leave its staging file behind.
+            try:
+                staging.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def _sweep_stale_staging(self) -> None:
+        """Remove staging strays orphaned by crashed/killed writers.
+
+        Only files matching the staging pattern *and* untouched for
+        :data:`_STALE_STAGING_S` are removed, so concurrent sweeps' live
+        staging files are never disturbed.
+        """
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return
+        cutoff = time.time() - _STALE_STAGING_S
+        for stray in self.cache_dir.glob("*.pkl.*.tmp"):
+            try:
+                if stray.stat().st_mtime < cutoff:
+                    stray.unlink(missing_ok=True)
+            except OSError:
+                continue
 
 
 def default_runner() -> SweepRunner:
@@ -259,6 +382,13 @@ def run_sweep(
     :meth:`SweepRunner.run` call, so the pool is saturated across experiment
     boundaries; each driver then assembles its result object from the shared
     result dictionary.  Returns {experiment name: result object}.
+
+    A failing job does not discard the rest of the sweep: every experiment
+    whose jobs all completed is still assembled, and the
+    :class:`SweepJobError` re-raised at the end carries those assembled
+    results on ``.assembled`` (plus the raw completed job results on
+    ``.completed``), so callers -- including the CLI -- can salvage the
+    finished work even with the on-disk cache disabled.
     """
     from . import ablations, fig5, fig6, fig7, fig8, fig9, fig10, table1, table2
 
@@ -294,38 +424,74 @@ def run_sweep(
         jobs += ablations.sampler_ablation_jobs(scale=scale)
         jobs += ablations.binning_margin_jobs(scale=scale)
 
-    results = runner.run(jobs)
+    job_error: SweepJobError | None = None
+    try:
+        results = runner.run(jobs)
+    except SweepJobError as error:
+        results = error.completed
+        job_error = error
+
+    def assemble(name: str, build) -> object | None:
+        # With a partial job pool an experiment whose job is missing raises
+        # KeyError during assembly; skip it (its failure is already recorded
+        # on the SweepJobError being re-raised below).
+        if job_error is None:
+            return build()
+        try:
+            return build()
+        except KeyError:
+            return None
 
     assembled: dict[str, object] = {}
     if "fig5" in needs:
-        assembled["fig5"] = fig5.fig5_from_results(results, scale=scale)
+        assembled["fig5"] = assemble("fig5", lambda: fig5.fig5_from_results(results, scale=scale))
     if "fig6" in needs:
-        assembled["fig6"] = fig6.fig6_from_results(results, scale=scale)
+        assembled["fig6"] = assemble("fig6", lambda: fig6.fig6_from_results(results, scale=scale))
     if "fig7" in needs:
-        assembled["fig7"] = fig7.fig7_from_results(results, scale=scale)
+        assembled["fig7"] = assemble("fig7", lambda: fig7.fig7_from_results(results, scale=scale))
     if "fig8" in needs:
-        assembled["fig8"] = fig8.fig8_from_results(results, scale=scale)
+        assembled["fig8"] = assemble("fig8", lambda: fig8.fig8_from_results(results, scale=scale))
     if "fig9" in needs:
-        assembled["fig9"] = fig9.fig9_from_results(results, scale=scale)
+        assembled["fig9"] = assemble("fig9", lambda: fig9.fig9_from_results(results, scale=scale))
     if "fig10" in needs:
-        assembled["fig10"] = fig10.fig10_from_results(results, scale=scale)
+        assembled["fig10"] = assemble("fig10", lambda: fig10.fig10_from_results(results, scale=scale))
     if "table1" in needs:
-        assembled["table1"] = table1.table1_from_results(results, scale=scale)
+        assembled["table1"] = assemble("table1", lambda: table1.table1_from_results(results, scale=scale))
     if "table2" in requested:
-        assembled["table2"] = table2.run_table2(
-            scale=scale, fig7=assembled["fig7"], fig9=assembled["fig9"]
-        )
+        if assembled.get("fig7") is not None and assembled.get("fig9") is not None:
+            assembled["table2"] = assemble("table2", lambda: table2.run_table2(
+                scale=scale, fig7=assembled["fig7"], fig9=assembled["fig9"]
+            ))
+        else:
+            assembled["table2"] = None
     if "ablations" in needs:
-        assembled["ablations"] = {
-            "sampler": ablations.sampler_ablation_from_results(results, scale=scale),
-            "margins": ablations.binning_margin_from_results(results, scale=scale),
-            # Coverage and drift are raw-record studies (backend.run loops, no
-            # FinGraV profile), so they run inline at their fixed small budgets
-            # instead of through the profile-job pool.
-            "coarse_coverage": ablations.run_coarse_coverage(scale=scale),
-            "drift": ablations.run_drift_sensitivity(scale=scale),
-        }
-    return {name: assembled[name] for name in requested if name in assembled}
+        sampler = assemble(
+            "ablations", lambda: ablations.sampler_ablation_from_results(results, scale=scale)
+        )
+        margins = assemble(
+            "ablations", lambda: ablations.binning_margin_from_results(results, scale=scale)
+        )
+        if sampler is None or margins is None:
+            assembled["ablations"] = None
+        else:
+            assembled["ablations"] = {
+                "sampler": sampler,
+                "margins": margins,
+                # Coverage and drift are raw-record studies (backend.run
+                # loops, no FinGraV profile), so they run inline at their
+                # fixed small budgets instead of through the profile-job pool.
+                "coarse_coverage": ablations.run_coarse_coverage(scale=scale),
+                "drift": ablations.run_drift_sensitivity(scale=scale),
+            }
+    final = {
+        name: assembled[name]
+        for name in requested
+        if assembled.get(name) is not None
+    }
+    if job_error is not None:
+        job_error.assembled = final
+        raise job_error
+    return final
 
 
 def _summarize(name: str, result: object) -> object:
@@ -391,7 +557,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     print(f"[sweep] scale={scale.name} workers={runner.workers} "
           f"cache={runner.cache_dir or 'off'} experiments={' '.join(requested)}")
     begin = time.perf_counter()
-    results = run_sweep(requested, scale=scale, runner=runner)
+    job_error: SweepJobError | None = None
+    try:
+        results = run_sweep(requested, scale=scale, runner=runner)
+    except SweepJobError as error:
+        # Salvage: report every experiment that still assembled, then exit
+        # nonzero naming the failing job(s).
+        results = error.assembled
+        job_error = error
     elapsed = time.perf_counter() - begin
 
     summaries = {}
@@ -402,6 +575,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(json.dumps(summary, indent=2, default=str))
     print(f"\n[sweep] done in {elapsed:.1f}s "
           f"({runner.cache_hits} cache hits, {runner.workers} workers)")
+    if job_error is not None:
+        print(f"\n[sweep] PARTIAL: {job_error}")
+        for job_id, description in sorted(job_error.failures.items()):
+            print(f"[sweep]   {job_id}: {description.splitlines()[0]}")
 
     if args.json:
         path = Path(args.json)
@@ -413,12 +590,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "seconds": elapsed,
                 "cache_hits": runner.cache_hits,
                 "summaries": summaries,
+                "failures": dict(job_error.failures) if job_error else {},
             },
             indent=2,
             default=str,
         ) + "\n")
         print(f"[sweep] summaries written to {path}")
-    return 0
+    return 0 if job_error is None else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI
@@ -433,8 +611,10 @@ __all__ = [
     "KernelSpec",
     "kernel_spec",
     "ProfileJob",
+    "configured_result_mode",
     "execute_job",
     "job_key",
+    "SweepJobError",
     "SweepRunner",
     "default_runner",
     "run_jobs",

@@ -22,7 +22,7 @@ from typing import Mapping
 from ..core.guidance import GuidanceEntry, paper_guidance_table
 from ..core.profiler import FinGraVResult
 from .common import ExperimentScale, default_scale
-from .sweep import KernelSpec, ProfileJob, SweepRunner, kernel_spec, run_jobs
+from .sweep import KernelSpec, ProfileJob, SweepRunner, configured_result_mode, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -132,8 +132,9 @@ _REPRESENTATIVES: tuple[tuple[str, KernelSpec], ...] = (
 
 
 def _measure_row(entry: GuidanceEntry, result: FinGraVResult) -> GuidanceRowMeasurement:
-    executions_per_run = result.runs[0].num_executions if result.runs else 1
-    qualifying = max(executions_per_run - result.plan.ssp_executions + 1, 1)
+    # executions_per_run is carried by both full and slim results, so the
+    # measurement never needs the raw run records.
+    qualifying = max(result.executions_per_run - result.plan.ssp_executions + 1, 1)
     return GuidanceRowMeasurement(
         entry=entry,
         kernel_name=result.kernel_name,
@@ -153,6 +154,8 @@ def table1_jobs(
 ) -> list[ProfileJob]:
     """One profile job per guidance range's representative kernel."""
     scale = scale or default_scale()
+    # The measurements read counts and profiles only: ship slim results.
+    result_mode = configured_result_mode()
     return [
         ProfileJob(
             job_id=f"table1/{tag}",
@@ -160,6 +163,7 @@ def table1_jobs(
             runs=runs or scale.gemm_runs,
             backend_seed=seed + offset,
             profiler_seed=seed + 100 + offset,
+            result_mode=result_mode,
         )
         for offset, (tag, spec) in enumerate(_REPRESENTATIVES)
     ]

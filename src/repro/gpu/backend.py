@@ -19,8 +19,10 @@ import numpy as np
 
 from ..core.records import (
     DelayCalibration,
+    ExecutionArena,
     ExecutionTiming,
     PowerReading,
+    PowerReadings,
     RunRecord,
     TimestampAnchor,
 )
@@ -95,6 +97,7 @@ class SimulatedDeviceBackend:
             spec or mi300x_spec(), seed=seed, vectorized=self._config.vectorized
         )
         self._descriptor_cache: dict[int, tuple[object, KernelActivityDescriptor]] = {}
+        self._arena = ExecutionArena()
         self._launcher = KernelLauncher(self._device, launch_config)
         self._noise_rng = np.random.default_rng(seed + 7919)
         idle_power = self._device.power_model.idle_power()
@@ -221,26 +224,25 @@ class SimulatedDeviceBackend:
             device.idle(pre_delay_s)
 
         if device.vectorized:
-            # Hot path: timings come straight from the launcher (no
-            # intermediate ObservedExecution objects) and readings straight
-            # from columnar samples -- identical values to the branch below.
-            preceding_list: list[ExecutionTiming] = []
+            # Hot path: launch sequences stage their timings in the backend's
+            # execution arena (no per-execution objects) and readings come
+            # straight from columnar samples -- identical values to the
+            # branch below; the record adopts both as lazy views.
+            arena = self._arena
+            arena.begin()
             for preceding_kernel, preceding_count in preceding:
                 preceding_descriptor = self._descriptor_of(preceding_kernel)
                 variation = device.draw_run_variation(preceding_descriptor)
-                preceding_list.extend(
-                    self._launcher.sequence_timings(
-                        preceding_descriptor, preceding_count, run_variation=variation
-                    )
+                self._launcher.sequence_into(
+                    arena, preceding_descriptor, preceding_count, run_variation=variation
                 )
-            preceding_timing = tuple(preceding_list)
+            preceding_timing = arena.take()
 
             run_variation = device.draw_run_variation(descriptor)
-            executions_timing = tuple(
-                self._launcher.sequence_timings(
-                    descriptor, executions, run_variation=run_variation
-                )
+            self._launcher.sequence_into(
+                arena, descriptor, executions, run_variation=run_variation
             )
+            executions_timing = arena.take()
 
             device.idle(self._config.post_padding_periods * period)
             segments = device.stop_recording()
@@ -297,37 +299,35 @@ class SimulatedDeviceBackend:
             return 1.0
         return float(self._noise_rng.normal(1.0, self._config.reading_noise))
 
-    def _readings_fast(self, ticks, times, powers, window_s) -> tuple[PowerReading, ...]:
+    def _readings_fast(self, ticks, times, powers, window_s) -> PowerReadings:
         """Build the readings of a run straight from columnar samples.
 
         Values are identical to :meth:`_reading_from` over
         :meth:`~repro.gpu.telemetry.AveragingPowerLogger.samples` -- the noise
         draws consume the same RNG stream (a batched ``normal`` draw is
         bit-identical to per-reading draws) and the same float arithmetic is
-        applied -- but no intermediate ``TelemetrySample`` objects are built.
+        applied element-wise -- but the whole run's readings are four array
+        operations wrapped in a lazy :class:`PowerReadings` view: no
+        ``TelemetrySample`` and no per-reading ``PowerReading`` objects.
         """
+        del times  # window-end CPU times are reconstructed by the profiler
         n = ticks.shape[0]
+        powers = np.asarray(powers, dtype=float)
         noise_std = self._config.reading_noise
-        noise = self._noise_rng.normal(1.0, noise_std, size=n) if noise_std > 0 and n else None
-        readings = []
-        append = readings.append
-        for i in range(n):
-            factor = float(noise[i]) if noise is not None else 1.0
-            xcd_w = float(powers[i, 0])
-            iod_w = float(powers[i, 1])
-            hbm_w = float(powers[i, 2])
-            reading = PowerReading.__new__(PowerReading)
-            fields = reading.__dict__
-            fields["gpu_timestamp_ticks"] = int(ticks[i])
-            fields["window_s"] = window_s
-            fields["total_w"] = (xcd_w + iod_w + hbm_w) * factor
-            fields["components"] = {
-                "xcd": xcd_w * factor,
-                "iod": iod_w * factor,
-                "hbm": hbm_w * factor,
-            }
-            append(reading)
-        return tuple(readings)
+        totals = powers[:, 0] + powers[:, 1] + powers[:, 2]
+        if noise_std > 0 and n:
+            noise = self._noise_rng.normal(1.0, noise_std, size=n)
+            components = powers * noise[:, None]
+            totals = totals * noise
+        else:
+            components = powers
+        return PowerReadings(
+            gpu_timestamp_ticks=ticks,
+            window_s=window_s,
+            total_w=totals,
+            component_names=("xcd", "iod", "hbm"),
+            components_w=components,
+        )
 
     def _reading_from(self, sample: TelemetrySample) -> PowerReading:
         noise = self._noise()

@@ -179,6 +179,52 @@ class KernelExecutionResult:
         return self.end_s - self.start_s
 
 
+class _ExecutionLog:
+    """Columnar ground-truth execution history (the vectorized engine's).
+
+    The batched execution path appends one flat row of floats per execution
+    -- ``(start, end, cold, mean_frequency, energy, xcd_w, iod_w, hbm_w)`` --
+    plus the kernel name, instead of constructing a
+    :class:`KernelExecutionResult` (and its :class:`ComponentPower`) per
+    execution; :meth:`SimulatedGPU.executions` materialises the result
+    objects only when the history is actually read (tests / validation).
+    """
+
+    __slots__ = ("data", "names")
+
+    _ROW = 8
+
+    def __init__(self) -> None:
+        self.data = array("d")
+        self.names: list[str] = []
+
+    def clear(self) -> None:
+        del self.data[:]
+        self.names.clear()
+
+    def materialize(self) -> list[KernelExecutionResult]:
+        data = self.data
+        results: list[KernelExecutionResult] = []
+        for i, name in enumerate(self.names):
+            row = i * self._ROW
+            mean_power = ComponentPower.__new__(ComponentPower)
+            fields = mean_power.__dict__
+            fields["xcd_w"] = data[row + 5]
+            fields["iod_w"] = data[row + 6]
+            fields["hbm_w"] = data[row + 7]
+            result = KernelExecutionResult.__new__(KernelExecutionResult)
+            fields = result.__dict__
+            fields["kernel_name"] = name
+            fields["start_s"] = data[row]
+            fields["end_s"] = data[row + 1]
+            fields["cold_caches"] = bool(data[row + 2])
+            fields["mean_frequency_ghz"] = data[row + 3]
+            fields["energy_j"] = data[row + 4]
+            fields["mean_power"] = mean_power
+            results.append(result)
+        return results
+
+
 @dataclass(slots=True)
 class _CacheState:
     """Per-kernel cache warm-up bookkeeping."""
@@ -279,6 +325,10 @@ class SimulatedGPU:
         self._control = _ControlAccumulator()
         self._next_control_s = self._spec.dvfs.control_period_s
         self._executions: list[KernelExecutionResult] = []
+        # Columnar ground-truth log the vectorized engine appends to (the
+        # reference engine keeps appending result objects to _executions).
+        self._exec_log = _ExecutionLog()
+        self._exec_log_extend = self._exec_log.data.extend
 
         # Host-side timestamp reads must go through the device so the round
         # trip is visible to telemetry, thermal state and the firmware alike.
@@ -333,6 +383,8 @@ class SimulatedGPU:
 
     def executions(self) -> list[KernelExecutionResult]:
         """Ground-truth execution history since recording started."""
+        if self._vectorized:
+            return self._exec_log.materialize()
         return list(self._executions)
 
     # ------------------------------------------------------------------ #
@@ -345,6 +397,7 @@ class SimulatedGPU:
         self._buffer.clear()
         self._record_extend = self._buffer.data.extend
         self._executions = []
+        self._exec_log.clear()
         return self._sim_clock.now_s
 
     def stop_recording(self) -> Sequence[PowerSegment]:
@@ -648,7 +701,8 @@ class SimulatedGPU:
         descriptor: KernelActivityDescriptor,
         run_variation: RunVariation | None,
         jitter: float | None = None,
-    ) -> KernelExecutionResult:
+        build_result: bool = True,
+    ) -> KernelExecutionResult | tuple[float, float]:
         """Batched execution path: identical arithmetic, no per-slice objects.
 
         One merged function covers cache bookkeeping, the jitter draw, the
@@ -663,6 +717,11 @@ class SimulatedGPU:
         ``jitter`` lets the launcher pass a pre-drawn execution-jitter factor
         (from a batched draw of the identical stream); when ``None`` the draw
         happens here, exactly as in the reference path.
+
+        ``build_result=False`` is the launch-sequence arena path: the
+        ground-truth row still lands in the columnar execution log, but no
+        :class:`KernelExecutionResult`/:class:`ComponentPower` objects are
+        built -- the caller only needs the returned ``(start_s, end_s)``.
         """
         clock = self._sim_clock
         now = clock._now_s
@@ -821,25 +880,37 @@ class SimulatedGPU:
         # _update_cache_state, inlined on the state fetched above.
         state.consecutive_executions += 1
         state.last_end_s = end_s
+        mean_frequency = freq_time_weighted / duration
+        xcd_w = xcd_j / duration
+        iod_w = iod_j / duration
+        hbm_w = hbm_j / duration
+        if record:
+            # Ground truth goes to the columnar execution log: one flat
+            # extend, no per-execution result objects.
+            self._exec_log_extend(
+                (start_s, end_s, 1.0 if cold else 0.0,
+                 mean_frequency, energy_j, xcd_w, iod_w, hbm_w)
+            )
+            self._exec_log.names.append(descriptor.name)
+        if not build_result:
+            return start_s, end_s
         # Frozen-dataclass __init__ routes every field through
         # object.__setattr__; the hot path builds the identical objects
         # directly through __dict__ (same values, same equality).
         mean_power = ComponentPower.__new__(ComponentPower)
         fields = mean_power.__dict__
-        fields["xcd_w"] = xcd_j / duration
-        fields["iod_w"] = iod_j / duration
-        fields["hbm_w"] = hbm_j / duration
+        fields["xcd_w"] = xcd_w
+        fields["iod_w"] = iod_w
+        fields["hbm_w"] = hbm_w
         result = KernelExecutionResult.__new__(KernelExecutionResult)
         fields = result.__dict__
         fields["kernel_name"] = descriptor.name
         fields["start_s"] = start_s
         fields["end_s"] = end_s
         fields["cold_caches"] = cold
-        fields["mean_frequency_ghz"] = freq_time_weighted / duration
+        fields["mean_frequency_ghz"] = mean_frequency
         fields["energy_j"] = energy_j
         fields["mean_power"] = mean_power
-        if record:
-            self._executions.append(result)
         return result
 
     # ------------------------------------------------------------------ #

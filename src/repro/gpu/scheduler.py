@@ -15,7 +15,7 @@ from math import exp
 
 import numpy as np
 
-from ..core.records import ExecutionTiming
+from ..core.records import ExecutionArena, ExecutionTiming
 from .activity import KernelActivityDescriptor
 from .device import KernelExecutionResult, SimulatedGPU
 from .variation import ExecutionTimeVariationModel, RunVariation
@@ -205,14 +205,15 @@ class KernelLauncher:
             )
         return observed
 
-    def sequence_timings(
+    def sequence_into(
         self,
+        arena: ExecutionArena,
         descriptor: KernelActivityDescriptor,
         executions: int,
         run_variation: RunVariation | None = None,
         start_index: int = 0,
-    ) -> list[ExecutionTiming]:
-        """Host-observed timings of a back-to-back sequence, built directly.
+    ) -> None:
+        """Stage a back-to-back sequence's host-observed timings into ``arena``.
 
         The instrumented-run hot path (vectorized device): identical simulated
         behaviour and values as :meth:`launch_sequence` followed by an
@@ -222,30 +223,29 @@ class KernelLauncher:
           and the two event-timestamp errors per execution, consumed in
           exactly that order) come from one batched ``standard_normal`` draw,
           which is bit-identical to the per-execution scalar draws;
-        * no intermediate :class:`ObservedExecution` objects are built, since
-          a run record only keeps the timings.
+        * no timing objects are built at all: each execution appends its two
+          floats to the arena's columnar buffers, and the run record adopts
+          the arena snapshot as a lazy :class:`ExecutionTimings` view.
         """
         if executions <= 0:
             raise ValueError("need at least one execution")
         device = self._device
         latency_mean, latency_jitter, error_std, gap_s = self._fast_consts
         execution_cv = descriptor.variation.execution_cv
+        append_start, append_end = arena.stage(descriptor.name, start_index, executions)
         if not device.vectorized or execution_cv <= 0 or error_std <= 0:
             # Configurations whose reference path consumes a different draw
             # pattern fall back to the launch loop (identical by definition).
-            return [
-                self._timing_of(observed)
-                for observed in self.launch_sequence(
-                    descriptor, executions, run_variation=run_variation, start_index=start_index
-                )
-            ]
+            for observed in self.launch_sequence(
+                descriptor, executions, run_variation=run_variation, start_index=start_index
+            ):
+                append_start(observed.cpu_start_s)
+                append_end(observed.cpu_end_s)
+            return
         idle_fast = device._idle_fast
         execute_fast = device._execute_fast
         min_factor = ExecutionTimeVariationModel.MIN_FACTOR
-        kernel_name = descriptor.name
         variates = self._rng.standard_normal(4 * executions).tolist()
-        timings: list[ExecutionTiming] = []
-        append = timings.append
         cursor = 0
         for i in range(executions):
             if i > 0 and gap_s > 0:
@@ -257,20 +257,36 @@ class KernelLauncher:
             if jitter < min_factor:
                 jitter = min_factor
             idle_fast(launch_latency)
-            result = execute_fast(descriptor, run_variation, jitter)
-            cpu_start_s = result.start_s + error_std * variates[cursor + 2]
-            cpu_end_s = result.end_s + error_std * variates[cursor + 3]
+            start_s, end_s = execute_fast(
+                descriptor, run_variation, jitter, build_result=False
+            )
+            cpu_start_s = start_s + error_std * variates[cursor + 2]
+            cpu_end_s = end_s + error_std * variates[cursor + 3]
             if cpu_end_s < cpu_start_s:
                 cpu_end_s = cpu_start_s
-            timing = ExecutionTiming.__new__(ExecutionTiming)
-            fields = timing.__dict__
-            fields["index"] = start_index + i
-            fields["cpu_start_s"] = cpu_start_s
-            fields["cpu_end_s"] = cpu_end_s
-            fields["kernel_name"] = kernel_name
-            append(timing)
+            append_start(cpu_start_s)
+            append_end(cpu_end_s)
             cursor += 4
-        return timings
+
+    def sequence_timings(
+        self,
+        descriptor: KernelActivityDescriptor,
+        executions: int,
+        run_variation: RunVariation | None = None,
+        start_index: int = 0,
+    ) -> list[ExecutionTiming]:
+        """Host-observed timings of a back-to-back sequence, as objects.
+
+        Compatibility wrapper over :meth:`sequence_into`: stages the sequence
+        in a throwaway arena and materialises the timings (same simulated
+        behaviour, RNG stream and values).
+        """
+        arena = ExecutionArena()
+        self.sequence_into(
+            arena, descriptor, executions,
+            run_variation=run_variation, start_index=start_index,
+        )
+        return list(arena.take())
 
     @staticmethod
     def _timing_of(observed: ObservedExecution) -> ExecutionTiming:

@@ -1,5 +1,7 @@
 """Unit tests for SSE/SSP differentiation, profiles and stitching."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -127,11 +129,19 @@ class TestFineGrainProfile:
         assert list(profile.series("xcd")) == pytest.approx([70.0, 140.0])
         assert "total" in profile.components and "xcd" in profile.components
 
-    def test_empty_profile_raises_on_stats(self):
+    def test_empty_profile_stats_are_clean_nan(self):
+        import warnings
+
         profile = FineGrainProfile("k", ProfileKind.SSP, (), 1e-4)
         assert profile.is_empty
-        with pytest.raises(ValueError):
-            profile.mean_power_w()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no mean-of-empty-slice warnings
+            assert math.isnan(profile.mean_power_w())
+            assert math.isnan(profile.median_power_w())
+            assert math.isnan(profile.max_power_w())
+            assert math.isnan(profile.min_power_w())
+            assert math.isnan(profile.energy_j())
+            assert profile.power_std_w() == 0.0
 
     def test_smoothed_fit_reproduces_linear_trend(self):
         times = np.linspace(0, 1e-3, 50)

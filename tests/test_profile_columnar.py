@@ -109,13 +109,20 @@ class TestColumnarVsObjectConstruction:
         assert columnar.points == objects.points
 
     def test_empty_profiles_agree(self):
+        import math
+        import warnings
+
         columnar = profile_from_lois("k", ProfileKind.SSP, [], 1e-4)
         objects = profile_from_lois_reference("k", ProfileKind.SSP, [], 1e-4)
         assert columnar.is_empty and objects.is_empty
         assert columnar.components == objects.components == ()
         assert np.array_equal(columnar.series("total"), objects.series("total"))
-        with pytest.raises(ValueError):
-            columnar.mean_power_w()
+        # The documented empty-profile contract: clean NaN, no warnings,
+        # identical on the columnar and object paths.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert math.isnan(columnar.mean_power_w())
+            assert math.isnan(objects.mean_power_w())
 
 
 class TestStitcherEquivalence:

@@ -1,0 +1,148 @@
+"""Tests for the slim result mode (profiles + summary, no raw runs)."""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import (
+    FinGraVProfiler,
+    FinGraVResult,
+    ProfilerConfig,
+    SlimFinGraVResult,
+)
+from repro.experiments.common import make_backend, make_profiler
+from repro.experiments.sweep import ProfileJob, configured_result_mode, execute_job, job_key, kernel_spec
+from repro.kernels.workloads import cb_gemm
+
+
+SMALL_JOB = ProfileJob(
+    job_id="slim-test/CB-2K-GEMM",
+    kernel=kernel_spec("cb_gemm", 2048),
+    runs=10,
+    backend_seed=71,
+    profiler_seed=171,
+    max_additional_runs=40,
+)
+
+
+@pytest.fixture(scope="module")
+def full_and_slim() -> tuple[FinGraVResult, SlimFinGraVResult]:
+    full = execute_job(dataclasses.replace(SMALL_JOB, result_mode="full"))
+    slim = execute_job(dataclasses.replace(SMALL_JOB, result_mode="slim"))
+    return full, slim
+
+
+class TestSlimEquivalence:
+    def test_types_and_flags(self, full_and_slim):
+        full, slim = full_and_slim
+        assert isinstance(full, FinGraVResult) and not full.is_slim
+        assert isinstance(slim, SlimFinGraVResult) and slim.is_slim
+        assert slim.slim() is slim
+
+    def test_profiles_bit_identical(self, full_and_slim):
+        full, slim = full_and_slim
+        for attribute in ("ssp_profile", "sse_profile", "run_profile"):
+            pf, ps = getattr(full, attribute), getattr(slim, attribute)
+            assert len(pf) == len(ps)
+            assert np.array_equal(pf.times(), ps.times())
+            assert pf.components == ps.components
+            for component in pf.components:
+                assert np.array_equal(pf.series(component), ps.series(component))
+
+    def test_summary_and_metadata_identical(self, full_and_slim):
+        full, slim = full_and_slim
+        full_summary = full.summary()
+        slim_summary = slim.summary()
+        assert full_summary == slim_summary
+        assert full.num_runs == slim.num_runs
+        assert full.num_golden_runs == slim.num_golden_runs
+        assert full.golden_run_indices == slim.golden_run_indices
+        assert full.executions_per_run == slim.executions_per_run
+        assert full.ssp_loi_count == slim.ssp_loi_count
+        if not full.sse_profile.is_empty and not full.ssp_profile.is_empty:
+            assert full.sse_vs_ssp_error() == slim.sse_vs_ssp_error()
+        else:
+            with pytest.raises(ValueError):
+                slim.sse_vs_ssp_error()
+
+    def test_slim_projection_of_full_matches_profiler_slim(self, full_and_slim):
+        full, slim = full_and_slim
+        projected = full.slim()
+        assert projected.summary() == slim.summary()
+        assert projected.golden_run_indices == slim.golden_run_indices
+        assert np.array_equal(
+            projected.ssp_profile.times(), slim.ssp_profile.times()
+        )
+
+    def test_slim_payload_smaller(self, full_and_slim):
+        full, slim = full_and_slim
+        full_bytes = len(pickle.dumps(full, protocol=pickle.HIGHEST_PROTOCOL))
+        slim_bytes = len(pickle.dumps(slim, protocol=pickle.HIGHEST_PROTOCOL))
+        assert slim_bytes < full_bytes
+        clone = pickle.loads(pickle.dumps(slim, protocol=pickle.HIGHEST_PROTOCOL))
+        assert clone.summary() == slim.summary()
+
+    def test_raw_run_access_raises(self, full_and_slim):
+        _, slim = full_and_slim
+        with pytest.raises(AttributeError, match="no raw runs"):
+            _ = slim.runs
+        with pytest.raises(AttributeError, match="no binning"):
+            _ = slim.binning
+
+
+class TestDriverOutputsUnchanged:
+    def test_table1_measurement_identical(self, full_and_slim):
+        from repro.core.guidance import paper_guidance_table
+        from repro.experiments.table1 import _measure_row
+
+        full, slim = full_and_slim
+        entry = paper_guidance_table().lookup(full.execution_time_s)
+        assert _measure_row(entry, full).to_row() == _measure_row(entry, slim).to_row()
+
+    def test_fig8_style_assembly_identical(self, full_and_slim):
+        full, slim = full_and_slim
+        for result_pair in zip(
+            full.run_profile.binned_mean("total", bins=10),
+            slim.run_profile.binned_mean("total", bins=10),
+        ):
+            assert np.array_equal(*result_pair)
+        assert full.ssp_profile.mean_power_w("total") == slim.ssp_profile.mean_power_w("total")
+
+
+class TestResultModePlumbing:
+    def test_unknown_result_mode_rejected(self):
+        backend = make_backend(seed=1)
+        with pytest.raises(ValueError, match="result_mode"):
+            FinGraVProfiler(backend, ProfilerConfig(result_mode="compact"))
+
+    def test_make_profiler_passes_mode_through(self):
+        backend = make_backend(seed=1)
+        profiler = make_profiler(backend, result_mode="slim")
+        assert profiler.config.result_mode == "slim"
+
+    def test_result_mode_changes_cache_key(self):
+        assert job_key(SMALL_JOB) != job_key(
+            dataclasses.replace(SMALL_JOB, result_mode="slim")
+        )
+
+    def test_configured_result_mode_env_override(self, monkeypatch):
+        monkeypatch.delenv("FINGRAV_RESULT_MODE", raising=False)
+        assert configured_result_mode() == "slim"
+        assert configured_result_mode("full") == "full"
+        monkeypatch.setenv("FINGRAV_RESULT_MODE", "full")
+        assert configured_result_mode() == "full"
+        monkeypatch.setenv("FINGRAV_RESULT_MODE", "SLIM")
+        assert configured_result_mode("full") == "slim"
+        monkeypatch.setenv("FINGRAV_RESULT_MODE", "bogus")
+        assert configured_result_mode() == "slim"
+
+    def test_profiler_slim_mode_end_to_end(self):
+        backend = make_backend(seed=5)
+        profiler = make_profiler(backend, seed=105, max_additional_runs=20, result_mode="slim")
+        result = profiler.profile(cb_gemm(2048), runs=6)
+        assert isinstance(result, SlimFinGraVResult)
+        assert not result.ssp_profile.is_empty

@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
+import os
+import pickle
+import threading
+import time
+
 import numpy as np
 import pytest
 
+import repro.experiments.sweep as sweep_module
 from repro.experiments.sweep import (
     KernelSpec,
     ProfileJob,
+    SweepJobError,
     SweepRunner,
     execute_job,
     job_key,
@@ -130,6 +137,127 @@ class TestSweepRunner:
         results = retry.run(small_jobs()[:1])
         assert retry.cache_hits == 0
         assert set(results) == {small_jobs()[0].job_id}
+
+
+def failing_job(job_id: str = "test/failing") -> ProfileJob:
+    """A job whose kernel build raises inside execute_job (any process)."""
+    return ProfileJob(
+        job_id=job_id,
+        kernel=KernelSpec(key="no-such-kernel"),
+        runs=4,
+        backend_seed=1,
+        profiler_seed=2,
+    )
+
+
+class TestPartialFailureRecovery:
+    def test_surviving_jobs_returned_and_failure_named(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        runner = SweepRunner(workers=1, cache_dir=cache_dir)
+        good = small_jobs()[0]
+        with pytest.raises(SweepJobError) as excinfo:
+            runner.run([good, failing_job()])
+        error = excinfo.value
+        assert "test/failing" in str(error)
+        assert set(error.failures) == {"test/failing"}
+        assert "KeyError" in error.failures["test/failing"]
+        # The good job finished, was returned, and was cached for replay.
+        assert set(error.completed) == {good.job_id}
+        replay = SweepRunner(workers=1, cache_dir=cache_dir)
+        results = replay.run([good])
+        assert replay.cache_hits == 1
+        assert_result_maps_identical(results, {good.job_id: error.completed[good.job_id]})
+
+    def test_parallel_pool_survives_one_failure(self):
+        jobs = small_jobs() + [failing_job()]
+        with pytest.raises(SweepJobError) as excinfo:
+            SweepRunner(workers=2).run(jobs)
+        assert set(excinfo.value.completed) == {job.job_id for job in small_jobs()}
+
+    def test_multiple_failures_all_reported(self):
+        with pytest.raises(SweepJobError) as excinfo:
+            SweepRunner(workers=1).run([failing_job("test/f1"), failing_job("test/f2")])
+        assert set(excinfo.value.failures) == {"test/f1", "test/f2"}
+
+    def test_run_sweep_salvages_assembled_experiments(self, monkeypatch):
+        """Experiments whose jobs all completed are assembled onto the error."""
+        from repro.experiments import fig6, fig8
+
+        good = ProfileJob(
+            job_id="fig6/CB-8K-GEMM",
+            kernel=kernel_spec("cb_gemm", 4096),
+            runs=10,
+            backend_seed=81,
+            profiler_seed=181,
+            max_additional_runs=40,
+        )
+        monkeypatch.setattr(fig6, "fig6_jobs", lambda scale=None, **kw: [good])
+        monkeypatch.setattr(
+            fig8, "fig8_jobs",
+            lambda scale=None, **kw: [failing_job("fig8/CB-2K-GEMM")],
+        )
+        with pytest.raises(SweepJobError) as excinfo:
+            run_sweep(["fig6", "fig8"], runner=SweepRunner(workers=1))
+        error = excinfo.value
+        assert set(error.failures) == {"fig8/CB-2K-GEMM"}
+        assert set(error.assembled) == {"fig6"}  # fig6 survived and assembled
+        assert error.assembled["fig6"].summary()["kernel"] == "CB-4K-GEMM"
+
+
+class TestCacheStagingHardening:
+    def test_staging_names_unique_per_write(self, tmp_path, monkeypatch):
+        """Two writers (even same-process) never share a staging path."""
+        runner = SweepRunner(workers=1, cache_dir=tmp_path)
+        job = small_jobs()[0]
+        staged: list[str] = []
+        real_dump = pickle.dump
+
+        def recording_dump(obj, handle, *args, **kwargs):
+            staged.append(handle.name)
+            return real_dump(obj, handle, *args, **kwargs)
+
+        monkeypatch.setattr(sweep_module.pickle, "dump", recording_dump)
+        runner._cache_store(job, "payload-1")
+        runner._cache_store(job, "payload-2")
+        assert len(staged) == 2 and staged[0] != staged[1]
+        assert all(f".{os.getpid()}-" in name for name in staged)
+        # Both writes landed atomically on the same final entry.
+        assert runner._cache_load(job) == "payload-2"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_concurrent_writers_leave_valid_entry_and_no_strays(self, tmp_path):
+        job = small_jobs()[0]
+        runners = [SweepRunner(workers=1, cache_dir=tmp_path) for _ in range(2)]
+
+        def hammer(runner, payload):
+            for _ in range(50):
+                runner._cache_store(job, payload)
+
+        threads = [
+            threading.Thread(target=hammer, args=(runner, f"payload-{i}"))
+            for i, runner in enumerate(runners)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Whatever won, the entry must unpickle cleanly (no interleaved
+        # staging writes) and no staging files may remain.
+        assert runners[0]._cache_load(job) in {"payload-0", "payload-1"}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_stale_staging_strays_cleaned(self, tmp_path):
+        job = small_jobs()[0]
+        stale = tmp_path / f"{job_key(job)}.pkl.1234-0.tmp"
+        fresh = tmp_path / f"{job_key(job)}.pkl.5678-0.tmp"
+        stale.write_bytes(b"dead writer")
+        fresh.write_bytes(b"live writer")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        runner = SweepRunner(workers=1, cache_dir=tmp_path)
+        runner.run([small_jobs()[0]])
+        assert not stale.exists()  # orphan removed
+        assert fresh.exists()  # live staging untouched
 
 
 class TestInterleavedJobs:
