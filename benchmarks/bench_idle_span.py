@@ -1,0 +1,195 @@
+"""Benchmark: the batched idle-span boundary engine on idle-heavy workloads.
+
+After PR 2-4 vectorized the execution, record and profile layers, multi-
+boundary idle spans were the last per-control-period Python loop on the
+``backend.run()`` hot path: fig5-style padding, interleaving gaps and
+park/boost studies spend most of their simulated time idle, one loop
+iteration per 250 us firmware control period.  This PR batches those spans
+into a verified NumPy boundary grid with a closed-form firmware update
+(``PowerManagementFirmware.idle_span``).
+
+Three engines are timed on an idle-heavy instrumented run (a park/boost-study
+shape: few executions separated by tens of milliseconds of idle):
+
+* ``batched`` -- the new boundary engine (default),
+* ``inline`` -- the retained per-period scalar loop the batched engine
+  replaced and falls back to (``_idle_batch_min_periods = inf``),
+* ``reference`` -- the pinned per-slice specification
+  (``BackendConfig(vectorized=False)``).
+
+The run records must agree across all three (the device equivalence suite
+pins the full bit-identical contract); the batched engine must beat the
+pinned reference by >=3x on the idle-heavy shape.  A raw ``device.idle()``
+scaling table shows where the per-period loop's linear cost collapses.
+
+Results are appended to ``BENCH_profiler.json`` (section ``idle_span``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.gpu.backend import BackendConfig, SimulatedDeviceBackend
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.spec import mi300x_spec
+from repro.kernels.workloads import cb_gemm
+
+KERNEL_SIZE = 1024
+EXECUTIONS = 4
+PRE_DELAY_S = 50e-3  # ~200 control periods of idle between anchor and kernels
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_profiler.json"
+
+ENGINES = ("batched", "inline", "reference")
+
+
+def _write_results(update: dict) -> None:
+    payload = {}
+    if RESULT_PATH.exists():
+        try:
+            payload = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload.update(update)
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _make_backend(engine: str, seed: int = 31) -> SimulatedDeviceBackend:
+    backend = SimulatedDeviceBackend(
+        spec=mi300x_spec(),
+        seed=seed,
+        config=BackendConfig(vectorized=(engine != "reference")),
+    )
+    if engine == "inline":
+        backend.device._idle_batch_min_periods = float("inf")
+    return backend
+
+
+def _run_costs(repeats: int = 25, rounds: int = 4) -> tuple[dict, dict]:
+    """Best-of-N mean wall time of one idle-heavy instrumented run per engine.
+
+    Rounds are interleaved across the engines so a transient load spike on
+    the machine degrades every engine's round rather than one engine's whole
+    measurement -- the reported ratios stay stable under contention.
+    """
+    kernel = cb_gemm(KERNEL_SIZE)
+    backends = {engine: _make_backend(engine) for engine in ENGINES}
+    records = {
+        engine: backend.run(kernel, executions=EXECUTIONS, pre_delay_s=PRE_DELAY_S, run_index=0)
+        for engine, backend in backends.items()
+    }
+    seconds = {engine: float("inf") for engine in ENGINES}
+    for _ in range(rounds):
+        for engine, backend in backends.items():
+            begin = time.perf_counter()
+            for i in range(repeats):
+                backend.run(
+                    kernel, executions=EXECUTIONS, pre_delay_s=PRE_DELAY_S, run_index=i
+                )
+            seconds[engine] = min(seconds[engine], (time.perf_counter() - begin) / repeats)
+    return seconds, records
+
+
+@pytest.mark.bench
+def test_idle_span_backend_run_speedup():
+    """Batched idle spans beat the pinned reference >=3x on idle-heavy runs."""
+    seconds, records = _run_costs()
+
+    # The first run of every engine must agree record-for-record (the device
+    # equivalence suite pins the full contract; this is the smoke check).
+    reference_record = records["reference"]
+    for engine in ("batched", "inline"):
+        record = records[engine]
+        assert len(record.executions) == len(reference_record.executions)
+        for ours, theirs in zip(record.executions, reference_record.executions):
+            assert ours == theirs
+        assert len(record.readings) == len(reference_record.readings)
+        for ours, theirs in zip(record.readings, reference_record.readings):
+            assert ours.gpu_timestamp_ticks == theirs.gpu_timestamp_ticks
+            assert ours.total_w == pytest.approx(theirs.total_w, rel=1e-9)
+
+    speedup_vs_reference = seconds["reference"] / seconds["batched"]
+    speedup_vs_inline = seconds["inline"] / seconds["batched"]
+    idle_periods = (PRE_DELAY_S + 8e-3 + 2.8e-3) / mi300x_spec().dvfs.control_period_s
+    print("\n=== batched idle-span engine: idle-heavy backend.run() ===")
+    print(f"  shape: {EXECUTIONS} x CB-{KERNEL_SIZE}-GEMM, pre-delay "
+          f"{PRE_DELAY_S * 1e3:.0f} ms (~{idle_periods:.0f} idle control periods/run)")
+    for engine in ENGINES:
+        print(f"  {engine:>9}: {seconds[engine] * 1e6:8.1f} us/run")
+    print(f"  speedup vs per-period inline loop: {speedup_vs_inline:.2f}x")
+    print(f"  speedup vs per-slice reference:    {speedup_vs_reference:.2f}x")
+    _write_results({"idle_span": {
+        "workload": {
+            "kernel": f"CB-{KERNEL_SIZE}-GEMM",
+            "executions": EXECUTIONS,
+            "pre_delay_s": PRE_DELAY_S,
+        },
+        "run_seconds": {engine: seconds[engine] for engine in ENGINES},
+        "speedup_vs_inline": speedup_vs_inline,
+        "speedup_vs_reference": speedup_vs_reference,
+    }})
+    assert speedup_vs_reference >= 3.0, (
+        f"batched idle-span engine only {speedup_vs_reference:.2f}x over the reference"
+    )
+    # Soft floor: the measured ratio is ~1.5x; anything clearly above parity
+    # proves the batched grid carries the idle-heavy shape.
+    assert speedup_vs_inline >= 1.1, (
+        f"batched idle-span engine only {speedup_vs_inline:.2f}x over the inline loop"
+    )
+
+
+@pytest.mark.bench
+def test_idle_span_raw_scaling():
+    """Raw device.idle() cost: linear per-period loop vs flat batched grid.
+
+    The 8 ms row sits below the ``_IDLE_BATCH_MIN_PERIODS`` crossover, so
+    both engines deliberately take the identical per-period path there
+    (documented parity, not asserted -- the ratio is pure timer noise); the
+    long spans must show the step change.
+    """
+    rows = []
+    for duration_s in (8e-3, 50e-3, 200e-3):
+        devices = {}
+        for engine in ("batched", "inline"):
+            device = SimulatedGPU(mi300x_spec(), seed=1, vectorized=True)
+            if engine == "inline":
+                device._idle_batch_min_periods = float("inf")
+            device.start_recording()
+            device.idle(duration_s)  # warm the lattice / caches
+            devices[engine] = device
+        # Interleave best-of rounds across the engines so a transient load
+        # spike degrades one round of each, not one engine's whole sample.
+        per_engine = {engine: float("inf") for engine in devices}
+        calls = max(5, int(0.1 / duration_s))
+        for _ in range(4):
+            for engine, device in devices.items():
+                begin = time.perf_counter()
+                for _ in range(calls):
+                    device.idle(duration_s)
+                per_engine[engine] = min(
+                    per_engine[engine], (time.perf_counter() - begin) / calls
+                )
+        for device in devices.values():
+            device.stop_recording()
+        rows.append({
+            "idle_ms": duration_s * 1e3,
+            "batched_us": per_engine["batched"] * 1e6,
+            "inline_us": per_engine["inline"] * 1e6,
+            "speedup": per_engine["inline"] / per_engine["batched"],
+        })
+    print("\n=== raw device.idle() cost by span length ===")
+    for row in rows:
+        print(f"  idle({row['idle_ms']:6.1f} ms): batched {row['batched_us']:8.1f} us, "
+              f"per-period {row['inline_us']:8.1f} us ({row['speedup']:.2f}x)")
+    results = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
+    section = results.get("idle_span", {})
+    section["raw_idle_scaling"] = rows
+    _write_results({"idle_span": section})
+    # Long spans must show the step change (the 8 ms row is sub-crossover
+    # parity by design and intentionally unasserted).
+    assert rows[-1]["speedup"] >= 3.0
+    assert rows[-2]["speedup"] >= 2.0

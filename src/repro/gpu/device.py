@@ -29,17 +29,27 @@ Time advance comes in two interchangeable engines selected by the
   relaxation per span (:meth:`~repro.gpu.thermal.ThermalModel.relax_span`),
   and :meth:`stop_recording` returns a :class:`SegmentArray` that the
   telemetry layer ingests without re-packing ``PowerSegment`` objects.
+  Multi-boundary idle spans additionally run through a batched boundary
+  engine: the whole grid of full control periods is computed as one verified
+  NumPy grid (reproducing the per-period loop's iterated-addition floats bit
+  for bit), bulk-appended to the segment buffer, and the firmware evolves
+  over the grid in closed form
+  (:meth:`~repro.gpu.dvfs.PowerManagementFirmware.idle_span` -- at most one
+  IDLE-park transition per span).
 * ``vectorized=False`` -- the original per-slice reference path, retained as
   the executable specification.  It materialises one :class:`PowerSegment`
   per slice and steps the thermal model slice by slice.
 
-Both paths step the firmware exactly once per control period (one Python
-callback per period, never per slice), consume the same RNG stream, and
-produce identical slice boundaries; recorded powers agree to ~1 ulp (the only
-divergence is the closed-form idle-span warmth).  The equivalence suite in
-``tests/test_device_equivalence.py`` pins segments, executions, firmware
-events and final warmth across idle, short-kernel, throttling-GEMM and
-interleaved scenarios.
+Both paths evolve the firmware with exactly one control update per control
+period (one ``step()``-equivalent per period, never per slice -- batched idle
+spans collapse the per-period callbacks into one closed-form update), consume
+the same RNG stream, and produce identical slice boundaries; recorded powers
+agree to ~1 ulp (the only divergence is the closed-form idle-span warmth).
+The equivalence suite in ``tests/test_device_equivalence.py`` pins segments,
+executions, firmware events and final warmth across idle, short-kernel,
+throttling-GEMM, interleaved and long-idle park/unpark scenarios, for the
+batched engine and for the pinned per-period scalar path
+(``_idle_batch_min_periods = inf``) alike.
 """
 
 from __future__ import annotations
@@ -140,26 +150,51 @@ class _SegmentBuffer:
 
     Slices arrive as plain floats interleaved ``(start, end, xcd, iod, hbm)``
     in one flat list, so recording a slice is a single ``list.extend`` -- no
-    :class:`PowerSegment` / dataclass churn on the hot path.  The flat list is
-    packed into a :class:`SegmentArray` once, when the recording stops.
+    :class:`PowerSegment` / dataclass churn on the hot path.  The batched
+    idle-span engine instead hands over whole ``(n, 5)`` row blocks
+    (:meth:`append_block` is one list append; the block is spliced into the
+    scalar stream at its recorded position).  Everything is packed into a
+    :class:`SegmentArray` once, when the recording stops.
     """
 
-    __slots__ = ("data",)
+    __slots__ = ("data", "blocks")
 
     def __init__(self) -> None:
         self.data = array("d")
+        self.blocks: list[tuple[int, np.ndarray]] = []
 
     def append(self, start: float, end: float, xcd: float, iod: float, hbm: float) -> None:
         self.data.extend((start, end, xcd, iod, hbm))
 
+    def append_block(self, rows: np.ndarray) -> None:
+        """Bulk-append ``(start, end, xcd, iod, hbm)`` rows in one call.
+
+        ``rows`` must be a float64 ``(n, 5)`` array the caller hands over
+        (it is kept by reference, not copied, until the recording stops).
+        """
+        self.blocks.append((len(self.data), rows))
+
     def clear(self) -> None:
         # A fresh array keeps any SegmentArray built from the old buffer valid
-        # (to_segment_array wraps the buffer zero-copy).
+        # (to_segment_array wraps the buffer zero-copy when block-free).
         self.data = array("d")
+        self.blocks = []
 
     def to_segment_array(self) -> SegmentArray:
-        rows = np.frombuffer(self.data, dtype=float).reshape(-1, 5)
-        return SegmentArray(rows[:, 0], rows[:, 1], rows[:, 2:5])
+        flat = np.frombuffer(self.data, dtype=float).reshape(-1, 5)
+        if self.blocks:
+            pieces = []
+            cursor = 0
+            for offset, block in self.blocks:
+                row_offset = offset // 5
+                if row_offset > cursor:
+                    pieces.append(flat[cursor:row_offset])
+                    cursor = row_offset
+                pieces.append(block)
+            if cursor < flat.shape[0]:
+                pieces.append(flat[cursor:])
+            flat = np.concatenate(pieces)
+        return SegmentArray(flat[:, 0], flat[:, 1], flat[:, 2:5])
 
 
 @dataclass(frozen=True)
@@ -268,6 +303,15 @@ class SimulatedGPU:
     #: from the on-chip caches (seconds).
     CACHE_RETENTION_S = 4e-3
 
+    #: Minimum estimated whole control periods left in an idle span before
+    #: the batched boundary engine takes over from the per-period loop.
+    #: Measured break-even is ~16-24 periods; the threshold sits well above
+    #: it so that short spans (including the common 8 ms park) never pay the
+    #: NumPy grid setup, even on noisy machines.  Tests set the instance
+    #: copy to ``inf`` to pin the per-period scalar path, or to a small
+    #: value to force batching on short spans.
+    _IDLE_BATCH_MIN_PERIODS = 48
+
     def __init__(
         self,
         spec: GPUSpec | None = None,
@@ -289,6 +333,13 @@ class SimulatedGPU:
         self._thermal = ThermalModel(thermal_spec)
         self._variation = ExecutionTimeVariationModel(self._rng)
         self._vectorized = bool(vectorized)
+        self._idle_batch_min_periods = float(self._IDLE_BATCH_MIN_PERIODS)
+        # Control-boundary lattice of the batched idle-span engine (built
+        # lazily by _boundary_span) and its cached idle-power row template.
+        self._lattice: np.ndarray | None = None
+        self._lattice_diffs: np.ndarray | None = None
+        self._lattice_broken = False
+        self._idle_rows_cache: np.ndarray | None = None
 
         # Idle power is constant for the lifetime of the device; cache it so
         # the hot paths (and the firmware fallback) skip re-synthesising it.
@@ -500,10 +551,31 @@ class SimulatedGPU:
     def _idle_fast(self, duration_s: float) -> None:
         """Batched idle path: same slice boundaries, columnar recording.
 
-        Firmware control steps stay exact (one callback per control period);
-        per-slice work collapses to float appends, and warmth is advanced once
-        with the closed-form relaxation over the whole span (the warmth update
-        inlines :meth:`ThermalModel.step`'s arithmetic -- keep in lockstep).
+        Firmware control steps stay exact (one ``step``-equivalent update per
+        control period); per-slice work collapses to float appends, and warmth
+        is advanced once with the closed-form relaxation over the whole span
+        (the warmth update inlines :meth:`ThermalModel.step`'s arithmetic --
+        keep in lockstep).
+
+        Multi-boundary spans run through a batched boundary engine: whenever
+        the control accumulator is empty (i.e. the span sits exactly on a
+        control boundary, or started with nothing accrued) and at least
+        ``_IDLE_BATCH_MIN_PERIODS`` whole periods remain, the full-period
+        slices ahead are computed as one vectorized grid.  The grid reproduces
+        the per-period loop's iterated-addition float boundaries exactly --
+        ``np.add.accumulate`` replays ``next_control += period`` and
+        ``remaining -= dt`` sequentially, and the slice-end collapse
+        ``fl(now + fl(next_control - now)) == next_control`` is *verified* per
+        chunk, falling back to the per-period loop below on any mismatch (the
+        reason a naive ``np.arange`` scan would diverge).  The whole grid is
+        bulk-appended to the :class:`_SegmentBuffer` in one call and the
+        firmware evolves over the grid's boundaries in closed form
+        (:meth:`PowerManagementFirmware.idle_span`, at most one IDLE-park
+        transition per span).  The retained per-period loop handles the head
+        slice (a partially-accrued control interval, possibly resident), the
+        tail slice (the final partial period) and any unverifiable grid; it is
+        the pinned scalar path the equivalence suite compares against
+        (``_idle_batch_min_periods = inf`` disables batching entirely).
         """
         if duration_s <= 1e-12:
             return
@@ -536,12 +608,76 @@ class SimulatedGPU:
         record_extend = self._record_extend
         next_control = self._next_control_s
         remaining = duration_s
+        batch_threshold = self._idle_batch_min_periods * period
         # The control accumulator is kept in locals across the span and
         # written back once (identical arithmetic to per-slice updates).
         c_energy = control.energy_j
         c_time = control.time_s
         c_active = control.active_time_s
         while remaining > 1e-12:
+            if (
+                c_time == 0.0
+                and c_energy == 0.0
+                and c_active == 0.0
+                and remaining >= batch_threshold
+            ):
+                # Batched boundary engine: every slice ahead spans one whole
+                # control period from an empty accumulator, so slice ends ARE
+                # the control boundaries and every boundary is a non-resident
+                # firmware update with mean power (total_w * dt) / dt.
+                d0 = next_control - now
+                m = int(remaining / period) + 2
+                span = self._boundary_span(next_control, m)
+                # The lattice pre-verifies every boundary after the first; the
+                # first slice is checked here: it must not trip the 1e-9
+                # clamp and its end must land bit-exactly on the boundary.
+                if span is not None and d0 >= 1e-9 and now + d0 == next_control:
+                    lat, lat_diffs, idx = span
+                    grid = lat[idx : idx + m]
+                    dts = np.empty(m)
+                    dts[0] = d0
+                    dts[1:] = lat_diffs[idx : idx + m - 1]
+                    # remaining -= dt, iterated: subtract.accumulate replays
+                    # the countdown's exact sequential floats.
+                    racc = np.empty(m + 1)
+                    racc[0] = remaining
+                    racc[1:] = dts
+                    np.subtract.accumulate(racc, out=racc)
+                    # A slice is a whole period iff the countdown does not
+                    # truncate it (every dt >= 1e-9 > 1e-12, so the loop
+                    # guard is implied); the first failure is the partial
+                    # tail (or the span end) -- scalar territory.
+                    full = racc[:m] >= dts
+                    count = int(np.argmin(full))
+                    if count == 0 and bool(full[0]):
+                        count = m
+                    if count:
+                        if record:
+                            template = self._idle_rows_cache
+                            if template is None or template.shape[0] < count:
+                                template = np.empty((max(count, 512), 5))
+                                template[:, 2] = idle_x
+                                template[:, 3] = idle_i
+                                template[:, 4] = idle_h
+                                self._idle_rows_cache = template
+                            rows = template[:count].copy()
+                            rows[0, 0] = now
+                            rows[1:, 0] = grid[: count - 1]
+                            rows[:, 1] = grid[:count]
+                            self._buffer.append_block(rows)
+                        span_end = float(grid[count - 1])
+                        firmware.idle_span(
+                            now, span_end - now, total_w, grid[:count], dts[:count]
+                        )
+                        now = span_end
+                        clock._now_s = now
+                        next_control = float(lat[idx + count])
+                        remaining = float(racc[count])
+                        # Each batched boundary reset the accumulator; the
+                        # locals are already 0.0.
+                        continue
+                # Grid unavailable or failed verification: the per-period
+                # loop takes over.
             dt = next_control - now
             if dt < 1e-9:
                 dt = 1e-9
@@ -916,6 +1052,82 @@ class SimulatedGPU:
     # ------------------------------------------------------------------ #
     # Internals.
     # ------------------------------------------------------------------ #
+    def _boundary_span(
+        self, next_control: float, need: int
+    ) -> tuple[np.ndarray, np.ndarray, int] | None:
+        """Verified iterated-addition control-boundary lattice.
+
+        Returns ``(lattice, diffs, idx)`` such that ``lattice[idx] ==
+        next_control`` bit-exactly and ``lattice[idx + need]`` exists.  The
+        lattice continues the controller's ``next_control += period``
+        iteration (sequential ``np.add.accumulate`` carries the identical
+        floats), so its entries ARE the boundaries the per-period loop would
+        visit.  Two invariants are verified on every newly-built stretch and
+        amortised across calls:
+
+        * every forward difference is at least ``1e-9`` (no slice ever trips
+          the per-period loop's minimum-step clamp, and the boundary-advance
+          ``while`` adds exactly one period), and
+        * every entry satisfies the slice-end collapse
+          ``fl(prev + fl(next - prev)) == next`` -- the reason a naive
+          ``np.arange`` grid would diverge from the iterated loop.
+
+        Returns ``None`` when verification fails (the batched engine then
+        falls back to the per-period loop).  Entries already passed are
+        dropped once the cursor moves far enough, keeping memory bounded.
+        """
+        if self._lattice_broken:
+            return None
+        period = self._spec.dvfs.control_period_s
+        lat = self._lattice
+        idx = 0
+        if lat is not None:
+            idx = int(np.searchsorted(lat, next_control))
+            if idx >= lat.shape[0] or lat[idx] != next_control:
+                # The controller left the cached chain (e.g. a reseeded
+                # device); rebuild from the current boundary.
+                lat = None
+                idx = 0
+        if lat is None:
+            size = max(1024, need + 2)
+            lat = np.empty(size)
+            lat[0] = next_control
+            lat[1:] = period
+            np.add.accumulate(lat, out=lat)
+            diffs = np.empty(size - 1)
+            np.subtract(lat[1:], lat[:-1], out=diffs)
+            if float(diffs.min()) < 1e-9 or not np.array_equal(lat[:-1] + diffs, lat[1:]):
+                self._lattice_broken = True
+                self._lattice = None
+                return None
+            self._lattice = lat
+            self._lattice_diffs = diffs
+            return lat, diffs, 0
+        if idx > 8192:
+            # Slide the window: boundaries behind the controller are dead.
+            lat = self._lattice = lat[idx:].copy()
+            self._lattice_diffs = self._lattice_diffs[idx:].copy()
+            idx = 0
+        n = lat.shape[0]
+        if idx + need >= n:
+            new_n = max(2 * n, idx + need + 2)
+            new = np.empty(new_n)
+            new[:n] = lat
+            new[n:] = period
+            # Continue the iterated chain from the last cached boundary.
+            np.add.accumulate(new[n - 1 :], out=new[n - 1 :])
+            new_diffs = np.empty(new_n - 1)
+            new_diffs[: n - 1] = self._lattice_diffs
+            np.subtract(new[n:], new[n - 1 : -1], out=new_diffs[n - 1 :])
+            tail = new_diffs[n - 1 :]
+            if float(tail.min()) < 1e-9 or not np.array_equal(new[n - 1 : -1] + tail, new[n:]):
+                self._lattice_broken = True
+                self._lattice = None
+                return None
+            lat = self._lattice = new
+            self._lattice_diffs = new_diffs
+        return lat, self._lattice_diffs, idx
+
     def _maybe_step_firmware(self) -> None:
         now = self._sim_clock.now_s
         if now + 1e-12 < self._next_control_s:

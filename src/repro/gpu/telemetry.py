@@ -107,6 +107,12 @@ class _SegmentTimeline:
     Requires chronologically sorted, non-overlapping segments (what the device
     records); ``usable`` is False otherwise and callers fall back to the
     scalar helpers, which also handle overlap.
+
+    Long idle spans reach this layer as one gapless boundary grid: the
+    device's batched idle-span engine bulk-appends a whole grid of
+    control-period slices per span, so a recording dominated by parks and
+    padding is ingested here as a single contiguous :class:`SegmentArray`
+    taking the gapless fast path below -- no per-slice Python on either side.
     """
 
     def __init__(self, segments: Sequence[PowerSegment], fill_power: ComponentPower) -> None:

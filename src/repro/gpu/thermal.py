@@ -87,9 +87,11 @@ class ThermalModel:
         ``dt2`` equals a single step of ``dt1 + dt2`` up to floating-point
         rounding, because ``exp(-dt1/tau) * exp(-dt2/tau) == exp(-(dt1+dt2)/tau)``.
         The vectorized device therefore applies one relaxation per idle span
-        instead of one per slice; the result agrees with the per-slice
-        reference path to ~1 ulp (the device equivalence suite pins the
-        tolerance).
+        instead of one per slice -- its batched idle-span boundary engine
+        emits hundreds of control-period slices without ever stepping warmth
+        per slice, then calls this once for the whole span; the result agrees
+        with the per-slice reference path to ~1 ulp (the device equivalence
+        suite pins the tolerance).
         """
         return self.step(dt_s, active)
 

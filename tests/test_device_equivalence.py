@@ -8,8 +8,14 @@ idle-span warmth is relaxed once per span instead of once per slice -- the
 tolerances below document that bound.
 
 Scenarios mirror the paper's workloads: pure idle, a short (single-slice)
-kernel, a power-limited GEMM that throttles mid-execution, and an interleaved
-mix with a mid-recording timestamp read.
+kernel, a power-limited GEMM that throttles mid-execution, an interleaved
+mix with a mid-recording timestamp read, and a long-idle park/unpark cycle
+spanning hundreds of firmware control periods.
+
+Every scenario is pinned twice against the per-slice reference: once for the
+default batched idle-span boundary engine and once for the retained per-period
+inline loop (``_idle_batch_min_periods = inf``), so the batched engine, the
+scalar path it replaced and the reference all agree bit for bit.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import pytest
 
 from repro.gpu.backend import BackendConfig, SimulatedDeviceBackend
 from repro.gpu.device import PowerSegment, SegmentArray, SimulatedGPU
+from repro.gpu.dvfs import FirmwareState
 from repro.gpu.spec import mi300x_spec
 from repro.kernels.workloads import cb_gemm, mb_gemv
 
@@ -79,11 +86,30 @@ def scenario_interleaved(device):
     device.idle(0.7e-3)
 
 
+def scenario_long_idle_park(device):
+    """Hundreds of control periods idle: park mid-span, boost on arrival.
+
+    The 80 ms span covers 320 control periods with the IDLE-park transition
+    ~2 ms in; the following kernel exercises ``notify_kernel_arrival`` boost
+    out of the parked state, and the second long span parks again.
+    """
+    device.park()
+    device.start_recording()
+    variation = device.draw_run_variation(SHORT)
+    device.execute_kernel(SHORT, run_variation=variation)
+    device.idle(80e-3)
+    device.execute_kernel(SHORT, run_variation=variation)
+    device.idle(45e-3)
+    device.execute_kernel(SHORT, run_variation=variation)
+    device.idle(2.2e-3)
+
+
 SCENARIOS = {
     "idle": scenario_idle,
     "short_kernel": scenario_short_kernel,
     "throttling_gemm": scenario_throttling_gemm,
     "interleaved": scenario_interleaved,
+    "long_idle_park": scenario_long_idle_park,
 }
 
 
@@ -142,6 +168,141 @@ def test_scenario_equivalence(name):
     fast_segments = fast.stop_recording()
     reference_segments = reference.stop_recording()
     assert_devices_equivalent(fast, reference, fast_segments, reference_segments)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_equivalence_scalar_inline(name):
+    """The retained per-period inline idle loop stays in lockstep too.
+
+    ``_idle_batch_min_periods = inf`` disables the batched boundary engine,
+    pinning the scalar path the batched engine replaced (and falls back to)
+    against the per-slice reference.
+    """
+    scenario = SCENARIOS[name]
+    fast, reference = device_pair()
+    fast._idle_batch_min_periods = float("inf")
+    scenario(fast)
+    scenario(reference)
+    fast_segments = fast.stop_recording()
+    reference_segments = reference.stop_recording()
+    assert_devices_equivalent(fast, reference, fast_segments, reference_segments)
+
+
+def three_engines(seed=123):
+    """Batched engine, pinned scalar-inline path, per-slice reference."""
+    batched = SimulatedGPU(SPEC, seed=seed, vectorized=True)
+    scalar = SimulatedGPU(SPEC, seed=seed, vectorized=True)
+    scalar._idle_batch_min_periods = float("inf")
+    reference = SimulatedGPU(SPEC, seed=seed, vectorized=False)
+    return batched, scalar, reference
+
+
+class TestLongIdleParkUnpark:
+    """The new batched idle-span engine, the inline path it replaced and the
+    reference loop must agree bit for bit across a park/unpark/boost cycle
+    spanning hundreds of control periods."""
+
+    @pytest.fixture(scope="class")
+    def driven(self):
+        engines = three_engines()
+        for device in engines:
+            scenario_long_idle_park(device)
+        segments = [device.stop_recording() for device in engines]
+        return engines, segments
+
+    def test_park_and_boost_events_bitwise_identical(self, driven):
+        (batched, scalar, reference), _ = driven
+        reference_events = reference.firmware_events()
+        # The cycle must actually exercise park -> boost -> park.
+        states = [event.state for event in reference_events]
+        assert states.count(FirmwareState.IDLE) >= 2
+        assert FirmwareState.BOOST in states
+        for device in (batched, scalar):
+            events = device.firmware_events()
+            assert len(events) == len(reference_events)
+            for ours, refevent in zip(events, reference_events):
+                assert ours.time_s == refevent.time_s
+                assert ours.state is refevent.state
+                assert ours.frequency_ghz == refevent.frequency_ghz
+                assert ours.power_w == pytest.approx(
+                    refevent.power_w, rel=POWER_RTOL, abs=POWER_ATOL
+                )
+
+    def test_segments_clock_and_warmth_pinned(self, driven):
+        (batched, scalar, reference), (batched_segments, scalar_segments, ref_segments) = driven
+        assert len(batched_segments) > 500  # hundreds of control periods
+        assert_devices_equivalent(batched, reference, batched_segments, ref_segments)
+        assert_devices_equivalent(scalar, reference, scalar_segments, ref_segments)
+        # Batched vs scalar-inline: the idle grid must be the same floats.
+        assert np.array_equal(batched_segments.starts_s, scalar_segments.starts_s)
+        assert np.array_equal(batched_segments.ends_s, scalar_segments.ends_s)
+
+    def test_firmware_bookkeeping_identical(self, driven):
+        (batched, scalar, reference), _ = driven
+        for device in (batched, scalar):
+            assert device.firmware._idle_accum_s == reference.firmware._idle_accum_s
+            assert device.firmware._overdraw_accum_s == reference.firmware._overdraw_accum_s
+            assert device.firmware._last_power_w == pytest.approx(
+                reference.firmware._last_power_w, rel=POWER_RTOL
+            )
+
+
+class TestExactBoundarySpans:
+    """Audit pin for the 1e-12 boundary slack: a span ending exactly on (or
+    within the slack of) a control boundary fires the firmware on the same
+    boundary in the batched engine, the inline path and the reference loop,
+    and the park transition lands on an identical boundary float."""
+
+    @pytest.mark.parametrize("perturb_s", [0.0, 1e-12, -1e-12, 5e-13, -5e-13])
+    def test_park_lands_on_same_boundary(self, perturb_s):
+        engines = three_engines(seed=21)
+        # The spans here are shorter than the batching crossover; force the
+        # batched engine on so the chunk path itself faces the corner case.
+        engines[0]._idle_batch_min_periods = 1.0
+        for device in engines:
+            device.start_recording()
+            device.execute_kernel(SHORT)
+            # Idle exactly to a control boundary eleven periods out (plus a
+            # sub-slack perturbation), then across the park threshold.
+            period = device.spec.dvfs.control_period_s
+            span = device._next_control_s + 10 * period - device.now_s() + perturb_s
+            device.idle(span)
+            device.idle(9 * period)
+        batched, scalar, reference = engines
+        reference_events = reference.firmware_events()
+        park_times = [
+            event.time_s for event in reference_events if event.state is FirmwareState.IDLE
+        ]
+        assert park_times, "scenario must park"
+        for device in (batched, scalar):
+            events = device.firmware_events()
+            assert [
+                (event.time_s, event.state, event.frequency_ghz) for event in events
+            ] == [
+                (event.time_s, event.state, event.frequency_ghz)
+                for event in reference_events
+            ]
+            assert device.now_s() == reference.now_s()
+            assert device._next_control_s == reference._next_control_s
+        for device in engines:
+            device.stop_recording()
+
+    def test_span_ending_on_boundary_steps_firmware_once(self):
+        # A span that ends bit-exactly on a boundary must consume that
+        # boundary (next_control advances past it) in every engine, leaving
+        # an empty control accumulator -- the audited invariant behind the
+        # batched engine's chunk entry condition.
+        engines = three_engines(seed=4)
+        engines[0]._idle_batch_min_periods = 1.0
+        for device in engines:
+            device.execute_kernel(SHORT)
+            span = device._next_control_s - device.now_s()
+            device.idle(span)
+            assert device.now_s() + 1e-12 >= device._next_control_s - \
+                device.spec.dvfs.control_period_s
+            assert device._next_control_s > device.now_s() + 1e-12
+            assert device._control.time_s == 0.0
+            assert device._control.energy_j == 0.0
 
 
 class TestBackendEquivalence:
