@@ -1,0 +1,184 @@
+"""Benchmark: the compiled slice/boundary core vs the NumPy engines.
+
+PR 6 ports the three hot loops of the device layer -- the per-execution
+slice loop, the firmware control-boundary lattice and the thermal span
+relaxation -- into a single compiled kernel call per idle span / execution
+sequence (``repro.gpu.fastcore``).  This benchmark measures what that buys
+on the same ``backend.run()`` shape the execution-arena benchmark uses
+(``arena_run_cost`` in ``BENCH_profiler.json``), plus a sub-crossover idle
+span where the NumPy grid still defers to the scalar per-period loop but
+the compiled kernel (which has no crossover threshold) does not.
+
+Acceptance: the compiled engine must beat the vectorized (arena) engine by
+>=5x on per-execution run cost at the largest execution count, and must not
+regress on the sub-crossover idle span.
+
+Results land in ``BENCH_profiler.json`` under ``compiled_core``, stamped
+with the active provider name and Numba version (``null`` when the
+bundled-C provider carried the run).  The whole module is skipped when no
+compiled-kernel provider is available in the environment.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.gpu import fastcore
+from repro.gpu.backend import BackendConfig, SimulatedDeviceBackend
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.spec import mi300x_spec
+from repro.kernels.workloads import cb_gemm
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_profiler.json"
+
+pytestmark = [
+    pytest.mark.bench,
+    pytest.mark.skipif(
+        not fastcore.available(),
+        reason="no compiled-kernel provider in this environment",
+    ),
+]
+
+ENGINES = ("compiled", "vectorized", "reference")
+
+
+def _write_results(update: dict) -> None:
+    payload = {}
+    if RESULT_PATH.exists():
+        try:
+            payload = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload.update(update)
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _merge_section(update: dict) -> None:
+    payload = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
+    section = payload.get("compiled_core", {})
+    section.update(update)
+    section["engines"] = {
+        "compiled_available": fastcore.available(),
+        "compiled_provider": fastcore.provider_name(),
+        "numba_version": fastcore.numba_version(),
+    }
+    _write_results({"compiled_core": section})
+
+
+def _make_backend(engine: str, seed: int = 3) -> SimulatedDeviceBackend:
+    return SimulatedDeviceBackend(
+        spec=mi300x_spec(), seed=seed, config=BackendConfig(engine=engine)
+    )
+
+
+@pytest.mark.bench
+def test_compiled_core_run_cost():
+    """Compiled engine >=5x the vectorized arena engine at the largest N.
+
+    Same shape as ``arena_run_cost`` (zero pre-delay, CB-2K-GEMM), extended
+    up to 640 executions: the vectorized engine still pays a Python-level
+    per-execution loop inside ``launch_sequence``, so its cost grows
+    linearly with N while the compiled sequence kernel's stays nearly flat.
+    """
+    kernel = cb_gemm(2048)
+    rows = []
+    for executions in (20, 80, 160, 320, 640):
+        backends = {engine: _make_backend(engine) for engine in ENGINES}
+        repetitions = 12 if executions <= 160 else 6
+        for backend in backends.values():  # warm caches / lattice / kernels
+            backend.run(kernel, executions=executions, pre_delay_s=0.0)
+        # Interleave best-of rounds across the engines so a transient load
+        # spike degrades one round of each, not one engine's whole sample.
+        seconds = {engine: float("inf") for engine in ENGINES}
+        for _ in range(3):
+            for engine, backend in backends.items():
+                begin = time.perf_counter()
+                for i in range(repetitions):
+                    backend.run(
+                        kernel, executions=executions, pre_delay_s=0.0, run_index=i
+                    )
+                seconds[engine] = min(
+                    seconds[engine], (time.perf_counter() - begin) / repetitions
+                )
+        rows.append({
+            "executions": executions,
+            "compiled_ms": seconds["compiled"] * 1e3,
+            "compiled_us_per_execution": seconds["compiled"] / executions * 1e6,
+            "vectorized_ms": seconds["vectorized"] * 1e3,
+            "reference_ms": seconds["reference"] * 1e3,
+            "speedup_vs_vectorized": seconds["vectorized"] / seconds["compiled"],
+            "speedup_vs_reference": seconds["reference"] / seconds["compiled"],
+        })
+    print("\n=== per-execution backend.run() cost: compiled vs NumPy engines ===")
+    print(f"  provider: {fastcore.provider_name()}, "
+          f"numba: {fastcore.numba_version() or 'absent (bundled C)'}")
+    for row in rows:
+        print(f"  {row['executions']:>4} executions: compiled {row['compiled_ms']:7.3f} ms "
+              f"({row['compiled_us_per_execution']:5.2f} us/exec), "
+              f"vectorized {row['vectorized_ms']:7.3f} ms "
+              f"({row['speedup_vs_vectorized']:.1f}x), "
+              f"reference {row['reference_ms']:8.3f} ms "
+              f"({row['speedup_vs_reference']:.1f}x)")
+    _merge_section({"arena_run_cost": rows})
+    largest = rows[-1]
+    assert largest["speedup_vs_vectorized"] >= 5.0, (
+        f"compiled engine only {largest['speedup_vs_vectorized']:.2f}x over the "
+        f"vectorized engine at {largest['executions']} executions"
+    )
+    # Every row must at least match the engine it supersedes.
+    for row in rows:
+        assert row["speedup_vs_vectorized"] >= 0.9, (
+            f"compiled engine regressed at {row['executions']} executions: "
+            f"{row['speedup_vs_vectorized']:.2f}x"
+        )
+
+
+@pytest.mark.bench
+def test_compiled_core_sub_crossover_idle():
+    """No idle regression below the old batching crossover.
+
+    A 2 ms span is 8 control periods -- below the 16-period
+    ``_IDLE_BATCH_MIN_PERIODS`` break-even, where the vectorized engine
+    deliberately runs the scalar per-period loop.  The compiled engine has
+    no threshold: the same single kernel call must carry short spans at
+    least as cheaply as the scalar loop does.
+    """
+    duration_s = 2e-3
+    devices = {
+        engine: SimulatedGPU(mi300x_spec(), seed=1, engine=engine)
+        for engine in ("compiled", "vectorized")
+    }
+    for device in devices.values():
+        device.start_recording()
+        device.idle(duration_s)  # warm
+    seconds = {engine: float("inf") for engine in devices}
+    calls = 50
+    for _ in range(4):
+        for engine, device in devices.items():
+            begin = time.perf_counter()
+            for _ in range(calls):
+                device.idle(duration_s)
+            seconds[engine] = min(
+                seconds[engine], (time.perf_counter() - begin) / calls
+            )
+    ratio = seconds["vectorized"] / seconds["compiled"]
+    print("\n=== sub-crossover idle span (2 ms = 8 control periods) ===")
+    print(f"  compiled   {seconds['compiled'] * 1e6:7.1f} us")
+    print(f"  vectorized {seconds['vectorized'] * 1e6:7.1f} us "
+          f"(compiled is {ratio:.2f}x)")
+    _merge_section({"sub_crossover_idle": {
+        "idle_ms": duration_s * 1e3,
+        "control_periods": duration_s / mi300x_spec().dvfs.control_period_s,
+        "compiled_us": seconds["compiled"] * 1e6,
+        "vectorized_us": seconds["vectorized"] * 1e6,
+        "compiled_speedup": ratio,
+    }})
+    # 0.85 floor: spans this short are timer-noise territory; anything near
+    # parity proves the thresholdless compiled path does not regress.
+    assert ratio >= 0.85, (
+        f"compiled engine regressed on the sub-crossover span: {ratio:.2f}x"
+    )

@@ -177,7 +177,7 @@ def test_sweep_worker_scaling():
     print(f"  1 worker:  {serial_s:6.2f} s")
     print(f"  {workers} workers: {parallel_s:6.2f} s")
     print(f"  speedup:   {speedup:.2f}x")
-    _write_results({"sweep": {
+    section = {
         "jobs": len(jobs),
         "scale": FAST_SCALE.name,
         "workers": workers,
@@ -185,7 +185,15 @@ def test_sweep_worker_scaling():
         "serial_seconds": serial_s,
         "parallel_seconds": parallel_s,
         "speedup": speedup,
-    }})
+    }
+    if cpus == 1:
+        section["note"] = (
+            "measured in a single-CPU container: the workers contend for one "
+            "core, so the sub-1x 'speedup' reflects process-pool overhead, "
+            "not a sweep-engine regression; re-run on a multi-core host for "
+            "a meaningful ratio"
+        )
+    _write_results({"sweep": section})
     assert set(serial) == set(parallel)
     assert _profiles_identical(serial, parallel), "worker count changed the results"
     if cpus > 1:

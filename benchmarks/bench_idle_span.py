@@ -1,28 +1,36 @@
-"""Benchmark: the batched idle-span boundary engine on idle-heavy workloads.
+"""Benchmark: idle-span cost across the batched, inline and compiled engines.
 
 After PR 2-4 vectorized the execution, record and profile layers, multi-
 boundary idle spans were the last per-control-period Python loop on the
 ``backend.run()`` hot path: fig5-style padding, interleaving gaps and
 park/boost studies spend most of their simulated time idle, one loop
-iteration per 250 us firmware control period.  This PR batches those spans
+iteration per 250 us firmware control period.  PR 5 batched those spans
 into a verified NumPy boundary grid with a closed-form firmware update
-(``PowerManagementFirmware.idle_span``).
+(``PowerManagementFirmware.idle_span``); PR 6 ports the whole span to a
+single compiled-kernel call with *no* crossover threshold at all.
 
-Three engines are timed on an idle-heavy instrumented run (a park/boost-study
+Four engines are timed on an idle-heavy instrumented run (a park/boost-study
 shape: few executions separated by tens of milliseconds of idle):
 
-* ``batched`` -- the new boundary engine (default),
+* ``compiled`` -- the compiled slice/boundary core (skipped when no
+  fastcore provider is available in the environment),
+* ``batched`` -- the NumPy boundary engine (the vectorized default),
 * ``inline`` -- the retained per-period scalar loop the batched engine
   replaced and falls back to (``_idle_batch_min_periods = inf``),
 * ``reference`` -- the pinned per-slice specification
-  (``BackendConfig(vectorized=False)``).
+  (``BackendConfig(engine="reference")``).
 
-The run records must agree across all three (the device equivalence suite
+The run records must agree across all engines (the device equivalence suite
 pins the full bit-identical contract); the batched engine must beat the
-pinned reference by >=3x on the idle-heavy shape.  A raw ``device.idle()``
-scaling table shows where the per-period loop's linear cost collapses.
+pinned reference by >=3x on the idle-heavy shape, and the compiled engine
+must not trail the batched one.  A raw ``device.idle()`` scaling table shows
+where the per-period loop's linear cost collapses -- including a
+sub-crossover span (below the 16-period ``_IDLE_BATCH_MIN_PERIODS``
+break-even, where the NumPy grid still defers to the scalar loop but the
+compiled kernel does not).
 
-Results are appended to ``BENCH_profiler.json`` (section ``idle_span``).
+Results are appended to ``BENCH_profiler.json`` (section ``idle_span``),
+stamped with the active engine/provider names and Numba version.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.gpu import fastcore
 from repro.gpu.backend import BackendConfig, SimulatedDeviceBackend
 from repro.gpu.device import SimulatedGPU
 from repro.gpu.spec import mi300x_spec
@@ -44,7 +53,26 @@ EXECUTIONS = 4
 PRE_DELAY_S = 50e-3  # ~200 control periods of idle between anchor and kernels
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_profiler.json"
 
-ENGINES = ("batched", "inline", "reference")
+_BACKEND_ENGINE = {
+    "compiled": "compiled",
+    "batched": "vectorized",
+    "inline": "vectorized",
+    "reference": "reference",
+}
+
+
+def _engines() -> tuple[str, ...]:
+    base = ("batched", "inline", "reference")
+    return (("compiled",) + base) if fastcore.available() else base
+
+
+def _provenance() -> dict:
+    """Engine/provider stamp recorded next to every timing section."""
+    return {
+        "compiled_available": fastcore.available(),
+        "compiled_provider": fastcore.provider_name(),
+        "numba_version": fastcore.numba_version(),
+    }
 
 
 def _write_results(update: dict) -> None:
@@ -62,7 +90,7 @@ def _make_backend(engine: str, seed: int = 31) -> SimulatedDeviceBackend:
     backend = SimulatedDeviceBackend(
         spec=mi300x_spec(),
         seed=seed,
-        config=BackendConfig(vectorized=(engine != "reference")),
+        config=BackendConfig(engine=_BACKEND_ENGINE[engine]),
     )
     if engine == "inline":
         backend.device._idle_batch_min_periods = float("inf")
@@ -77,12 +105,12 @@ def _run_costs(repeats: int = 25, rounds: int = 4) -> tuple[dict, dict]:
     measurement -- the reported ratios stay stable under contention.
     """
     kernel = cb_gemm(KERNEL_SIZE)
-    backends = {engine: _make_backend(engine) for engine in ENGINES}
+    backends = {engine: _make_backend(engine) for engine in _engines()}
     records = {
         engine: backend.run(kernel, executions=EXECUTIONS, pre_delay_s=PRE_DELAY_S, run_index=0)
         for engine, backend in backends.items()
     }
-    seconds = {engine: float("inf") for engine in ENGINES}
+    seconds = {engine: float("inf") for engine in backends}
     for _ in range(rounds):
         for engine, backend in backends.items():
             begin = time.perf_counter()
@@ -98,11 +126,14 @@ def _run_costs(repeats: int = 25, rounds: int = 4) -> tuple[dict, dict]:
 def test_idle_span_backend_run_speedup():
     """Batched idle spans beat the pinned reference >=3x on idle-heavy runs."""
     seconds, records = _run_costs()
+    engines = tuple(seconds)
 
     # The first run of every engine must agree record-for-record (the device
     # equivalence suite pins the full contract; this is the smoke check).
     reference_record = records["reference"]
-    for engine in ("batched", "inline"):
+    for engine in engines:
+        if engine == "reference":
+            continue
         record = records[engine]
         assert len(record.executions) == len(reference_record.executions)
         for ours, theirs in zip(record.executions, reference_record.executions):
@@ -115,23 +146,36 @@ def test_idle_span_backend_run_speedup():
     speedup_vs_reference = seconds["reference"] / seconds["batched"]
     speedup_vs_inline = seconds["inline"] / seconds["batched"]
     idle_periods = (PRE_DELAY_S + 8e-3 + 2.8e-3) / mi300x_spec().dvfs.control_period_s
-    print("\n=== batched idle-span engine: idle-heavy backend.run() ===")
+    print("\n=== idle-span engines: idle-heavy backend.run() ===")
     print(f"  shape: {EXECUTIONS} x CB-{KERNEL_SIZE}-GEMM, pre-delay "
           f"{PRE_DELAY_S * 1e3:.0f} ms (~{idle_periods:.0f} idle control periods/run)")
-    for engine in ENGINES:
+    for engine in engines:
         print(f"  {engine:>9}: {seconds[engine] * 1e6:8.1f} us/run")
     print(f"  speedup vs per-period inline loop: {speedup_vs_inline:.2f}x")
     print(f"  speedup vs per-slice reference:    {speedup_vs_reference:.2f}x")
-    _write_results({"idle_span": {
+    section = {
         "workload": {
             "kernel": f"CB-{KERNEL_SIZE}-GEMM",
             "executions": EXECUTIONS,
             "pre_delay_s": PRE_DELAY_S,
         },
-        "run_seconds": {engine: seconds[engine] for engine in ENGINES},
+        "engines": _provenance(),
+        "run_seconds": {engine: seconds[engine] for engine in engines},
         "speedup_vs_inline": speedup_vs_inline,
         "speedup_vs_reference": speedup_vs_reference,
-    }})
+    }
+    if "compiled" in seconds:
+        section["compiled_speedup_vs_reference"] = (
+            seconds["reference"] / seconds["compiled"]
+        )
+        section["compiled_speedup_vs_batched"] = (
+            seconds["batched"] / seconds["compiled"]
+        )
+        print(f"  compiled vs reference:             "
+              f"{section['compiled_speedup_vs_reference']:.2f}x")
+        print(f"  compiled vs batched:               "
+              f"{section['compiled_speedup_vs_batched']:.2f}x")
+    _write_results({"idle_span": section})
     assert speedup_vs_reference >= 3.0, (
         f"batched idle-span engine only {speedup_vs_reference:.2f}x over the reference"
     )
@@ -140,26 +184,40 @@ def test_idle_span_backend_run_speedup():
     assert speedup_vs_inline >= 1.1, (
         f"batched idle-span engine only {speedup_vs_inline:.2f}x over the inline loop"
     )
+    if "compiled" in seconds:
+        # The compiled core must not trail the NumPy grid it supersedes
+        # (0.9 floor absorbs timer noise; in practice it is well ahead).
+        assert section["compiled_speedup_vs_batched"] >= 0.9, (
+            f"compiled engine regressed to "
+            f"{section['compiled_speedup_vs_batched']:.2f}x of the batched grid"
+        )
 
 
 @pytest.mark.bench
 def test_idle_span_raw_scaling():
-    """Raw device.idle() cost: linear per-period loop vs flat batched grid.
+    """Raw device.idle() cost: linear per-period loop vs batched vs compiled.
 
-    The 8 ms row sits below the ``_IDLE_BATCH_MIN_PERIODS`` crossover, so
-    both engines deliberately take the identical per-period path there
-    (documented parity, not asserted -- the ratio is pure timer noise); the
-    long spans must show the step change.
+    The 2 ms span (8 control periods) sits below the 16-period
+    ``_IDLE_BATCH_MIN_PERIODS`` break-even, so the NumPy grid deliberately
+    defers to the identical per-period path there -- but the compiled kernel
+    has no threshold and must not regress on it.  The 8 ms span (32 periods)
+    used to sit below the old 48-period crossover and ride the scalar loop;
+    with the measured break-even of ~16-24 periods it now takes the batched
+    grid.  The long spans must show the step change.
     """
+    compiled_on = fastcore.available()
     rows = []
-    for duration_s in (8e-3, 50e-3, 200e-3):
+    for duration_s in (2e-3, 8e-3, 50e-3, 200e-3):
         devices = {}
-        for engine in ("batched", "inline"):
-            device = SimulatedGPU(mi300x_spec(), seed=1, vectorized=True)
+        engine_names = ("compiled", "batched", "inline") if compiled_on else ("batched", "inline")
+        for engine in engine_names:
+            device = SimulatedGPU(
+                mi300x_spec(), seed=1, engine=_BACKEND_ENGINE[engine]
+            )
             if engine == "inline":
                 device._idle_batch_min_periods = float("inf")
             device.start_recording()
-            device.idle(duration_s)  # warm the lattice / caches
+            device.idle(duration_s)  # warm the lattice / caches / JIT
             devices[engine] = device
         # Interleave best-of rounds across the engines so a transient load
         # spike degrades one round of each, not one engine's whole sample.
@@ -175,21 +233,42 @@ def test_idle_span_raw_scaling():
                 )
         for device in devices.values():
             device.stop_recording()
-        rows.append({
+        row = {
             "idle_ms": duration_s * 1e3,
             "batched_us": per_engine["batched"] * 1e6,
             "inline_us": per_engine["inline"] * 1e6,
             "speedup": per_engine["inline"] / per_engine["batched"],
-        })
+        }
+        if compiled_on:
+            row["compiled_us"] = per_engine["compiled"] * 1e6
+            row["compiled_speedup_vs_inline"] = (
+                per_engine["inline"] / per_engine["compiled"]
+            )
+        rows.append(row)
     print("\n=== raw device.idle() cost by span length ===")
     for row in rows:
-        print(f"  idle({row['idle_ms']:6.1f} ms): batched {row['batched_us']:8.1f} us, "
-              f"per-period {row['inline_us']:8.1f} us ({row['speedup']:.2f}x)")
+        line = (f"  idle({row['idle_ms']:6.1f} ms): batched {row['batched_us']:8.1f} us, "
+                f"per-period {row['inline_us']:8.1f} us ({row['speedup']:.2f}x)")
+        if compiled_on:
+            line += (f", compiled {row['compiled_us']:8.1f} us "
+                     f"({row['compiled_speedup_vs_inline']:.2f}x vs per-period)")
+        print(line)
     results = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
     section = results.get("idle_span", {})
+    section["engines"] = _provenance()
     section["raw_idle_scaling"] = rows
     _write_results({"idle_span": section})
-    # Long spans must show the step change (the 8 ms row is sub-crossover
-    # parity by design and intentionally unasserted).
+    # Long spans must show the step change (the 2 ms row is sub-crossover
+    # parity for the NumPy grid by design and intentionally unasserted).
     assert rows[-1]["speedup"] >= 3.0
     assert rows[-2]["speedup"] >= 2.0
+    if compiled_on:
+        # The compiled kernel has no crossover: even the sub-crossover 2 ms
+        # span must not regress against the scalar per-period loop (0.85
+        # floor absorbs timer noise on a span this short).
+        assert rows[0]["compiled_speedup_vs_inline"] >= 0.85, (
+            f"compiled engine regressed on the sub-crossover span: "
+            f"{rows[0]['compiled_speedup_vs_inline']:.2f}x vs the per-period loop"
+        )
+        # And the long spans must keep at least batched-grid performance.
+        assert rows[-1]["compiled_us"] <= rows[-1]["batched_us"] * 1.15

@@ -344,6 +344,17 @@ class ExecutionArena:
         self._blocks.append((kernel_name, start_index, count))
         return self._starts.append, self._ends.append
 
+    def stage_filled(self, starts, ends) -> None:
+        """Bulk-fill the most recently staged block from float64 arrays.
+
+        The compiled launch path computes a whole sequence's observed
+        timings in one kernel call; this appends them in two buffer copies
+        instead of ``2 * count`` scalar appends.  Exactly the open block's
+        ``count`` values must be supplied (checked by :meth:`take`).
+        """
+        self._starts.frombytes(np.ascontiguousarray(starts, dtype=float).tobytes())
+        self._ends.frombytes(np.ascontiguousarray(ends, dtype=float).tobytes())
+
     def take(self) -> "ExecutionTimings | tuple":
         """Snapshot staged executions as a view; ``()`` when nothing staged."""
         if not self._blocks:

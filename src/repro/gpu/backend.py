@@ -26,6 +26,7 @@ from ..core.records import (
     RunRecord,
     TimestampAnchor,
 )
+from . import fastcore
 from .activity import KernelActivityDescriptor
 from .device import SimulatedGPU
 from .power_model import ComponentPower
@@ -59,10 +60,17 @@ class BackendConfig:
     reading_noise: float = 0.003
     #: Period of the instantaneous sampler when selected.
     instantaneous_period_s: float = 100e-6
-    #: Use the device's batched time-advance engine.  ``False`` selects the
-    #: retained per-slice reference path (only honoured when the backend
-    #: constructs its own device; an explicitly passed device keeps its flag).
-    vectorized: bool = True
+    #: Deprecated engine pin: ``True`` -> ``engine="vectorized"``, ``False``
+    #: -> ``engine="reference"``.  Kept for existing callers; leave ``None``
+    #: (and use ``engine``) in new code.  Only honoured when the backend
+    #: constructs its own device; an explicitly passed device keeps its
+    #: engine.
+    vectorized: bool | None = None
+    #: Time-advance engine for a backend-constructed device: ``"compiled"``,
+    #: ``"vectorized"``, ``"reference"`` or ``"auto"``/``None`` (compiled
+    #: when available, else vectorized; overridable via the ``REPRO_ENGINE``
+    #: environment variable -- see docs/engines.md).
+    engine: str | None = None
 
     def validate(self) -> None:
         if self.sampler not in ("averaging", "coarse", "instantaneous"):
@@ -75,6 +83,20 @@ class BackendConfig:
             raise ValueError("reading noise must be a small non-negative fraction")
         if self.instantaneous_period_s <= 0:
             raise ValueError("instantaneous sampler period must be positive")
+        if self.engine is not None and self.vectorized is not None:
+            raise ValueError(
+                "pass either engine or the deprecated vectorized flag, not both"
+            )
+        if self.engine is not None and self.engine not in ("auto", *fastcore.VALID_ENGINES):
+            raise ValueError(
+                f"unknown engine {self.engine!r}: valid engines are "
+                "'compiled', 'vectorized' and 'reference' "
+                "(or 'auto'/None for auto-selection)"
+            )
+
+    def resolved_engine(self) -> str:
+        """The concrete engine a backend-constructed device will run."""
+        return fastcore.resolve_engine(self.engine, self.vectorized)
 
 
 class SimulatedDeviceBackend:
@@ -94,7 +116,7 @@ class SimulatedDeviceBackend:
         self._config = config or BackendConfig()
         self._config.validate()
         self._device = device or SimulatedGPU(
-            spec or mi300x_spec(), seed=seed, vectorized=self._config.vectorized
+            spec or mi300x_spec(), seed=seed, engine=self._config.resolved_engine()
         )
         self._descriptor_cache: dict[int, tuple[object, KernelActivityDescriptor]] = {}
         self._arena = ExecutionArena()

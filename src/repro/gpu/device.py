@@ -17,12 +17,27 @@ timestamp counter (what tags power-logger samples).  Only the simulator knows
 the exact relationship between them -- the methodology has to reconstruct it,
 exactly as on real hardware (paper challenge C2).
 
-Two execution paths
--------------------
-Time advance comes in two interchangeable engines selected by the
-``vectorized`` constructor flag:
+Three execution engines
+-----------------------
+Time advance comes in three interchangeable engines selected by the
+``engine`` constructor argument (``"compiled"`` | ``"vectorized"`` |
+``"reference"``; the legacy ``vectorized`` boolean maps ``True`` ->
+``"vectorized"`` and ``False`` -> ``"reference"``):
 
-* ``vectorized=True`` (default) -- the batched engine.  Slice boundaries
+* ``engine="compiled"`` -- the per-period/per-slice hot loops run as
+  compiled kernels (:mod:`repro.gpu.fastcore`: Numba ``@njit`` when the
+  ``fast`` extra is installed, a ctypes-bound C mirror otherwise).  The
+  kernels replay the vectorized engine's iterated-float arithmetic exactly
+  -- sequential accumulation order, identical clamps, same RNG stream
+  consumption -- and a one-time self-check pins them bit-for-bit against
+  the pure-Python kernel bodies before the engine can ever be selected.
+  Simulation state (clock, warmth, control accumulator, firmware) is packed
+  into a flat float vector around each call and recorded slices / firmware
+  events are drained from preallocated buffers afterwards, so a whole
+  launch sequence collapses to one compiled call.  There is no idle-span
+  batching threshold on this engine: the compiled per-period loop is cheap
+  at any span length.
+* ``engine="vectorized"`` (default) -- the batched NumPy engine.  Slice boundaries
   between firmware control steps are computed with plain float arithmetic,
   per-slice power is appended to a columnar :class:`_SegmentBuffer` (no
   per-slice dataclasses), idle-span warmth is advanced with one closed-form
@@ -36,11 +51,11 @@ Time advance comes in two interchangeable engines selected by the
   over the grid in closed form
   (:meth:`~repro.gpu.dvfs.PowerManagementFirmware.idle_span` -- at most one
   IDLE-park transition per span).
-* ``vectorized=False`` -- the original per-slice reference path, retained as
-  the executable specification.  It materialises one :class:`PowerSegment`
+* ``engine="reference"`` -- the original per-slice reference path, retained
+  as the executable specification.  It materialises one :class:`PowerSegment`
   per slice and steps the thermal model slice by slice.
 
-Both paths evolve the firmware with exactly one control update per control
+All paths evolve the firmware with exactly one control update per control
 period (one ``step()``-equivalent per period, never per slice -- batched idle
 spans collapse the per-period callbacks into one closed-form update), consume
 the same RNG stream, and produce identical slice boundaries; recorded powers
@@ -48,7 +63,7 @@ agree to ~1 ulp (the only divergence is the closed-form idle-span warmth).
 The equivalence suite in ``tests/test_device_equivalence.py`` pins segments,
 executions, firmware events and final warmth across idle, short-kernel,
 throttling-GEMM, interleaved and long-idle park/unpark scenarios, for the
-batched engine and for the pinned per-period scalar path
+compiled engine, the batched engine and the pinned per-period scalar path
 (``_idle_batch_min_periods = inf``) alike.
 """
 
@@ -61,6 +76,8 @@ from math import exp
 
 import numpy as np
 
+from . import _fastcore_kernels as _FK
+from . import fastcore as _fastcore
 from .activity import KernelActivityDescriptor
 from .clocks import CPUClock, GPUTimestampCounter, SimulationClock, TimestampReadResult
 from .dvfs import FirmwareConfig, FirmwareEvent, FirmwareState, PowerManagementFirmware
@@ -68,6 +85,19 @@ from .power_model import IOD_FREQUENCY_COUPLING, ComponentPower, OperatingPoint,
 from .spec import GPUSpec, mi300x_spec
 from .thermal import ThermalModel, ThermalSpec
 from .variation import ExecutionTimeVariationModel, RunVariation
+
+
+# Firmware-state <-> compiled-kernel code mapping.  Order mirrors the FW_*
+# codes in _fastcore_kernels (IDLE=0 .. CAPPED=5) -- keep in lockstep.
+_FC_STATES = (
+    FirmwareState.IDLE,
+    FirmwareState.RAMPING,
+    FirmwareState.BOOST,
+    FirmwareState.THROTTLED,
+    FirmwareState.RECOVERING,
+    FirmwareState.CAPPED,
+)
+_FC_CODES = {state: float(code) for code, state in enumerate(_FC_STATES)}
 
 
 @dataclass(frozen=True)
@@ -304,13 +334,15 @@ class SimulatedGPU:
     CACHE_RETENTION_S = 4e-3
 
     #: Minimum estimated whole control periods left in an idle span before
-    #: the batched boundary engine takes over from the per-period loop.
-    #: Measured break-even is ~16-24 periods; the threshold sits well above
-    #: it so that short spans (including the common 8 ms park) never pay the
-    #: NumPy grid setup, even on noisy machines.  Tests set the instance
-    #: copy to ``inf`` to pin the per-period scalar path, or to a small
-    #: value to force batching on short spans.
-    _IDLE_BATCH_MIN_PERIODS = 48
+    #: the vectorized engine's batched boundary engine takes over from the
+    #: per-period loop.  Measured break-even is ~16-24 periods
+    #: (bench_idle_span.py); the default sits at the low end so the common
+    #: 8 ms park (32 periods) rides the batched grid.  The compiled engine
+    #: has no threshold at all -- its per-period loop is cheap at any span
+    #: length.  Tests set the instance attribute to ``inf`` to pin the
+    #: per-period scalar path, or to a small value to force batching on
+    #: short spans.
+    _IDLE_BATCH_MIN_PERIODS = 16
 
     def __init__(
         self,
@@ -319,6 +351,7 @@ class SimulatedGPU:
         thermal_spec: ThermalSpec | None = None,
         firmware_config: FirmwareConfig | None = None,
         vectorized: bool = True,
+        engine: str | None = None,
     ) -> None:
         self._spec = spec or mi300x_spec()
         self._spec.validate()
@@ -332,7 +365,17 @@ class SimulatedGPU:
         )
         self._thermal = ThermalModel(thermal_spec)
         self._variation = ExecutionTimeVariationModel(self._rng)
-        self._vectorized = bool(vectorized)
+        # Engine resolution: an explicit ``engine`` string wins (resolved
+        # through fastcore, honouring availability); with ``engine=None``
+        # the legacy ``vectorized`` boolean pins the NumPy or reference
+        # engine exactly as before -- direct constructor callers never
+        # auto-select the compiled tier (backends resolve ``auto`` and pass
+        # the result down explicitly).
+        if engine is None:
+            self._engine = "vectorized" if vectorized else "reference"
+        else:
+            self._engine = _fastcore.resolve_engine(engine)
+        self._vectorized = self._engine != "reference"
         self._idle_batch_min_periods = float(self._IDLE_BATCH_MIN_PERIODS)
         # Control-boundary lattice of the batched idle-span engine (built
         # lazily by _boundary_span) and its cached idle-power row template.
@@ -381,6 +424,16 @@ class SimulatedGPU:
         self._exec_log = _ExecutionLog()
         self._exec_log_extend = self._exec_log.data.extend
 
+        # Hot-path dispatch: launchers call these bound attributes instead of
+        # branching on the engine per call.
+        if self._engine == "compiled":
+            self._fc_setup()
+            self._idle_hot = self._idle_compiled
+            self._execute_hot = self._execute_compiled
+        else:
+            self._idle_hot = self._idle_fast
+            self._execute_hot = self._execute_fast
+
         # Host-side timestamp reads must go through the device so the round
         # trip is visible to telemetry, thermal state and the firmware alike.
         self._timestamp_counter.attach_host_read_path(self.read_timestamp)
@@ -421,8 +474,17 @@ class SimulatedGPU:
         return self._rng
 
     @property
+    def engine(self) -> str:
+        """The active time-advance engine (compiled/vectorized/reference)."""
+        return self._engine
+
+    @property
     def vectorized(self) -> bool:
-        """Whether the batched time-advance engine is active."""
+        """Whether a batched time-advance engine is active.
+
+        True for both the ``vectorized`` and ``compiled`` engines (they share
+        the columnar recording/launch paths); False only for ``reference``.
+        """
         return self._vectorized
 
     def now_s(self) -> float:
@@ -503,7 +565,7 @@ class SimulatedGPU:
         if duration_s < 0:
             raise ValueError("idle duration cannot be negative")
         if self._vectorized:
-            self._idle_fast(duration_s)
+            self._idle_hot(duration_s)
         else:
             self._idle_reference(duration_s)
 
@@ -524,7 +586,7 @@ class SimulatedGPU:
         excursions and throttling of the largest GEMMs).
         """
         if self._vectorized:
-            return self._execute_fast(descriptor, run_variation)
+            return self._execute_hot(descriptor, run_variation)
         return self._execute_reference(descriptor, run_variation)
 
     def draw_run_variation(self, descriptor: KernelActivityDescriptor) -> RunVariation:
@@ -1048,6 +1110,340 @@ class SimulatedGPU:
         fields["energy_j"] = energy_j
         fields["mean_power"] = mean_power
         return result
+
+    # ------------------------------------------------------------------ #
+    # Compiled engine.
+    # ------------------------------------------------------------------ #
+    def _fc_setup(self) -> None:
+        """Bind the compiled-kernel bundle and preallocate its buffers.
+
+        The parameter vector packs everything the kernels read that is
+        constant for the device's lifetime (spec frequencies and powers,
+        firmware tunables, thermal taus, cache retention) in the ``P_*``
+        layout of :mod:`repro.gpu._fastcore_kernels`.
+        """
+        bundle = _fastcore.kernels()
+        if bundle is None:  # pragma: no cover - resolve_engine guards this
+            raise RuntimeError("compiled engine selected but no provider is available")
+        self._fc = bundle
+        dvfs = self._spec.dvfs
+        budget = self._spec.power
+        cfg = self._firmware.config
+        idle_x, idle_i, idle_h = self._idle_power_xih
+        pp = np.empty(_FK.PARAM_LEN)
+        pp[_FK.P_PERIOD] = dvfs.control_period_s
+        pp[_FK.P_IDLE_X] = idle_x
+        pp[_FK.P_IDLE_I] = idle_i
+        pp[_FK.P_IDLE_H] = idle_h
+        pp[_FK.P_IDLE_TOT] = self._idle_total_w
+        pp[_FK.P_NOM] = dvfs.nominal_frequency_ghz
+        pp[_FK.P_PEXP] = dvfs.power_exponent
+        pp[_FK.P_XIDLE] = budget.xcd_idle_w
+        pp[_FK.P_XDYN] = budget.xcd_dynamic_w
+        pp[_FK.P_IIDLE] = budget.iod_idle_w
+        pp[_FK.P_IDYN] = budget.iod_dynamic_w
+        pp[_FK.P_HIDLE] = budget.hbm_idle_w
+        pp[_FK.P_HDYN] = budget.hbm_dynamic_w
+        pp[_FK.P_SWING] = PowerModel.WARMTH_DYNAMIC_SWING
+        pp[_FK.P_COUPLE] = IOD_FREQUENCY_COUPLING
+        pp[_FK.P_HEAT_TAU] = self._heat_tau_s
+        pp[_FK.P_COOL_TAU] = self._cool_tau_s
+        pp[_FK.P_LIMIT] = budget.board_limit_w
+        pp[_FK.P_EXC_THRESH] = cfg.excursion_threshold
+        pp[_FK.P_EXC_WIN] = cfg.excursion_window_s
+        pp[_FK.P_T_HOLD] = cfg.throttle_hold_s
+        pp[_FK.P_REC_STEP] = cfg.recovery_step_ghz
+        pp[_FK.P_RAMP_STEP] = cfg.ramp_step_ghz
+        pp[_FK.P_CAP_TGT] = cfg.cap_target
+        pp[_FK.P_CAP_HYST] = cfg.cap_release_hysteresis
+        pp[_FK.P_IDLE_PARK] = cfg.idle_park_s
+        pp[_FK.P_F_IDLE] = dvfs.idle_frequency_ghz
+        pp[_FK.P_F_BOOST] = dvfs.boost_frequency_ghz
+        pp[_FK.P_F_SUST] = dvfs.sustained_frequency_ghz
+        pp[_FK.P_RETENTION] = self.CACHE_RETENTION_S
+        pp[_FK.P_MINFACT] = ExecutionTimeVariationModel.MIN_FACTOR
+        self._fc_params = pp
+        self._fc_state = np.empty(_FK.STATE_LEN)
+        self._fc_lens = np.zeros(2, dtype=np.int64)
+        self._fc_seg = np.empty((4096, 5))
+        self._fc_ev = np.empty((256, 4))
+        self._fc_out8 = np.empty(8)
+        self._fc_cache = np.empty(2)
+
+    def _fc_pack(self) -> np.ndarray:
+        """Mirror live simulation state into the kernel state vector."""
+        st = self._fc_state
+        firmware = self._firmware
+        control = self._control
+        st[_FK.S_NOW] = self._sim_clock._now_s
+        st[_FK.S_WARMTH] = self._thermal._warmth
+        st[_FK.S_CEN] = control.energy_j
+        st[_FK.S_CTM] = control.time_s
+        st[_FK.S_CAC] = control.active_time_s
+        st[_FK.S_NEXT] = self._next_control_s
+        st[_FK.S_FWST] = _FC_CODES[firmware._state]
+        st[_FK.S_FREQ] = firmware._frequency_ghz
+        st[_FK.S_OVER] = firmware._overdraw_accum_s
+        st[_FK.S_THROT] = firmware._throttle_until_s
+        st[_FK.S_IDLEAC] = firmware._idle_accum_s
+        st[_FK.S_LASTP] = firmware._last_power_w
+        return st
+
+    def _fc_unpack(self) -> None:
+        """Write the kernel state vector back into the live objects."""
+        st = self._fc_state
+        firmware = self._firmware
+        control = self._control
+        self._sim_clock._now_s = st[_FK.S_NOW]
+        self._thermal._warmth = st[_FK.S_WARMTH]
+        control.energy_j = st[_FK.S_CEN]
+        control.time_s = st[_FK.S_CTM]
+        control.active_time_s = st[_FK.S_CAC]
+        self._next_control_s = st[_FK.S_NEXT]
+        firmware._state = _FC_STATES[int(st[_FK.S_FWST])]
+        firmware._frequency_ghz = st[_FK.S_FREQ]
+        firmware._overdraw_accum_s = st[_FK.S_OVER]
+        firmware._throttle_until_s = st[_FK.S_THROT]
+        firmware._idle_accum_s = st[_FK.S_IDLEAC]
+        firmware._last_power_w = st[_FK.S_LASTP]
+
+    def _fc_drain(self) -> None:
+        """Flush recorded slices and firmware events out of the kernel buffers."""
+        lens = self._fc_lens
+        n_seg = int(lens[0])
+        if n_seg and self._recording:
+            self._buffer.append_block(self._fc_seg[:n_seg].copy())
+        n_ev = int(lens[1])
+        if n_ev:
+            ev = self._fc_ev
+            events = self._firmware._events
+            for k in range(n_ev):
+                events.append(
+                    FirmwareEvent(
+                        time_s=float(ev[k, 0]),
+                        state=_FC_STATES[int(ev[k, 1])],
+                        frequency_ghz=float(ev[k, 2]),
+                        power_w=float(ev[k, 3]),
+                    )
+                )
+
+    def _fc_grow(self, rc: int) -> None:
+        """Double the overflowed output buffer (rc 1: segments, rc 2: events).
+
+        The kernels carry no RNG and the wrapper re-packs fresh state before
+        every attempt, so a retried call is deterministic.
+        """
+        if rc == 1:
+            self._fc_seg = np.empty((2 * self._fc_seg.shape[0], 5))
+        elif rc == 2:
+            self._fc_ev = np.empty((2 * self._fc_ev.shape[0], 4))
+        else:  # pragma: no cover - unknown code would be a kernel bug
+            raise RuntimeError(f"compiled kernel returned unknown rc={rc}")
+
+    def _fc_descriptor(self, descriptor: KernelActivityDescriptor) -> np.ndarray:
+        """The descriptor flattened into the kernel ``desc`` layout, cached.
+
+        Rides on :meth:`_descriptor_profile` (same power-model-keyed cache
+        discipline): ``[base_duration, sensitivity, cold_mult,
+        cold_executions, n_phases, then (cum, xcd, iod, hbm_warm, hbm_cold)
+        per phase]``.
+        """
+        cached = descriptor.__dict__.get("_device_fc_profile")
+        if cached is not None and cached[0] is self._power_model:
+            return cached[1]
+        table, _mid_row = self._descriptor_profile(descriptor)
+        n = len(table)
+        desc = np.empty(5 + 5 * n)
+        desc[0] = descriptor.base_duration_s
+        desc[1] = descriptor.frequency_sensitivity
+        desc[2] = descriptor.cold_duration_multiplier
+        desc[3] = float(descriptor.cold_executions)
+        desc[4] = float(n)
+        for i, row in enumerate(table):
+            desc[5 + 5 * i : 10 + 5 * i] = row
+        object.__setattr__(descriptor, "_device_fc_profile", (self._power_model, desc))
+        return desc
+
+    def _idle_compiled(self, duration_s: float) -> None:
+        """Compiled idle path: one kernel call per span, no batching threshold.
+
+        The single-slice shortcut (span entirely before the next control
+        boundary -- launch latencies, inter-execution gaps, timestamp round
+        trips) stays in Python: it is a handful of float operations, cheaper
+        than packing state across the call boundary.  Everything else -- the
+        per-period loop, firmware control steps, park transitions and the
+        closed-form span relaxation -- runs inside the kernel.
+        """
+        if duration_s <= 1e-12:
+            return
+        thermal = self._thermal
+        clock = self._sim_clock
+        now = clock._now_s
+        end = now + duration_s
+        if end + 1e-12 < self._next_control_s:
+            # Same arithmetic as the vectorized engine's single-slice branch.
+            control = self._control
+            if self._recording:
+                idle_x, idle_i, idle_h = self._idle_power_xih
+                self._record_extend((now, end, idle_x, idle_i, idle_h))
+            control.energy_j += self._idle_total_w * duration_s
+            control.time_s += duration_s
+            clock._now_s = end
+            alpha = 1.0 - exp(-duration_s / self._cool_tau_s)
+            warmth = thermal._warmth
+            warmth += (0.0 - warmth) * alpha
+            thermal._warmth = min(max(warmth, 0.0), 1.0)
+            return
+        fc_idle = self._fc.idle
+        record = 1 if self._recording else 0
+        while True:
+            st = self._fc_pack()
+            rc = fc_idle(
+                st, self._fc_params, duration_s, record,
+                self._fc_seg, self._fc_ev, self._fc_lens,
+            )
+            if rc == 0:
+                break
+            self._fc_grow(rc)
+        self._fc_unpack()
+        self._fc_drain()
+
+    def _execute_compiled(
+        self,
+        descriptor: KernelActivityDescriptor,
+        run_variation: RunVariation | None,
+        jitter: float | None = None,
+        build_result: bool = True,
+    ) -> KernelExecutionResult | tuple[float, float]:
+        """Compiled execution path: same RNG draws, slice loop in the kernel."""
+        now = self._sim_clock._now_s
+
+        # _consume_cache_state, inlined (identical to _execute_fast).
+        state = self._cache_states.get(descriptor.name)
+        if state is None or (now - state.last_end_s) > self.CACHE_RETENTION_S:
+            state = _CacheState()
+            self._cache_states[descriptor.name] = state
+        cold = state.consecutive_executions < descriptor.cold_executions
+
+        if jitter is None:
+            # ExecutionTimeVariationModel.draw_execution_jitter, inlined.
+            execution_cv = descriptor.variation.execution_cv
+            if execution_cv <= 0:
+                jitter = 1.0
+            else:
+                jitter = float(self._rng.lognormal(mean=0.0, sigma=execution_cv))
+                if jitter < ExecutionTimeVariationModel.MIN_FACTOR:
+                    jitter = ExecutionTimeVariationModel.MIN_FACTOR
+        time_factor = jitter if run_variation is None else run_variation.run_factor * jitter
+
+        desc = self._fc_descriptor(descriptor)
+        fc_execute = self._fc.execute
+        record = 1 if self._recording else 0
+        out8 = self._fc_out8
+        while True:
+            st = self._fc_pack()
+            rc = fc_execute(
+                st, self._fc_params, desc, time_factor, 1 if cold else 0,
+                record, self._fc_seg, self._fc_ev, self._fc_lens, out8,
+            )
+            if rc == 0:
+                break
+            self._fc_grow(rc)
+        self._fc_unpack()
+        self._fc_drain()
+
+        start_s = float(out8[0])
+        end_s = float(out8[1])
+        # _update_cache_state, inlined on the state fetched above.
+        state.consecutive_executions += 1
+        state.last_end_s = end_s
+        if record:
+            self._exec_log_extend(
+                (start_s, end_s, out8[2], out8[3], out8[4], out8[5], out8[6], out8[7])
+            )
+            self._exec_log.names.append(descriptor.name)
+        if not build_result:
+            return start_s, end_s
+        mean_power = ComponentPower.__new__(ComponentPower)
+        fields = mean_power.__dict__
+        fields["xcd_w"] = float(out8[5])
+        fields["iod_w"] = float(out8[6])
+        fields["hbm_w"] = float(out8[7])
+        result = KernelExecutionResult.__new__(KernelExecutionResult)
+        fields = result.__dict__
+        fields["kernel_name"] = descriptor.name
+        fields["start_s"] = start_s
+        fields["end_s"] = end_s
+        fields["cold_caches"] = cold
+        fields["mean_frequency_ghz"] = float(out8[3])
+        fields["energy_j"] = float(out8[4])
+        fields["mean_power"] = mean_power
+        return result
+
+    def _sequence_compiled(
+        self,
+        descriptor: KernelActivityDescriptor,
+        executions: int,
+        variates: np.ndarray,
+        run_variation: RunVariation | None,
+        execution_cv: float,
+        latency_mean: float,
+        latency_jitter: float,
+        error_std: float,
+        gap_s: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One fused kernel call for a whole back-to-back launch sequence.
+
+        ``variates`` is the launcher's batched ``standard_normal(4 * n)``
+        draw (latency, jitter, two timestamp errors per execution, consumed
+        in that order inside the kernel -- the identical stream the
+        vectorized launch loop consumes).  Returns the host-observed
+        ``(cpu_starts, cpu_ends)`` arrays; ground-truth rows land in the
+        columnar execution log in bulk.
+        """
+        state = self._cache_states.get(descriptor.name)
+        if state is None:
+            state = _CacheState()
+            self._cache_states[descriptor.name] = state
+        desc = self._fc_descriptor(descriptor)
+        if run_variation is None:
+            has_rv = 0
+            run_factor = 1.0
+        else:
+            has_rv = 1
+            run_factor = run_variation.run_factor
+        fc_sequence = self._fc.sequence
+        record = 1 if self._recording else 0
+        cache = self._fc_cache
+        exec_rows = np.empty((executions, 8))
+        cpu_starts = np.empty(executions)
+        cpu_ends = np.empty(executions)
+        while True:
+            st = self._fc_pack()
+            # The kernel applies the same retention expiry per execution the
+            # scalar path applies on fetch, so seeding the raw state is exact.
+            cache[0] = float(state.consecutive_executions)
+            cache[1] = state.last_end_s
+            rc = fc_sequence(
+                st, self._fc_params, desc, cache, executions, variates,
+                has_rv, run_factor, execution_cv,
+                latency_mean, latency_jitter, error_std, gap_s,
+                record, self._fc_seg, self._fc_ev, self._fc_lens,
+                exec_rows, cpu_starts, cpu_ends,
+            )
+            if rc == 0:
+                break
+            self._fc_grow(rc)
+        self._fc_unpack()
+        self._fc_drain()
+        state.consecutive_executions = int(cache[0])
+        state.last_end_s = float(cache[1])
+        if record:
+            # Bulk-append the ground-truth rows: the kernel's row layout is
+            # exactly the execution log's.
+            self._exec_log.data.frombytes(exec_rows.tobytes())
+            self._exec_log.names.extend([descriptor.name] * executions)
+        return cpu_starts, cpu_ends
 
     # ------------------------------------------------------------------ #
     # Internals.

@@ -1,0 +1,438 @@
+"""Compiled slice/boundary core: providers, self-check and engine selection.
+
+The device offers a three-tier engine matrix:
+
+``compiled``
+    The hot loops (idle per-period loop, execution slice loop, firmware
+    control boundary, closed-form thermal relaxation) run as compiled
+    kernels.  Two providers exist -- ``numba`` (``@njit(cache=True)`` over
+    :mod:`repro.gpu._fastcore_kernels`, preferred; installed via the
+    ``fast`` extra) and ``cc`` (the same kernels hand-mirrored in C,
+    compiled once with the system C compiler and bound through ctypes,
+    :mod:`repro.gpu._fastcore_cc`).  A one-time self-check replays a fixed
+    scenario through the candidate provider and through the pure-Python
+    kernel bodies and requires bit-for-bit agreement before the provider is
+    ever selected; on failure the engine silently *is not* compiled -- auto
+    selection falls back to ``vectorized`` (with a single warning when a
+    provider was present but failed, see below).
+``vectorized``
+    The batched NumPy/float engine (``SimulatedGPU._idle_fast`` /
+    ``_execute_fast``) -- the pinned mid-tier, always available.
+``reference``
+    The per-slice object path -- the executable specification.
+
+Selection
+---------
+:func:`resolve_engine` implements the precedence *explicit argument* >
+``REPRO_ENGINE`` environment variable > auto.  ``auto`` picks ``compiled``
+when a provider passes the self-check and ``vectorized`` otherwise (silent
+fallback); explicitly requesting ``compiled`` when no provider is usable
+falls back to ``vectorized`` with a single warning.  The provider itself can
+be pinned with ``REPRO_FASTCORE_PROVIDER`` (``auto`` | ``numba`` | ``cc`` |
+``python`` | ``none``); ``python`` is the uncompiled kernel bodies (slow --
+for debugging/validation only) and ``none`` disables the compiled tier
+entirely, which makes the import-free path identical to a container without
+Numba or a C compiler.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+from . import _fastcore_kernels as _K
+
+#: Engines accepted by BackendConfig.engine / SimulatedGPU(engine=...).
+VALID_ENGINES = ("compiled", "vectorized", "reference")
+
+#: Kernel functions swapped to their pure-Python bodies for the self-check
+#: reference run (outermost last, so nested calls resolve pure as well).
+_KERNEL_CHAIN = (
+    "fw_transition",
+    "fw_step",
+    "fw_arrival",
+    "control_boundary",
+    "idle_core",
+    "execute_core",
+    "sequence_core",
+)
+
+
+class KernelBundle:
+    """One provider's uniform kernel API (idle / execute / sequence)."""
+
+    __slots__ = ("name", "idle", "execute", "sequence", "numba_version", "lib_path")
+
+    def __init__(self, name, idle, execute, sequence, numba_version=None, lib_path=None):
+        self.name = name
+        self.idle = idle
+        self.execute = execute
+        self.sequence = sequence
+        self.numba_version = numba_version
+        self.lib_path = lib_path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelBundle({self.name!r})"
+
+
+# --------------------------------------------------------------------- #
+# Provider loading.
+# --------------------------------------------------------------------- #
+def _numba_importable() -> bool:
+    """Whether the Numba provider can be used (patched by fallback tests)."""
+    return _K.HAVE_NUMBA
+
+
+def _load_provider(name: str) -> tuple[KernelBundle | None, str | None]:
+    if name == "numba":
+        if not _numba_importable():
+            return None, "numba: not importable"
+        import numba
+
+        return (
+            KernelBundle(
+                "numba",
+                _K.k_idle,
+                _K.k_execute,
+                _K.k_sequence,
+                numba_version=numba.__version__,
+            ),
+            None,
+        )
+    if name == "python":
+        # The kernels module as imported: pure Python without Numba (slow,
+        # debugging/validation only), jitted when Numba is present.
+        return KernelBundle("python", _K.k_idle, _K.k_execute, _K.k_sequence), None
+    if name == "cc":
+        try:
+            from . import _fastcore_cc
+
+            cc = _fastcore_cc.load()
+        except Exception as exc:
+            return None, f"cc: {exc}"
+        return (
+            KernelBundle("cc", cc.idle, cc.execute, cc.sequence, lib_path=cc.lib_path),
+            None,
+        )
+    return None, f"unknown provider {name!r}"
+
+
+# --------------------------------------------------------------------- #
+# Self-check: candidate provider vs the pure-Python kernel bodies.
+# --------------------------------------------------------------------- #
+def _scenario_params() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Fixed state/parameters/descriptors exercising every kernel branch."""
+    pp = np.empty(_K.PARAM_LEN)
+    pp[_K.P_PERIOD] = 250e-6
+    pp[_K.P_IDLE_X] = 88.0
+    pp[_K.P_IDLE_I] = 52.0
+    pp[_K.P_IDLE_H] = 41.0
+    pp[_K.P_IDLE_TOT] = 88.0 + 52.0 + 41.0
+    pp[_K.P_NOM] = 2.1
+    pp[_K.P_PEXP] = 2.4
+    pp[_K.P_XIDLE] = 88.0
+    pp[_K.P_XDYN] = 310.0
+    pp[_K.P_IIDLE] = 52.0
+    pp[_K.P_IDYN] = 128.0
+    pp[_K.P_HIDLE] = 41.0
+    pp[_K.P_HDYN] = 104.0
+    pp[_K.P_SWING] = 0.06
+    pp[_K.P_COUPLE] = 0.5
+    pp[_K.P_HEAT_TAU] = 2.2e-3
+    pp[_K.P_COOL_TAU] = 9.0e-3
+    pp[_K.P_LIMIT] = 620.0
+    pp[_K.P_EXC_THRESH] = 1.0
+    pp[_K.P_EXC_WIN] = 800e-6
+    pp[_K.P_T_HOLD] = 1.6e-3
+    pp[_K.P_REC_STEP] = 0.010
+    pp[_K.P_RAMP_STEP] = 0.5
+    pp[_K.P_CAP_TGT] = 0.985
+    pp[_K.P_CAP_HYST] = 0.03
+    pp[_K.P_IDLE_PARK] = 2.0e-3
+    pp[_K.P_F_IDLE] = 0.8
+    pp[_K.P_F_BOOST] = 2.25
+    pp[_K.P_F_SUST] = 1.9
+    pp[_K.P_RETENTION] = 4e-3
+    pp[_K.P_MINFACT] = 0.85
+
+    st = np.zeros(_K.STATE_LEN)
+    st[_K.S_NEXT] = pp[_K.P_PERIOD]
+    st[_K.S_FREQ] = pp[_K.P_F_IDLE]
+
+    def pack(base, sens, cold_mult, cold_execs, rows):
+        desc = np.empty(5 + 5 * len(rows))
+        desc[0] = base
+        desc[1] = sens
+        desc[2] = cold_mult
+        desc[3] = float(cold_execs)
+        desc[4] = float(len(rows))
+        for i, row in enumerate(rows):
+            desc[5 + 5 * i : 10 + 5 * i] = row
+        return desc
+
+    # Long power-hungry kernel: crosses many control boundaries, ramps,
+    # overdraws and throttles (then recovers / caps on later executions).
+    desc_long = pack(
+        1.1e-3,
+        0.9,
+        1.15,
+        2,
+        [
+            (0.1, 0.82, 0.95, 0.97, 1.0),
+            (0.9, 1.0, 0.96, 0.94, 0.98),
+            (1.0, 0.8, 1.0, 1.0, 1.0),
+        ],
+    )
+    # Short kernel: the single-slice shortcut inside a fused sequence.
+    desc_short = pack(
+        42e-6,
+        1.0,
+        1.08,
+        2,
+        [
+            (0.15, 0.7, 1.1, 1.2, 1.25),
+            (1.0, 0.95, 0.97, 0.95, 0.96),
+        ],
+    )
+    return st, pp, desc_long, desc_short
+
+
+def _run_scenario(idle, execute, sequence) -> dict[str, np.ndarray]:
+    """Drive the three entry points through a fixed multi-branch scenario."""
+    st, pp, desc_long, desc_short = _scenario_params()
+    period = pp[_K.P_PERIOD]
+    seg = np.zeros((512, 5))
+    ev = np.zeros((64, 4))
+    lens = np.zeros(2, dtype=np.int64)
+    segs: list[np.ndarray] = []
+    evs: list[np.ndarray] = []
+    states: list[np.ndarray] = []
+
+    def drain() -> None:
+        segs.append(seg[: int(lens[0])].copy())
+        evs.append(ev[: int(lens[1])].copy())
+        states.append(st.copy())
+
+    def check(rc) -> None:
+        if rc != 0:
+            raise RuntimeError(f"scenario kernel returned rc={rc}")
+
+    out8_a = np.zeros(8)
+    out8_b = np.zeros(8)
+    check(idle(st, pp, 0.9 * period, 1, seg, ev, lens))
+    drain()
+    check(execute(st, pp, desc_long, 1.0, 1, 1, seg, ev, lens, out8_a))
+    drain()
+    check(idle(st, pp, 3.3 * period, 1, seg, ev, lens))
+    drain()
+    check(execute(st, pp, desc_long, 0.97, 0, 1, seg, ev, lens, out8_b))
+    drain()
+    check(idle(st, pp, 10.0 * period, 1, seg, ev, lens))
+    drain()
+
+    executions = 5
+    cache = np.array([0.0, -1.0])
+    variates = np.linspace(-1.2, 1.3, 4 * executions)
+    exec_rows = np.zeros((executions, 8))
+    cpu_starts = np.zeros(executions)
+    cpu_ends = np.zeros(executions)
+    check(
+        sequence(
+            st, pp, desc_short, cache, executions, variates, 1, 1.02,
+            0.006, 2.5e-6, 0.5e-6, 0.6e-6, 1.0e-6, 1,
+            seg, ev, lens, exec_rows, cpu_starts, cpu_ends,
+        )
+    )
+    drain()
+    return {
+        "segments": np.vstack(segs),
+        "events": np.vstack(evs),
+        "states": np.vstack(states),
+        "out8_a": out8_a,
+        "out8_b": out8_b,
+        "exec_rows": exec_rows,
+        "cpu_starts": cpu_starts,
+        "cpu_ends": cpu_ends,
+        "cache": cache,
+    }
+
+
+def _run_scenario_pure() -> dict[str, np.ndarray]:
+    """Reference run over the pure-Python kernel bodies.
+
+    When Numba is active the module-level kernels are dispatchers; their
+    original bodies are temporarily swapped back in (nested calls resolve
+    through the module globals at call time, so the whole chain runs pure).
+    """
+    swapped: dict[str, object] = {}
+    for name in _KERNEL_CHAIN:
+        func = getattr(_K, name)
+        py_func = getattr(func, "py_func", None)
+        if py_func is not None:
+            swapped[name] = func
+            setattr(_K, name, py_func)
+    try:
+        return _run_scenario(_K.k_idle, _K.k_execute, _K.k_sequence)
+    finally:
+        for name, func in swapped.items():
+            setattr(_K, name, func)
+
+
+def self_check(bundle: KernelBundle) -> str | None:
+    """Bit-for-bit comparison of a provider against the Python kernel bodies.
+
+    Returns ``None`` when every recorded slice, firmware event, state vector
+    and execution row agrees exactly, else a short failure description.
+    """
+    try:
+        got = _run_scenario(bundle.idle, bundle.execute, bundle.sequence)
+        want = _run_scenario_pure()
+    except Exception as exc:
+        return f"self-check scenario failed: {exc!r}"
+    for key, expected in want.items():
+        actual = got[key]
+        if expected.shape != actual.shape or not np.array_equal(expected, actual):
+            return f"self-check mismatch in {key!r}"
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Resolution (cached once per process).
+# --------------------------------------------------------------------- #
+_RESOLVED = False
+_BUNDLE: KernelBundle | None = None
+_FAILURE: str | None = None
+_WARNED: set[str] = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def _reset_for_tests() -> None:
+    """Drop the cached provider resolution (test helper)."""
+    global _RESOLVED, _BUNDLE, _FAILURE
+    _RESOLVED = False
+    _BUNDLE = None
+    _FAILURE = None
+    _WARNED.clear()
+
+
+def provider_request() -> str:
+    return os.environ.get("REPRO_FASTCORE_PROVIDER", "").strip().lower() or "auto"
+
+
+def kernels() -> KernelBundle | None:
+    """The active compiled-kernel provider, or ``None`` when unavailable.
+
+    Resolution runs once per process: candidate providers (``numba`` then
+    ``cc`` under ``auto``) are loaded and self-checked in order; the first
+    that passes wins.  A provider that *loaded* but failed its self-check
+    warns once -- that is the documented silently-degraded path auto
+    selection then routes to the vectorized engine.
+    """
+    global _RESOLVED, _BUNDLE, _FAILURE
+    if _RESOLVED:
+        return _BUNDLE
+    request = provider_request()
+    candidate_sets = {
+        "auto": ("numba", "cc"),
+        "numba": ("numba",),
+        "cc": ("cc",),
+        "python": ("python",),
+        "none": (),
+    }
+    candidates = candidate_sets.get(request)
+    bundle: KernelBundle | None = None
+    errors: list[str] = []
+    if candidates is None:
+        errors.append(f"unknown REPRO_FASTCORE_PROVIDER {request!r}")
+    else:
+        for name in candidates:
+            loaded, error = _load_provider(name)
+            if loaded is None:
+                errors.append(error or f"{name}: unavailable")
+                continue
+            error = self_check(loaded)
+            if error is None:
+                bundle = loaded
+                break
+            errors.append(f"{name}: {error}")
+            _warn_once(
+                f"self-check:{name}",
+                f"fastcore provider {name!r} failed its self-check ({error}); "
+                "the compiled engine is disabled and auto selection falls "
+                "back to the vectorized engine",
+            )
+    _BUNDLE = bundle
+    _FAILURE = "; ".join(errors) if (bundle is None and errors) else None
+    _RESOLVED = True
+    return _BUNDLE
+
+
+def available() -> bool:
+    """Whether the compiled engine can be selected in this process."""
+    return kernels() is not None
+
+
+def provider_name() -> str | None:
+    bundle = kernels()
+    return bundle.name if bundle is not None else None
+
+
+def numba_version() -> str | None:
+    bundle = kernels()
+    return bundle.numba_version if bundle is not None else None
+
+
+def resolve_engine(engine: str | None = None, vectorized: bool | None = None) -> str:
+    """Resolve an engine request to one of :data:`VALID_ENGINES`.
+
+    Precedence: explicit ``engine`` argument > ``REPRO_ENGINE`` environment
+    variable > auto selection.  The deprecated ``vectorized`` boolean maps
+    onto the engine enum (``True`` -> ``"vectorized"``, ``False`` ->
+    ``"reference"``) and pins the chosen engine -- it never auto-selects, so
+    pre-engine callers keep their exact behaviour.
+    """
+    if engine is not None and vectorized is not None:
+        raise ValueError(
+            "pass either engine or the deprecated vectorized flag, not both"
+        )
+    if engine is None:
+        if vectorized is not None:
+            return "vectorized" if vectorized else "reference"
+        engine = os.environ.get("REPRO_ENGINE", "").strip().lower() or "auto"
+    if engine == "auto":
+        return "compiled" if kernels() is not None else "vectorized"
+    if engine not in VALID_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}: valid engines are 'compiled', "
+            "'vectorized' and 'reference' (or 'auto'/None for auto-selection)"
+        )
+    if engine == "compiled" and kernels() is None:
+        detail = _FAILURE or "no compiled provider available"
+        _warn_once(
+            "compiled-unavailable",
+            f"compiled engine requested but unavailable ({detail}); "
+            "falling back to the vectorized engine",
+        )
+        return "vectorized"
+    return engine
+
+
+__all__ = [
+    "VALID_ENGINES",
+    "KernelBundle",
+    "kernels",
+    "available",
+    "provider_name",
+    "numba_version",
+    "provider_request",
+    "resolve_engine",
+    "self_check",
+]

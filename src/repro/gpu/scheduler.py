@@ -153,8 +153,8 @@ class KernelLauncher:
         launch_latency = float(rng.normal(config.launch_latency_s, config.launch_jitter_s))
         if launch_latency < 0.2e-6:
             launch_latency = 0.2e-6
-        device._idle_fast(launch_latency)
-        result = device._execute_fast(descriptor, run_variation)
+        device._idle_hot(launch_latency)
+        result = device._execute_hot(descriptor, run_variation)
         error_std = config.event_timestamp_error_s
         if error_std > 0:
             # One batched draw is bit-identical to two sequential draws.
@@ -190,7 +190,7 @@ class KernelLauncher:
         append = observed.append
         if self._device.vectorized:
             gap_s = self._config.inter_execution_gap_s
-            idle_fast = self._device._idle_fast
+            idle_fast = self._device._idle_hot
             launch_fast = self._launch_fast
             for i in range(executions):
                 if i > 0 and gap_s > 0:
@@ -242,8 +242,19 @@ class KernelLauncher:
                 append_start(observed.cpu_start_s)
                 append_end(observed.cpu_end_s)
             return
-        idle_fast = device._idle_fast
-        execute_fast = device._execute_fast
+        if device.engine == "compiled":
+            # One fused kernel call simulates the whole sequence; the batched
+            # variate draw is the identical RNG stream the loop below (and
+            # the scalar launch path) consumes.
+            variates = self._rng.standard_normal(4 * executions)
+            cpu_starts, cpu_ends = device._sequence_compiled(
+                descriptor, executions, variates, run_variation,
+                execution_cv, latency_mean, latency_jitter, error_std, gap_s,
+            )
+            arena.stage_filled(cpu_starts, cpu_ends)
+            return
+        idle_fast = device._idle_hot
+        execute_fast = device._execute_hot
         min_factor = ExecutionTimeVariationModel.MIN_FACTOR
         variates = self._rng.standard_normal(4 * executions).tolist()
         cursor = 0

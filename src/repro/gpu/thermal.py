@@ -92,8 +92,22 @@ class ThermalModel:
         per slice, then calls this once for the whole span; the result agrees
         with the per-slice reference path to ~1 ulp (the device equivalence
         suite pins the tolerance).
+
+        A zero-duration span is a no-op that leaves the warmth state
+        untouched (mirroring :meth:`step`); negative durations raise.  The
+        compiled idle kernel carries an identical twin of this arithmetic --
+        keep them in lockstep.
         """
-        return self.step(dt_s, active)
+        if dt_s < 0:
+            raise ValueError("relaxation span cannot be negative")
+        if dt_s == 0:
+            return self._warmth
+        target = 1.0 if active else 0.0
+        tau = self._spec.heat_tau_s if active else self._spec.cool_tau_s
+        alpha = 1.0 - math.exp(-dt_s / tau)
+        self._warmth += (target - self._warmth) * alpha
+        self._warmth = min(max(self._warmth, 0.0), 1.0)
+        return self._warmth
 
     def time_to_warmth(self, target: float, active: bool = True) -> float:
         """Seconds of continuous activity (or idleness) needed to reach ``target``.

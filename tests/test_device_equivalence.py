@@ -1,21 +1,22 @@
-"""Equivalence tests: the vectorized device engine vs the per-slice reference.
+"""Four-engine equivalence harness: compiled vs vectorized vs reference.
 
-The PR's contract is that ``SimulatedGPU(vectorized=True)`` (batched slice
-computation, columnar segment buffer, closed-form idle-span warmth) reproduces
-the retained per-slice path: identical slice boundaries, RNG stream,
-executions and firmware events.  Power values may differ by ~1 ulp because
-idle-span warmth is relaxed once per span instead of once per slice -- the
-tolerances below document that bound.
+The contract is that every batched engine reproduces the retained per-slice
+reference path: identical slice boundaries, RNG stream, executions and
+firmware events.  Power values may differ from the *reference* by ~1 ulp
+because idle-span warmth is relaxed once per span instead of once per slice
+-- the tolerances below document that bound.  The compiled engine replays
+the vectorized engine's iterated-float arithmetic exactly, so compiled vs
+vectorized is pinned **bit for bit** with no tolerance at all.
 
 Scenarios mirror the paper's workloads: pure idle, a short (single-slice)
 kernel, a power-limited GEMM that throttles mid-execution, an interleaved
 mix with a mid-recording timestamp read, and a long-idle park/unpark cycle
 spanning hundreds of firmware control periods.
 
-Every scenario is pinned twice against the per-slice reference: once for the
-default batched idle-span boundary engine and once for the retained per-period
-inline loop (``_idle_batch_min_periods = inf``), so the batched engine, the
-scalar path it replaced and the reference all agree bit for bit.
+Every scenario is pinned across the full engine matrix: the compiled kernel
+engine (Numba or the C mirror, whichever provider is active), the default
+batched idle-span boundary engine, the retained per-period inline loop
+(``_idle_batch_min_periods = inf``) and the per-slice reference.
 """
 
 from __future__ import annotations
@@ -23,11 +24,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.gpu import fastcore
 from repro.gpu.backend import BackendConfig, SimulatedDeviceBackend
 from repro.gpu.device import PowerSegment, SegmentArray, SimulatedGPU
 from repro.gpu.dvfs import FirmwareState
 from repro.gpu.spec import mi300x_spec
 from repro.kernels.workloads import cb_gemm, mb_gemv
+
+requires_compiled = pytest.mark.skipif(
+    not fastcore.available(), reason="no compiled-kernel provider in this environment"
+)
 
 POWER_RTOL = 1e-9
 POWER_ATOL = 1e-9
@@ -170,6 +176,46 @@ def test_scenario_equivalence(name):
     assert_devices_equivalent(fast, reference, fast_segments, reference_segments)
 
 
+def assert_devices_bitwise_identical(compiled, vectorized, compiled_segments, vectorized_segments):
+    """Compiled vs vectorized: no tolerance -- every float must match exactly."""
+    assert np.array_equal(compiled_segments.starts_s, vectorized_segments.starts_s)
+    assert np.array_equal(compiled_segments.ends_s, vectorized_segments.ends_s)
+    assert np.array_equal(compiled_segments.powers, vectorized_segments.powers)
+    assert compiled.executions() == vectorized.executions()
+    compiled_events = compiled.firmware_events()
+    vectorized_events = vectorized.firmware_events()
+    assert len(compiled_events) == len(vectorized_events)
+    for a, b in zip(compiled_events, vectorized_events):
+        assert (a.time_s, a.state, a.frequency_ghz, a.power_w) == (
+            b.time_s, b.state, b.frequency_ghz, b.power_w,
+        )
+    assert compiled.now_s() == vectorized.now_s()
+    assert compiled.thermal.warmth == vectorized.thermal.warmth
+    assert compiled._next_control_s == vectorized._next_control_s
+    assert compiled.firmware.state is vectorized.firmware.state
+    assert compiled.firmware.frequency_ghz == vectorized.firmware.frequency_ghz
+
+
+@requires_compiled
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_equivalence_compiled(name):
+    """The compiled engine is bit-identical to vectorized, tolerance-equal to
+    the reference, on every scenario (including the long-idle park cycle)."""
+    scenario = SCENARIOS[name]
+    compiled = SimulatedGPU(SPEC, seed=123, engine="compiled")
+    assert compiled.engine == "compiled"
+    vectorized, reference = device_pair()
+    for device in (compiled, vectorized, reference):
+        scenario(device)
+    compiled_segments = compiled.stop_recording()
+    vectorized_segments = vectorized.stop_recording()
+    reference_segments = reference.stop_recording()
+    assert_devices_bitwise_identical(
+        compiled, vectorized, compiled_segments, vectorized_segments
+    )
+    assert_devices_equivalent(compiled, reference, compiled_segments, reference_segments)
+
+
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
 def test_scenario_equivalence_scalar_inline(name):
     """The retained per-period inline idle loop stays in lockstep too.
@@ -188,36 +234,55 @@ def test_scenario_equivalence_scalar_inline(name):
     assert_devices_equivalent(fast, reference, fast_segments, reference_segments)
 
 
-def three_engines(seed=123):
-    """Batched engine, pinned scalar-inline path, per-slice reference."""
-    batched = SimulatedGPU(SPEC, seed=seed, vectorized=True)
+def engine_matrix(seed=123):
+    """Ordered engine matrix: [compiled,] batched, scalar-inline, reference.
+
+    The compiled engine joins the matrix whenever a provider is available
+    (the provider itself -- Numba or the C mirror -- is whatever fastcore
+    auto-selected; both must pass the same pins).  ``reference`` is always
+    last.
+    """
+    engines: dict[str, SimulatedGPU] = {}
+    if fastcore.available():
+        engines["compiled"] = SimulatedGPU(SPEC, seed=seed, engine="compiled")
+    engines["batched"] = SimulatedGPU(SPEC, seed=seed, vectorized=True)
     scalar = SimulatedGPU(SPEC, seed=seed, vectorized=True)
     scalar._idle_batch_min_periods = float("inf")
-    reference = SimulatedGPU(SPEC, seed=seed, vectorized=False)
-    return batched, scalar, reference
+    engines["scalar"] = scalar
+    engines["reference"] = SimulatedGPU(SPEC, seed=seed, vectorized=False)
+    return engines
+
+
+def three_engines(seed=123):
+    """Batched engine, pinned scalar-inline path, per-slice reference."""
+    matrix = engine_matrix(seed)
+    return matrix["batched"], matrix["scalar"], matrix["reference"]
 
 
 class TestLongIdleParkUnpark:
-    """The new batched idle-span engine, the inline path it replaced and the
-    reference loop must agree bit for bit across a park/unpark/boost cycle
-    spanning hundreds of control periods."""
+    """The compiled engine, the batched idle-span engine, the inline path and
+    the reference loop must agree bit for bit across a park/unpark/boost
+    cycle spanning hundreds of control periods."""
 
     @pytest.fixture(scope="class")
     def driven(self):
-        engines = three_engines()
-        for device in engines:
+        engines = engine_matrix()
+        segments = {}
+        for name, device in engines.items():
             scenario_long_idle_park(device)
-        segments = [device.stop_recording() for device in engines]
+            segments[name] = device.stop_recording()
         return engines, segments
 
     def test_park_and_boost_events_bitwise_identical(self, driven):
-        (batched, scalar, reference), _ = driven
-        reference_events = reference.firmware_events()
+        engines, _ = driven
+        reference_events = engines["reference"].firmware_events()
         # The cycle must actually exercise park -> boost -> park.
         states = [event.state for event in reference_events]
         assert states.count(FirmwareState.IDLE) >= 2
         assert FirmwareState.BOOST in states
-        for device in (batched, scalar):
+        for name, device in engines.items():
+            if name == "reference":
+                continue
             events = device.firmware_events()
             assert len(events) == len(reference_events)
             for ours, refevent in zip(events, reference_events):
@@ -229,17 +294,31 @@ class TestLongIdleParkUnpark:
                 )
 
     def test_segments_clock_and_warmth_pinned(self, driven):
-        (batched, scalar, reference), (batched_segments, scalar_segments, ref_segments) = driven
-        assert len(batched_segments) > 500  # hundreds of control periods
-        assert_devices_equivalent(batched, reference, batched_segments, ref_segments)
-        assert_devices_equivalent(scalar, reference, scalar_segments, ref_segments)
+        engines, segments = driven
+        ref_segments = segments["reference"]
+        assert len(segments["batched"]) > 500  # hundreds of control periods
+        for name in engines:
+            if name == "reference":
+                continue
+            assert_devices_equivalent(
+                engines[name], engines["reference"], segments[name], ref_segments
+            )
         # Batched vs scalar-inline: the idle grid must be the same floats.
-        assert np.array_equal(batched_segments.starts_s, scalar_segments.starts_s)
-        assert np.array_equal(batched_segments.ends_s, scalar_segments.ends_s)
+        assert np.array_equal(segments["batched"].starts_s, segments["scalar"].starts_s)
+        assert np.array_equal(segments["batched"].ends_s, segments["scalar"].ends_s)
+        if "compiled" in engines:
+            # Compiled vs batched: everything identical, powers included.
+            assert_devices_bitwise_identical(
+                engines["compiled"], engines["batched"],
+                segments["compiled"], segments["batched"],
+            )
 
     def test_firmware_bookkeeping_identical(self, driven):
-        (batched, scalar, reference), _ = driven
-        for device in (batched, scalar):
+        engines, _ = driven
+        reference = engines["reference"]
+        for name, device in engines.items():
+            if name == "reference":
+                continue
             assert device.firmware._idle_accum_s == reference.firmware._idle_accum_s
             assert device.firmware._overdraw_accum_s == reference.firmware._overdraw_accum_s
             assert device.firmware._last_power_w == pytest.approx(
@@ -255,11 +334,13 @@ class TestExactBoundarySpans:
 
     @pytest.mark.parametrize("perturb_s", [0.0, 1e-12, -1e-12, 5e-13, -5e-13])
     def test_park_lands_on_same_boundary(self, perturb_s):
-        engines = three_engines(seed=21)
+        engines = engine_matrix(seed=21)
         # The spans here are shorter than the batching crossover; force the
-        # batched engine on so the chunk path itself faces the corner case.
-        engines[0]._idle_batch_min_periods = 1.0
-        for device in engines:
+        # batched engine on so the chunk path itself faces the corner case
+        # (the compiled engine has no threshold -- it always takes its
+        # per-period kernel loop).
+        engines["batched"]._idle_batch_min_periods = 1.0
+        for device in engines.values():
             device.start_recording()
             device.execute_kernel(SHORT)
             # Idle exactly to a control boundary eleven periods out (plus a
@@ -268,13 +349,15 @@ class TestExactBoundarySpans:
             span = device._next_control_s + 10 * period - device.now_s() + perturb_s
             device.idle(span)
             device.idle(9 * period)
-        batched, scalar, reference = engines
+        reference = engines["reference"]
         reference_events = reference.firmware_events()
         park_times = [
             event.time_s for event in reference_events if event.state is FirmwareState.IDLE
         ]
         assert park_times, "scenario must park"
-        for device in (batched, scalar):
+        for name, device in engines.items():
+            if name == "reference":
+                continue
             events = device.firmware_events()
             assert [
                 (event.time_s, event.state, event.frequency_ghz) for event in events
@@ -284,7 +367,7 @@ class TestExactBoundarySpans:
             ]
             assert device.now_s() == reference.now_s()
             assert device._next_control_s == reference._next_control_s
-        for device in engines:
+        for device in engines.values():
             device.stop_recording()
 
     def test_span_ending_on_boundary_steps_firmware_once(self):
@@ -292,9 +375,9 @@ class TestExactBoundarySpans:
         # boundary (next_control advances past it) in every engine, leaving
         # an empty control accumulator -- the audited invariant behind the
         # batched engine's chunk entry condition.
-        engines = three_engines(seed=4)
-        engines[0]._idle_batch_min_periods = 1.0
-        for device in engines:
+        engines = engine_matrix(seed=4)
+        engines["batched"]._idle_batch_min_periods = 1.0
+        for device in engines.values():
             device.execute_kernel(SHORT)
             span = device._next_control_s - device.now_s()
             device.idle(span)
@@ -309,11 +392,12 @@ class TestBackendEquivalence:
     """Full instrumented runs must agree record-for-record across engines."""
 
     @pytest.fixture(scope="class")
-    def record_pair(self):
-        def one(vectorized):
+    def record_matrix(self):
+        def one(engine):
             backend = SimulatedDeviceBackend(
-                spec=SPEC, seed=11, config=BackendConfig(vectorized=vectorized)
+                spec=SPEC, seed=11, config=BackendConfig(engine=engine)
             )
+            assert backend.device.engine == engine
             kernel = cb_gemm(1024)
             records = [
                 backend.run(kernel, executions=30, pre_delay_s=i * 0.7e-3, run_index=i)
@@ -330,18 +414,28 @@ class TestBackendEquivalence:
             )
             return records
 
-        return one(True), one(False)
+        engines = ["vectorized", "reference"]
+        if fastcore.available():
+            engines.insert(0, "compiled")
+        return {engine: one(engine) for engine in engines}
 
-    def test_execution_timings_identical(self, record_pair):
-        for fast, reference in zip(*record_pair):
+    @staticmethod
+    def pairs(record_matrix):
+        reference = record_matrix["reference"]
+        for engine, records in record_matrix.items():
+            if engine != "reference":
+                yield from zip(records, reference)
+
+    def test_execution_timings_identical(self, record_matrix):
+        for fast, reference in self.pairs(record_matrix):
             assert len(fast.executions) == len(reference.executions)
             for a, b in zip(fast.executions, reference.executions):
                 assert a == b
             for a, b in zip(fast.preceding_executions, reference.preceding_executions):
                 assert a == b
 
-    def test_readings_match(self, record_pair):
-        for fast, reference in zip(*record_pair):
+    def test_readings_match(self, record_matrix):
+        for fast, reference in self.pairs(record_matrix):
             assert len(fast.readings) == len(reference.readings)
             for a, b in zip(fast.readings, reference.readings):
                 assert a.gpu_timestamp_ticks == b.gpu_timestamp_ticks
@@ -352,8 +446,8 @@ class TestBackendEquivalence:
                         b.components[component], rel=POWER_RTOL
                     )
 
-    def test_anchor_and_metadata_identical(self, record_pair):
-        for fast, reference in zip(*record_pair):
+    def test_anchor_and_metadata_identical(self, record_matrix):
+        for fast, reference in self.pairs(record_matrix):
             assert fast.anchor == reference.anchor
             assert fast.pre_delay_s == reference.pre_delay_s
             assert fast.metadata["logger_start_cpu_s"] == reference.metadata["logger_start_cpu_s"]
@@ -362,6 +456,18 @@ class TestBackendEquivalence:
                 fast.metadata["run_variation_outlier"]
                 == reference.metadata["run_variation_outlier"]
             )
+
+    def test_compiled_readings_bitwise_equal_vectorized(self, record_matrix):
+        if "compiled" not in record_matrix:
+            pytest.skip("no compiled-kernel provider in this environment")
+        for compiled, vectorized in zip(
+            record_matrix["compiled"], record_matrix["vectorized"]
+        ):
+            assert list(compiled.executions) == list(vectorized.executions)
+            for a, b in zip(compiled.readings, vectorized.readings):
+                assert a.gpu_timestamp_ticks == b.gpu_timestamp_ticks
+                assert a.total_w == b.total_w
+                assert a.components == b.components
 
 
 class TestDescriptorProfileCache:
