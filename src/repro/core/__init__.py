@@ -39,7 +39,14 @@ from .profile import (
     profile_from_lois,
     profile_from_lois_reference,
 )
-from .profiler import FinGraVProfiler, FinGraVResult, ProfilerConfig, SlimFinGraVResult
+from .profiler import (
+    PROFILE_SECTIONS,
+    FinGraVProfiler,
+    FinGraVResult,
+    ProfilerConfig,
+    SlimFinGraVResult,
+    normalize_profile_sections,
+)
 from .records import (
     COMPONENT_KEYS,
     DelayCalibration,
@@ -110,6 +117,8 @@ __all__ = [
     "FinGraVResult",
     "SlimFinGraVResult",
     "ProfilerConfig",
+    "PROFILE_SECTIONS",
+    "normalize_profile_sections",
     "COMPONENT_KEYS",
     "DelayCalibration",
     "ExecutionColumns",

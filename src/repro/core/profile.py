@@ -27,7 +27,9 @@ insight layers consume.
 from __future__ import annotations
 
 import enum
+import zipfile
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -244,6 +246,233 @@ class ProfileColumns:
             masks,
         )
 
+    # ------------------------------------------------------------------ #
+    # Equality.
+    # ------------------------------------------------------------------ #
+    def equals(self, other: "ProfileColumns") -> bool:
+        """Structural equality, matching the per-point view's semantics.
+
+        Component order is irrelevant (point dictionaries compare unordered),
+        masked-out positions are ignored, and ``NaN`` at a *present* position
+        compares unequal -- exactly as materialised point tuples would.
+        """
+        if self is other:
+            return True
+        if len(self) != len(other):
+            return False
+        if not (
+            np.array_equal(self.time_s, other.time_s)
+            and np.array_equal(self.run_index, other.run_index)
+            and np.array_equal(self.execution_index, other.execution_index)
+        ):
+            return False
+        if set(self.powers_w) != set(other.powers_w):
+            return False
+        for name, values in self.powers_w.items():
+            theirs = other.powers_w[name]
+            mask = self.masks.get(name)
+            other_mask = other.masks.get(name)
+            if mask is None and other_mask is None:
+                if not np.array_equal(values, theirs):
+                    return False
+                continue
+            # Constructors drop all-true masks, so None-vs-array means the
+            # presence patterns genuinely differ.
+            if mask is None or other_mask is None or not np.array_equal(mask, other_mask):
+                return False
+            if not np.array_equal(values[mask], theirs[mask]):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # The canonical columnar payload: the one shape that crosses every
+    # process/disk boundary (pickle, the sweep cache's NPZ spill, viz export).
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> dict[str, np.ndarray]:
+        """Flatten the bundle to named arrays.
+
+        Keys: ``time_s`` / ``run_index`` / ``execution_index``, one
+        ``power_<component>_w`` array per component, a ``mask_<component>``
+        boolean array for each partially present component, and a
+        ``components`` string array pinning the component order (the PR 3-era
+        export lacked it; :meth:`from_payload` falls back to key order).
+        """
+        arrays: dict[str, np.ndarray] = {
+            "time_s": self.time_s,
+            "run_index": self.run_index,
+            "execution_index": self.execution_index,
+            "components": np.asarray(list(self.powers_w), dtype=np.str_),
+        }
+        for name, values in self.powers_w.items():
+            arrays[f"power_{name}_w"] = values
+        for name, mask in self.masks.items():
+            arrays[f"mask_{name}"] = mask
+        return arrays
+
+    @staticmethod
+    def from_payload(arrays: Mapping[str, np.ndarray]) -> "ProfileColumns":
+        """Rebuild a bundle from :meth:`to_payload` arrays, zero-copy.
+
+        Arrays that already carry the canonical dtype are adopted as-is --
+        memory-mapped inputs stay memory-mapped -- so deserialising a spilled
+        profile touches no payload bytes until a consumer reads them.
+        """
+        if "components" in arrays:
+            names = [str(name) for name in np.asarray(arrays["components"]).tolist()]
+        else:
+            # PR 3-era export files: component order is the file's key order.
+            names = [
+                key[len("power_"):-len("_w")]
+                for key in arrays
+                if key.startswith("power_") and key.endswith("_w")
+            ]
+        columns = ProfileColumns.__new__(ProfileColumns)
+        columns.time_s = _canonical_array(arrays["time_s"], np.dtype(float))
+        columns.run_index = _canonical_array(arrays["run_index"], np.dtype(np.int64))
+        columns.execution_index = _canonical_array(
+            arrays["execution_index"], np.dtype(np.int64)
+        )
+        columns.powers_w = {}
+        columns.masks = {}
+        for name in names:
+            values = _canonical_array(arrays[f"power_{name}_w"], np.dtype(float))
+            mask = arrays.get(f"mask_{name}")
+            if mask is not None:
+                mask = _canonical_array(mask, np.dtype(bool))
+                if not mask.any():
+                    continue
+                if mask.all():
+                    mask = None
+            columns.powers_w[name] = values
+            if mask is not None:
+                columns.masks[name] = mask
+        return columns
+
+    def to_npz(self, path: str | Path, compressed: bool = False) -> Path:
+        """Write the payload arrays to an ``.npz`` file (lossless, dtype-exact).
+
+        Uncompressed (the default) members can be memory-mapped back by
+        :meth:`from_npz`; compression trades that away for smaller files.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save = np.savez_compressed if compressed else np.savez
+        with path.open("wb") as handle:
+            save(handle, **self.to_payload())
+        return path
+
+    @staticmethod
+    def from_npz(path: str | Path, mmap_mode: str | None = None) -> "ProfileColumns":
+        """Read a bundle written by :meth:`to_npz` (bit-identical round trip).
+
+        ``mmap_mode="r"`` maps uncompressed members read-only straight out of
+        the archive instead of copying them into RAM (see
+        :func:`load_npz_payload`).
+        """
+        return ProfileColumns.from_payload(load_npz_payload(path, mmap_mode=mmap_mode))
+
+    # ------------------------------------------------------------------ #
+    # Pickle: columns serialise as their canonical payload arrays.
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict[str, object]:
+        return {
+            "time_s": self.time_s,
+            "run_index": self.run_index,
+            "execution_index": self.execution_index,
+            "powers_w": self.powers_w,
+            "masks": self.masks,
+        }
+
+    def __setstate__(self, state: Mapping[str, object]) -> None:
+        self.time_s = state["time_s"]
+        self.run_index = state["run_index"]
+        self.execution_index = state["execution_index"]
+        self.powers_w = dict(state["powers_w"])
+        self.masks = dict(state["masks"])
+
+
+def _canonical_array(array: object, dtype: np.dtype) -> np.ndarray:
+    """Adopt an array as-is when already canonical (keeps memmaps mapped)."""
+    if isinstance(array, np.ndarray) and array.dtype == dtype and array.ndim == 1:
+        return array
+    return np.asarray(array, dtype=dtype).reshape(-1)
+
+
+def load_npz_payload(path: str | Path, mmap_mode: str | None = None) -> dict[str, np.ndarray]:
+    """Load every member array of an ``.npz`` archive.
+
+    With ``mmap_mode="r"`` each uncompressed member is returned as a read-only
+    :class:`np.memmap` view directly into the archive file, so payload bytes
+    are paged in lazily on first access.  (``np.load(..., mmap_mode=...)``
+    silently ignores the flag for zip members and copies them into RAM; this
+    loader parses the member offsets itself.)  Compressed, zero-size, object-
+    dtype or otherwise irregular members fall back to a plain eager read.
+    """
+    path = Path(path)
+    if mmap_mode is None:
+        with np.load(path, allow_pickle=False) as bundle:
+            return {name: bundle[name] for name in bundle.files}
+    if mmap_mode != "r":
+        raise ValueError(f"unsupported mmap_mode {mmap_mode!r}; only 'r' is supported")
+    payload: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            payload[name] = _npz_member_array(path, archive, info)
+    return payload
+
+
+def _npz_member_array(
+    path: Path, archive: zipfile.ZipFile, info: zipfile.ZipInfo
+) -> np.ndarray:
+    """One ``.npz`` member: memory-mapped when possible, eagerly read otherwise."""
+    if info.compress_type == zipfile.ZIP_STORED:
+        mapped = _mapped_npz_member(path, info)
+        if mapped is not None:
+            return mapped
+    with archive.open(info) as handle:
+        return np.lib.format.read_array(handle, allow_pickle=False)
+
+
+def _mapped_npz_member(path: Path, info: zipfile.ZipInfo) -> np.ndarray | None:
+    """Read-only :class:`np.memmap` of one stored member, or None if unmappable.
+
+    The data offset inside the archive is the member's local-header offset
+    plus the 30-byte fixed local header, its name and extra fields (which can
+    differ from the central directory's), plus the ``.npy`` header itself.
+    """
+    try:
+        with path.open("rb") as handle:
+            handle.seek(info.header_offset)
+            local_header = handle.read(30)
+            if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+                return None
+            name_len = int.from_bytes(local_header[26:28], "little")
+            extra_len = int.from_bytes(local_header[28:30], "little")
+            handle.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+            else:
+                return None
+            offset = handle.tell()
+        if dtype.hasobject or not shape or any(extent == 0 for extent in shape):
+            return None  # np.memmap cannot map empty or object arrays
+        return np.memmap(
+            path,
+            dtype=dtype,
+            mode="r",
+            offset=offset,
+            shape=shape,
+            order="F" if fortran else "C",
+        )
+    except Exception:
+        return None
+
 
 class FineGrainProfile:
     """A stitched fine-grain power profile of one kernel.
@@ -311,15 +540,43 @@ class FineGrainProfile:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, FineGrainProfile):
             return NotImplemented
-        return (
+        if not (
             self.kernel_name == other.kernel_name
             and self.kind == other.kind
             and self.execution_time_s == other.execution_time_s
             and dict(self.metadata) == dict(other.metadata)
-            and self.points == other.points
-        )
+        ):
+            return False
+        if self._columns is not None and other._columns is not None:
+            # Both sides are columnar: compare the arrays directly instead of
+            # materialising (and caching) O(n) ProfilePoint objects.
+            return self._columns.equals(other._columns)
+        return self.points == other.points
 
     __hash__ = None  # mutable metadata mapping; profiles are not hashable
+
+    # ------------------------------------------------------------------ #
+    # Pickle: only the columns cross process/disk boundaries.  The point
+    # tuple -- even a materialised cache of it -- is a pure adapter view and
+    # is never serialised; point-built profiles are columnised on the way out.
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict[str, object]:
+        return {
+            "kernel_name": self.kernel_name,
+            "kind": self.kind,
+            "execution_time_s": self.execution_time_s,
+            "metadata": dict(self.metadata),
+            "columns": self.columns(),
+        }
+
+    def __setstate__(self, state: Mapping[str, object]) -> None:
+        self.kernel_name = state["kernel_name"]
+        self.kind = state["kind"]
+        self.execution_time_s = state["execution_time_s"]
+        self.metadata = dict(state["metadata"])
+        # Columns were sorted at construction time; re-freezing is enough.
+        self._columns = state["columns"].freeze()
+        self._points = None
 
     def __repr__(self) -> str:
         return (
@@ -667,6 +924,7 @@ __all__ = [
     "ProfilePoint",
     "ProfileColumns",
     "FineGrainProfile",
+    "load_npz_payload",
     "point_from_loi",
     "component_column",
     "columns_from_lois",

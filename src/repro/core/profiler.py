@@ -97,9 +97,38 @@ class ProfilerConfig:
     #: shrinks worker-IPC and cache payloads for consumers that never
     #: re-stitch the runs.
     result_mode: str = "full"
+    #: Which profile sections a slim result retains, declared by the consumer
+    #: (the experiment drivers): any subset of ``("ssp", "sse", "run")``, or
+    #: ``None`` for all three.  The summary snapshot is captured regardless,
+    #: so summary-only consumers can declare ``()``.  When ``"run"`` is
+    #: excluded the whole-run profile is never even stitched.  Ignored with
+    #: ``result_mode="full"`` (e.g. when ``FINGRAV_RESULT_MODE=full``
+    #: overrides a driver's default at job-construction time).
+    profile_sections: tuple[str, ...] | None = None
 
     def with_overrides(self, **kwargs: object) -> "ProfilerConfig":
         return replace(self, **kwargs)
+
+
+#: The three profile sections a result can carry, in canonical order.
+PROFILE_SECTIONS: tuple[str, ...] = ("ssp", "sse", "run")
+
+
+def normalize_profile_sections(sections: Sequence[str] | None) -> tuple[str, ...]:
+    """Validate and canonicalise a profile-section declaration.
+
+    ``None`` means every section; anything else is deduplicated and reordered
+    to :data:`PROFILE_SECTIONS` order.  Unknown names raise ``ValueError``.
+    """
+    if sections is None:
+        return PROFILE_SECTIONS
+    requested = {str(section) for section in sections}
+    unknown = requested - set(PROFILE_SECTIONS)
+    if unknown:
+        raise ValueError(
+            f"unknown profile sections {sorted(unknown)}; pick from {PROFILE_SECTIONS}"
+        )
+    return tuple(name for name in PROFILE_SECTIONS if name in requested)
 
 
 @dataclass(frozen=True)
@@ -115,7 +144,10 @@ class FinGraVResult:
     binning: BinningResult | None
     ssp_profile: FineGrainProfile
     sse_profile: FineGrainProfile
-    run_profile: FineGrainProfile
+    #: ``None`` only transiently, inside the profiler, when a slim section
+    #: subset excludes ``"run"`` (the result is projected before it escapes);
+    #: a full result handed to callers always carries it.
+    run_profile: FineGrainProfile | None
     config: ProfilerConfig
     metadata: Mapping[str, object] = field(default_factory=dict)
 
@@ -158,16 +190,24 @@ class FinGraVResult:
         """Compact summary used by reports and the experiment drivers."""
         return _result_summary(self)
 
-    def slim(self) -> "SlimFinGraVResult":
+    def slim(self, sections: Sequence[str] | None = None) -> "SlimFinGraVResult":
         """Project this result to its slim form (no raw run records).
 
-        The profiles are carried over as-is (bit-identical), along with the
-        summary and golden-run metadata every non-re-stitching consumer
-        reads; only the raw ``runs`` tuple and the binning detail are
-        dropped.  Use it to cut serialisation cost wherever the consumer
-        never re-stitches the raw runs (worker IPC, the sweep's on-disk
-        cache).
+        ``sections`` declares which profiles to retain (any subset of
+        :data:`PROFILE_SECTIONS`; ``None`` keeps all three).  Retained
+        profiles are carried over as-is (bit-identical); the summary is
+        snapshotted at projection time, so it -- including the SSE-vs-SSP
+        error -- stays available for any subset, even ``()``.  Use it to cut
+        serialisation cost wherever the consumer never re-stitches the raw
+        runs (worker IPC, the sweep's on-disk cache).
         """
+        sections = normalize_profile_sections(sections)
+        profiles: dict[str, FineGrainProfile] = {}
+        for name in sections:
+            profile = getattr(self, f"{name}_profile")
+            if profile is None:
+                raise ValueError(f"cannot retain section {name!r}: it was never built")
+            profiles[name] = profile
         return SlimFinGraVResult(
             kernel_name=self.kernel_name,
             execution_time_s=self.execution_time_s,
@@ -177,9 +217,10 @@ class FinGraVResult:
             num_runs=self.num_runs,
             golden_run_indices=self.golden_run_indices,
             executions_per_run=self.executions_per_run,
-            ssp_profile=self.ssp_profile,
-            sse_profile=self.sse_profile,
-            run_profile=self.run_profile,
+            ssp_loi_count=self.ssp_loi_count,
+            sections=sections,
+            profiles=profiles,
+            summary_data=_result_summary(self),
             config=self.config,
             metadata=dict(self.metadata),
         )
@@ -190,11 +231,14 @@ class SlimFinGraVResult:
     """A :class:`FinGraVResult` without the raw run records.
 
     Everything a consumer needs *unless* it re-stitches the raw runs: the
-    three profiles (the same objects the full result holds -- bit-identical),
-    the plan/guidance/calibration, and the run bookkeeping (total run count,
-    golden-run indices, executions per run) that the full result derives from
-    ``runs``/``binning``.  Accessing ``runs`` or ``binning`` raises with a
-    pointer at ``result_mode="full"``.
+    retained profile ``sections`` (the same objects the full result holds --
+    bit-identical), the summary snapshot captured at projection time, the
+    plan/guidance/calibration, and the run bookkeeping (total run count,
+    golden-run indices, executions per run, SSP LOI count) that the full
+    result derives from ``runs``/``binning``.  Accessing ``runs`` or
+    ``binning`` raises with a pointer at ``result_mode="full"``; accessing a
+    profile section that was not declared raises with a pointer at
+    ``ProfilerConfig(profile_sections=...)``.
     """
 
     kernel_name: str
@@ -205,9 +249,14 @@ class SlimFinGraVResult:
     num_runs: int
     golden_run_indices: tuple[int, ...]
     executions_per_run: int
-    ssp_profile: FineGrainProfile
-    sse_profile: FineGrainProfile
-    run_profile: FineGrainProfile
+    ssp_loi_count: int
+    #: Which profile sections this result retains (canonical order).
+    sections: tuple[str, ...]
+    #: The retained profiles, keyed by section name.
+    profiles: Mapping[str, FineGrainProfile]
+    #: Summary snapshot captured at projection time; keeps ``summary()`` and
+    #: the total-power SSE-vs-SSP error available for any section subset.
+    summary_data: Mapping[str, object]
     config: ProfilerConfig
     metadata: Mapping[str, object] = field(default_factory=dict)
 
@@ -217,12 +266,30 @@ class SlimFinGraVResult:
         return len(self.golden_run_indices)
 
     @property
-    def ssp_loi_count(self) -> int:
-        return len(self.ssp_profile)
-
-    @property
     def is_slim(self) -> bool:
         return True
+
+    def _section(self, name: str) -> FineGrainProfile:
+        try:
+            return self.profiles[name]
+        except KeyError:
+            raise AttributeError(
+                f"slim result retains profile sections {self.sections!r}, not "
+                f"{name!r}; declare it via ProfilerConfig(profile_sections=...) "
+                "or profile with result_mode='full'"
+            ) from None
+
+    @property
+    def ssp_profile(self) -> FineGrainProfile:
+        return self._section("ssp")
+
+    @property
+    def sse_profile(self) -> FineGrainProfile:
+        return self._section("sse")
+
+    @property
+    def run_profile(self) -> FineGrainProfile:
+        return self._section("run")
 
     @property
     def runs(self) -> tuple[RunRecord, ...]:
@@ -239,17 +306,46 @@ class SlimFinGraVResult:
         )
 
     def sse_vs_ssp_error(self, component: str = "total") -> float:
-        """Relative measurement error of reporting SSE instead of SSP power."""
-        if self.sse_profile.is_empty or self.ssp_profile.is_empty:
-            raise ValueError("both SSE and SSP profiles are needed for the error")
-        return measurement_error(self.sse_profile, self.ssp_profile, component)
+        """Relative measurement error of reporting SSE instead of SSP power.
+
+        Computed live when both profiles are retained; otherwise answered
+        from the summary snapshot (total power only).  Raises ``ValueError``
+        -- never ``AttributeError`` -- when the error is unavailable, so
+        consumers that tolerate missing errors keep working on any subset.
+        """
+        ssp = self.profiles.get("ssp")
+        sse = self.profiles.get("sse")
+        if ssp is not None and sse is not None:
+            if sse.is_empty or ssp.is_empty:
+                raise ValueError("both SSE and SSP profiles are needed for the error")
+            return measurement_error(sse, ssp, component)
+        if component == "total" and "sse_vs_ssp_error" in self.summary_data:
+            return float(self.summary_data["sse_vs_ssp_error"])
+        raise ValueError(
+            f"sections {self.sections!r} retain no SSE/SSP profiles and the "
+            f"summary snapshot carries no {component!r} error"
+        )
 
     def summary(self) -> dict[str, object]:
-        """Compact summary -- identical to the full result's."""
-        return _result_summary(self)
+        """Compact summary -- the snapshot captured at projection time."""
+        return dict(self.summary_data)
 
-    def slim(self) -> "SlimFinGraVResult":
-        return self
+    def slim(self, sections: Sequence[str] | None = None) -> "SlimFinGraVResult":
+        """This result, optionally narrowed to fewer sections."""
+        if sections is None:
+            return self
+        sections = normalize_profile_sections(sections)
+        missing = [name for name in sections if name not in self.profiles]
+        if missing:
+            raise ValueError(
+                f"cannot narrow to sections {sections!r}: {missing} were already "
+                f"dropped (retained: {self.sections!r})"
+            )
+        return replace(
+            self,
+            sections=sections,
+            profiles={name: self.profiles[name] for name in sections},
+        )
 
 
 def _result_summary(result: "FinGraVResult | SlimFinGraVResult") -> dict[str, object]:
@@ -290,6 +386,9 @@ class FinGraVProfiler:
                 f"unknown result_mode {self._config.result_mode!r}; "
                 "pick 'full' or 'slim'"
             )
+        # Fail fast on typos in the section declaration, even though the
+        # declaration only takes effect in slim mode.
+        normalize_profile_sections(self._config.profile_sections)
         self._guidance = guidance or paper_guidance_table()
         self._rng = np.random.default_rng(self._config.seed)
 
@@ -463,17 +562,28 @@ class FinGraVProfiler:
                 # Legacy behaviour: re-extract the entire record list.
                 series = stitcher.collect(records)
 
-        # Step 9: stitch the profiles.
+        # Step 9: stitch the profiles.  SSP and SSE are always built (the
+        # summary snapshot needs their means and the SSE-vs-SSP error); the
+        # whole-run profile -- typically the bulk of a payload -- is only
+        # stitched when the result actually carries it: full mode, or a slim
+        # section declaration that includes "run".
         base_metadata = dict(metadata or {})
         base_metadata.setdefault("preceding", [self._describe_preceding(p) for p in preceding])
-        ssp_profile = stitcher.ssp_profile(
-            series, golden_indices, min_execution_index=self._ssp_start_index(plan),
+        sections = PROFILE_SECTIONS
+        if config.result_mode == "slim":
+            sections = normalize_profile_sections(config.profile_sections)
+        build = tuple(
+            name for name in PROFILE_SECTIONS
+            if name in ("ssp", "sse") or name in sections
+        )
+        built = stitcher.section_profiles(
+            series,
+            build,
+            golden_runs=golden_indices,
+            sse_index=plan.sse_index,
+            min_execution_index=self._ssp_start_index(plan),
             metadata=base_metadata,
         )
-        sse_profile = stitcher.sse_profile(
-            series, plan.sse_index, golden_indices, metadata=base_metadata
-        )
-        run_profile = stitcher.run_profile(series, golden_indices, metadata=base_metadata)
 
         result = FinGraVResult(
             kernel_name=self._backend.kernel_name(kernel),
@@ -483,14 +593,14 @@ class FinGraVProfiler:
             calibration=calibration,
             runs=tuple(records),
             binning=binning,
-            ssp_profile=ssp_profile,
-            sse_profile=sse_profile,
-            run_profile=run_profile,
+            ssp_profile=built["ssp"],
+            sse_profile=built["sse"],
+            run_profile=built.get("run"),
             config=config,
             metadata=base_metadata,
         )
         if config.result_mode == "slim":
-            return result.slim()
+            return result.slim(sections)
         return result
 
     # ------------------------------------------------------------------ #
@@ -539,4 +649,11 @@ class FinGraVProfiler:
         return f"{self._backend.kernel_name(kernel)} x{executions}"
 
 
-__all__ = ["ProfilerConfig", "FinGraVResult", "SlimFinGraVResult", "FinGraVProfiler"]
+__all__ = [
+    "ProfilerConfig",
+    "PROFILE_SECTIONS",
+    "normalize_profile_sections",
+    "FinGraVResult",
+    "SlimFinGraVResult",
+    "FinGraVProfiler",
+]

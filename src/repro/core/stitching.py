@@ -461,6 +461,46 @@ class ProfileStitcher:
             metadata=dict(metadata or {}),
         )
 
+    def section_profiles(
+        self,
+        series: StitchedRunSeries,
+        sections: Sequence[str],
+        *,
+        golden_runs: Sequence[int] | None = None,
+        sse_index: int = 0,
+        min_execution_index: int | None = None,
+        metadata: Mapping[str, object] | None = None,
+    ) -> dict[str, FineGrainProfile]:
+        """Build only the requested profile sections in one call.
+
+        ``sections`` is any subset of ``("ssp", "sse", "run")``; the profiler
+        uses this to skip stitching the whole-run profile entirely when a
+        driver-declared subset excludes it (the run profile is the bulk of a
+        long kernel's payload and the costliest section to assemble).
+        """
+        profiles: dict[str, FineGrainProfile] = {}
+        for section in sections:
+            if section == "ssp":
+                profiles[section] = self.ssp_profile(
+                    series,
+                    golden_runs,
+                    min_execution_index=min_execution_index,
+                    metadata=metadata,
+                )
+            elif section == "sse":
+                profiles[section] = self.sse_profile(
+                    series, sse_index, golden_runs, metadata=metadata
+                )
+            elif section == "run":
+                profiles[section] = self.run_profile(
+                    series, golden_runs, metadata=metadata
+                )
+            else:
+                raise ValueError(
+                    f"unknown profile section {section!r}; pick from ('ssp', 'sse', 'run')"
+                )
+        return profiles
+
     def _run_columns(
         self,
         run: RunRecord,

@@ -66,7 +66,8 @@ def sampler_ablation_jobs(
     scale = scale or default_scale()
     runs = runs or scale.gemm_runs
     spec = kernel_spec("cb_gemm", 2048)
-    # The ablation compares SSE-vs-SSP errors (profiles only): ship slim.
+    # The ablation compares SSE-vs-SSP errors, answered by the summary
+    # snapshot: ship slim with no profile sections at all.
     result_mode = configured_result_mode()
     return [
         ProfileJob(
@@ -75,6 +76,7 @@ def sampler_ablation_jobs(
             backend_seed=seed, profiler_seed=seed + 100,
             sampler="averaging",
             result_mode=result_mode,
+            profile_sections=(),
         ),
         ProfileJob(
             job_id="ablations/sampler/instantaneous",
@@ -82,6 +84,7 @@ def sampler_ablation_jobs(
             backend_seed=seed + 1, profiler_seed=seed + 101,
             sampler="instantaneous",
             result_mode=result_mode,
+            profile_sections=(),
         ),
     ]
 

@@ -125,13 +125,16 @@ def make_profiler(
     differentiate: bool = True,
     max_additional_runs: int = 200,
     result_mode: str = "full",
+    profile_sections: tuple[str, ...] | None = None,
 ) -> FinGraVProfiler:
     """A FinGraV profiler with the standard configuration.
 
     ``result_mode="slim"`` makes ``profile()`` return the slim result
     projection (bit-identical profiles, no raw runs) -- what the sweep engine
     ships through worker IPC and its on-disk cache for drivers that never
-    re-stitch the raw runs.
+    re-stitch the raw runs.  ``profile_sections`` narrows a slim result to
+    the profile sections the driver actually consumes (summary-only drivers
+    declare ``()``); it is ignored in full mode.
     """
     config = ProfilerConfig(
         seed=seed,
@@ -140,6 +143,7 @@ def make_profiler(
         differentiate=differentiate,
         max_additional_runs=max_additional_runs,
         result_mode=result_mode,
+        profile_sections=profile_sections,
     )
     return FinGraVProfiler(backend, config)
 

@@ -96,7 +96,9 @@ def fig10_jobs(
     collective_runs = collective_runs or scale.collective_runs
     gemm_runs = gemm_runs or scale.gemm_runs
     jobs: list[ProfileJob] = []
-    # Assembly only reads profiles/summaries, never the raw runs: ship slim.
+    # Assembly reads the SSP component summaries (the SSE-vs-SSP error comes
+    # from the summary snapshot), never the raw runs or the other profiles:
+    # ship slim, SSP-only.
     result_mode = configured_result_mode()
     for offset, kernel in enumerate(collective_suite()):
         jobs.append(
@@ -107,6 +109,7 @@ def fig10_jobs(
                 backend_seed=seed + offset,
                 profiler_seed=seed + 100 + offset,
                 result_mode=result_mode,
+                profile_sections=("ssp",),
             )
         )
     gemm = cb_gemm(8192)
@@ -118,6 +121,7 @@ def fig10_jobs(
             backend_seed=seed + len(jobs),
             profiler_seed=seed + 100 + len(jobs),
             result_mode=result_mode,
+            profile_sections=("ssp",),
         )
     )
     return jobs

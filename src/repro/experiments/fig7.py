@@ -106,7 +106,9 @@ def fig7_jobs(
     gemv_runs = gemv_runs or scale.gemv_runs
     jobs: list[ProfileJob] = []
     offset = 0
-    # Assembly only reads profiles/summaries, never the raw runs: ship slim.
+    # Assembly only reads the SSP/SSE profiles (component comparison + error
+    # summary) and scalar summaries, never the raw runs or the whole-run
+    # profile: ship slim, run profile dropped (and never stitched).
     result_mode = configured_result_mode()
     for key, runs in (("cb_gemm", gemm_runs), ("mb_gemv", gemv_runs)):
         for size in GEMM_SIZES:
@@ -119,6 +121,7 @@ def fig7_jobs(
                     backend_seed=seed + offset,
                     profiler_seed=seed + 100 + offset,
                     result_mode=result_mode,
+                    profile_sections=("ssp", "sse"),
                 )
             )
             offset += 1

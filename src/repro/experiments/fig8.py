@@ -80,8 +80,10 @@ def fig8_jobs(
             runs=runs or scale.gemm_runs,
             backend_seed=seed,
             profiler_seed=seed + 100,
-            # Assembly reads the profiles only: ship the slim result.
+            # Assembly bins the whole-run profile and reads the SSE/SSP means
+            # and error from the summary snapshot: ship slim, run-only.
             result_mode=configured_result_mode(),
+            profile_sections=("run",),
         )
     ]
 
@@ -95,14 +97,17 @@ def fig8_from_results(
     """Assemble the Figure-8 result from the executed sweep job."""
     del scale, seed
     result: FinGraVResult = results["fig8/CB-2K-GEMM"]
+    # The SSE/SSP means and error come from the summary snapshot so a slim
+    # run-only result (no SSP/SSE profiles shipped) assembles identically.
+    summary = result.summary()
     return Fig8Result(
         kernel_name=result.kernel_name,
         result=result,
         total_series=_binned_series(result, "total", bins),
         xcd_series=_binned_series(result, "xcd", bins),
-        sse_power_w=result.sse_profile.mean_power_w("total"),
-        ssp_power_w=result.ssp_profile.mean_power_w("total"),
-        sse_vs_ssp_error=result.sse_vs_ssp_error(),
+        sse_power_w=float(summary["sse_mean_total_w"]),
+        ssp_power_w=float(summary["ssp_mean_total_w"]),
+        sse_vs_ssp_error=float(summary["sse_vs_ssp_error"]),
         ssp_executions=result.plan.ssp_executions,
     )
 

@@ -120,8 +120,9 @@ def fig9_jobs(
     scale = scale or default_scale()
     runs = runs or scale.interleaved_runs
     jobs: list[ProfileJob] = []
-    # Assembly reads only the isolated SSP profiles: ship slim results (the
-    # interleaved scenario jobs return a bare FineGrainProfile regardless).
+    # Assembly reads only the isolated SSP profiles: ship slim, SSP-only
+    # results (the interleaved scenario jobs return a bare FineGrainProfile
+    # regardless).
     result_mode = configured_result_mode()
     for offset, (name, spec) in enumerate(_isolated_kernels()):
         kernel_runs = isolated_runs
@@ -135,6 +136,7 @@ def fig9_jobs(
                 backend_seed=seed + offset,
                 profiler_seed=seed + 100 + offset,
                 result_mode=result_mode,
+                profile_sections=("ssp",),
             )
         )
     for offset, (label, spec, preceding) in enumerate(_SCENARIOS):

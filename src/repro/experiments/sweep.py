@@ -16,8 +16,21 @@ driver whose ``*_from_results`` assembly never re-stitches the raw runs
 registers its jobs with ``result_mode="slim"``: the worker then ships a
 :class:`~repro.core.profiler.SlimFinGraVResult` -- bit-identical profiles
 plus the summary/golden-run metadata -- through IPC and the on-disk cache,
-cutting the pickled payload several-fold.  Drivers that *do* re-stitch
+cutting the pickled payload several-fold.  Slim jobs additionally declare
+``profile_sections``: the subset of ``("ssp", "sse", "run")`` profiles the
+driver's assembly actually reads (summary-only drivers such as table1
+declare ``()``), so undeclared sections are never shipped -- and the
+whole-run profile, the bulk of a long kernel's payload, is never even
+stitched when no driver asks for it.  Drivers that *do* re-stitch
 (Figure 5, the binning-margin ablation) pin ``result_mode="full"``.
+
+On-disk cache entries are pickles in which every large
+:class:`~repro.core.profile.ProfileColumns` (``>= spill_points`` LOIs) is
+spilled to a sidecar ``<key>.npz`` next to the entry; loading replays the
+pickle and maps the sidecar's arrays back in with ``mmap_mode="r"``, so a
+cache hit touches only the pages it actually reads.  Cache entries are
+keyed by :data:`_CACHE_SCHEMA` -- entries written by earlier schemas are
+simply never looked up again and recompute cleanly.
 
 A failing job no longer aborts the sweep: every pending job still runs, the
 finished ones are cached and attached to the raised :class:`SweepJobError`
@@ -52,18 +65,30 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
+from ..core.profile import ProfileColumns, load_npz_payload
 from ..kernels.gemm import square_gemm
 from ..kernels.workloads import cb_gemm, collective_suite, mb_gemv
 from .common import ExperimentScale, default_scale, make_backend, make_profiler, scale_by_name
 
 #: Bump when job execution semantics change, to invalidate on-disk caches.
-_CACHE_SCHEMA = 2
+#: Schema 3: columnar cache entries (profile columns spilled to a sidecar
+#: ``.npz``) and section-aware jobs; schema-2 entries recompute cleanly.
+_CACHE_SCHEMA = 3
 
 #: Staging files older than this are considered orphaned by a dead writer.
 _STALE_STAGING_S = 3600.0
 
 #: Distinguishes staging files written concurrently by one process.
 _STAGING_COUNTER = itertools.count()
+
+#: Profiles with at least this many LOIs leave the cache pickle for the
+#: sidecar ``.npz`` (overridable per runner and via ``FINGRAV_SPILL_POINTS``).
+_SPILL_POINTS_DEFAULT = 4096
+
+#: Persistent-id tag marking a spilled ProfileColumns inside a cache pickle.
+_SPILL_TAG = "fingrav-columns"
 
 
 # --------------------------------------------------------------------------- #
@@ -133,6 +158,10 @@ class ProfileJob:
     #: "full" ships the complete FinGraVResult; "slim" ships the raw-run-free
     #: projection (see the module docstring).  Part of the cache key.
     result_mode: str = "full"
+    #: Profile sections a slim result retains -- the subset of
+    #: ``("ssp", "sse", "run")`` the driver's assembly reads; ``None`` keeps
+    #: all three.  Ignored in full mode.  Part of the cache key.
+    profile_sections: tuple[str, ...] | None = None
 
 
 def configured_result_mode(default: str = "slim") -> str:
@@ -159,6 +188,7 @@ def execute_job(job: ProfileJob) -> object:
         # Interleaved jobs return a bare profile; the study's own isolated
         # profiling stays full regardless of the job's shipping mode.
         result_mode=job.result_mode if job.interleave_seed is None else "full",
+        profile_sections=job.profile_sections,
     )
     if job.interleave_seed is None:
         return profiler.profile(kernel, runs=job.runs)
@@ -181,6 +211,82 @@ def job_key(job: ProfileJob) -> str:
         f"{_CACHE_SCHEMA}:{sorted(payload.items())!r}".encode()
     ).hexdigest()
     return digest
+
+
+# --------------------------------------------------------------------------- #
+# Columnar cache codec: large ProfileColumns spill to a sidecar .npz.
+# --------------------------------------------------------------------------- #
+class _ColumnSpillPickler(pickle.Pickler):
+    """Pickles a cache entry, diverting large :class:`ProfileColumns`.
+
+    Every ``ProfileColumns`` holding at least ``spill_points`` LOIs is
+    replaced by a persistent id and collected on :attr:`spilled`; the caller
+    writes those columns' arrays to the sidecar ``.npz``.  Shared column
+    objects (one profile referenced from several places) spill once.
+    """
+
+    def __init__(self, handle, spill_points: int) -> None:
+        super().__init__(handle, protocol=pickle.HIGHEST_PROTOCOL)
+        self._spill_points = spill_points
+        self._indices: dict[int, int] = {}
+        self.spilled: list[ProfileColumns] = []
+
+    def persistent_id(self, obj: object) -> tuple[str, int] | None:
+        if not isinstance(obj, ProfileColumns) or len(obj) < self._spill_points:
+            return None
+        index = self._indices.get(id(obj))
+        if index is None:
+            index = len(self.spilled)
+            self._indices[id(obj)] = index
+            self.spilled.append(obj)
+        return (_SPILL_TAG, index)
+
+
+class _ColumnSpillUnpickler(pickle.Unpickler):
+    """Loads a cache entry, mapping spilled columns back from the sidecar.
+
+    The sidecar is opened lazily (entries without spilled columns never touch
+    it) with ``mmap_mode="r"``, so the replayed profile's arrays are memory
+    maps: a cache hit faults in only the pages a consumer actually reads.
+    """
+
+    def __init__(self, handle, sidecar: Path) -> None:
+        super().__init__(handle)
+        self._sidecar = sidecar
+        self._payloads: dict[int, dict[str, np.ndarray]] | None = None
+        self._loaded: dict[int, ProfileColumns] = {}
+
+    def persistent_load(self, pid: object) -> ProfileColumns:
+        if not (isinstance(pid, tuple) and len(pid) == 2 and pid[0] == _SPILL_TAG):
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        index = int(pid[1])
+        columns = self._loaded.get(index)
+        if columns is None:
+            if self._payloads is None:
+                members = load_npz_payload(self._sidecar, mmap_mode="r")
+                self._payloads = {}
+                for name, array in members.items():
+                    prefix, _, key = name.partition("/")
+                    self._payloads.setdefault(int(prefix), {})[key] = array
+            columns = ProfileColumns.from_payload(self._payloads[index])
+            self._loaded[index] = columns
+        return columns
+
+
+def _write_entry(result: object, handle, spill_points: int) -> list[ProfileColumns]:
+    """Pickle ``result`` into ``handle``; return the columns that spilled."""
+    pickler = _ColumnSpillPickler(handle, spill_points)
+    pickler.dump(result)
+    return pickler.spilled
+
+
+def _write_sidecar(spilled: Sequence[ProfileColumns], handle) -> None:
+    """Write the spilled columns' arrays as ``{index}/{key}`` npz members."""
+    members: dict[str, np.ndarray] = {}
+    for index, columns in enumerate(spilled):
+        for key, array in columns.to_payload().items():
+            members[f"{index}/{key}"] = array
+    np.savez(handle, **members)
 
 
 def _execute_job_guarded(job: ProfileJob) -> tuple[object, str | None]:
@@ -230,12 +336,29 @@ class SweepRunner:
     pending jobs out over a :class:`ProcessPoolExecutor`.  Because jobs are
     independent and internally seeded, results are identical for any worker
     count; a determinism test pins this.  When ``cache_dir`` is set, finished
-    jobs are pickled under their content key and replayed on later sweeps.
+    jobs are stored under their content key and replayed on later sweeps:
+    each entry is a pickle whose large profile columns (``>= spill_points``
+    LOIs) live in a sidecar ``<key>.npz`` and are mapped back lazily with
+    ``mmap_mode="r"`` on load.  ``spill_points`` defaults to
+    ``FINGRAV_SPILL_POINTS`` or :data:`_SPILL_POINTS_DEFAULT`.
     """
 
-    def __init__(self, workers: int = 1, cache_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
+        spill_points: int | None = None,
+    ) -> None:
         self.workers = max(int(workers), 1)
         self.cache_dir = Path(cache_dir) if cache_dir else None
+        if spill_points is None:
+            try:
+                spill_points = int(
+                    os.environ.get("FINGRAV_SPILL_POINTS", "") or _SPILL_POINTS_DEFAULT
+                )
+            except ValueError:
+                spill_points = _SPILL_POINTS_DEFAULT
+        self.spill_points = max(int(spill_points), 1)
         self.cache_hits = 0
 
     # ------------------------------------------------------------------ #
@@ -300,35 +423,43 @@ class SweepRunner:
             return None
         try:
             with path.open("rb") as handle:
-                return pickle.load(handle)
+                return _ColumnSpillUnpickler(handle, path.with_suffix(".npz")).load()
         except Exception:
-            return None  # corrupt entry: fall through to recompute
+            return None  # corrupt entry or sidecar: fall through to recompute
 
     def _cache_store(self, job: ProfileJob, result: object) -> None:
         path = self._cache_path(job)
         if path is None:
             return
-        # The staging name is unique per writer (pid + in-process counter):
+        # The staging names are unique per writer (pid + in-process counter):
         # two sweeps sharing FINGRAV_PROFILE_CACHE previously staged to the
         # same `<key>.tmp` and could interleave writes, atomically renaming a
-        # corrupt mix of both into place.
-        staging = path.with_name(
-            f"{path.name}.{os.getpid()}-{next(_STAGING_COUNTER)}.tmp"
-        )
+        # corrupt mix of both into place.  The sidecar shares the suffix and
+        # is renamed into place *before* the pickle, so a reader that sees
+        # the new pickle always finds a sidecar at least as new.
+        sidecar = path.with_suffix(".npz")
+        suffix = f".{os.getpid()}-{next(_STAGING_COUNTER)}.tmp"
+        staging = path.with_name(path.name + suffix)
+        sidecar_staging = sidecar.with_name(sidecar.name + suffix)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             with staging.open("wb") as handle:
-                pickle.dump(result, handle)
+                spilled = _write_entry(result, handle, self.spill_points)
+            if spilled:
+                with sidecar_staging.open("wb") as handle:
+                    _write_sidecar(spilled, handle)
+                sidecar_staging.replace(sidecar)
             staging.replace(path)
         except Exception:
             pass  # the cache is an optimisation; never fail a sweep over it
         finally:
             # A failed write (or a replace that raced a directory removal)
-            # must not leave its staging file behind.
-            try:
-                staging.unlink(missing_ok=True)
-            except OSError:
-                pass
+            # must not leave its staging files behind.
+            for stray in (staging, sidecar_staging):
+                try:
+                    stray.unlink(missing_ok=True)
+                except OSError:
+                    pass
 
     def _sweep_stale_staging(self) -> None:
         """Remove staging strays orphaned by crashed/killed writers.
@@ -340,12 +471,13 @@ class SweepRunner:
         if self.cache_dir is None or not self.cache_dir.is_dir():
             return
         cutoff = time.time() - _STALE_STAGING_S
-        for stray in self.cache_dir.glob("*.pkl.*.tmp"):
-            try:
-                if stray.stat().st_mtime < cutoff:
-                    stray.unlink(missing_ok=True)
-            except OSError:
-                continue
+        for pattern in ("*.pkl.*.tmp", "*.npz.*.tmp"):
+            for stray in self.cache_dir.glob(pattern):
+                try:
+                    if stray.stat().st_mtime < cutoff:
+                        stray.unlink(missing_ok=True)
+                except OSError:
+                    continue
 
 
 def default_runner() -> SweepRunner:

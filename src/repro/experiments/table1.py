@@ -154,7 +154,8 @@ def table1_jobs(
 ) -> list[ProfileJob]:
     """One profile job per guidance range's representative kernel."""
     scale = scale or default_scale()
-    # The measurements read counts and profiles only: ship slim results.
+    # The measurements read scalar bookkeeping only (run counts, LOI counts,
+    # the plan): ship slim results retaining *no* profile sections at all.
     result_mode = configured_result_mode()
     return [
         ProfileJob(
@@ -164,6 +165,7 @@ def table1_jobs(
             backend_seed=seed + offset,
             profiler_seed=seed + 100 + offset,
             result_mode=result_mode,
+            profile_sections=(),
         )
         for offset, (tag, spec) in enumerate(_REPRESENTATIVES)
     ]

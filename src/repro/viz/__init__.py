@@ -2,6 +2,7 @@
 
 from .ascii import render_bar_chart, render_profile, render_series
 from .export import (
+    profile_from_npz,
     profile_to_csv,
     profile_to_json,
     profile_to_npz,
@@ -16,6 +17,7 @@ __all__ = [
     "profile_to_csv",
     "profile_to_json",
     "profile_to_npz",
+    "profile_from_npz",
     "rows_to_csv",
     "rows_to_json",
 ]

@@ -14,7 +14,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..core.profile import FineGrainProfile
+from ..core.profile import FineGrainProfile, ProfileColumns, ProfileKind, load_npz_payload
 
 
 def rows_to_csv(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
@@ -71,35 +71,63 @@ def profile_to_csv(profile: FineGrainProfile, path: str | Path) -> Path:
     return path
 
 
-def profile_to_npz(profile: FineGrainProfile, path: str | Path) -> Path:
-    """Write a profile's column arrays to a compressed ``.npz`` bundle.
+#: Scalar npz members carried next to the column arrays by the profile export.
+_PROFILE_SCALARS = ("kernel", "kind", "execution_time_s")
 
-    The lossless array-native export: ``time_s`` / ``run_index`` /
-    ``execution_index`` plus one ``power_<component>_w`` array (and, for
-    partially present components, a ``mask_<component>`` boolean array).
+
+def profile_to_npz(
+    profile: FineGrainProfile, path: str | Path, compressed: bool = True
+) -> Path:
+    """Write a profile's column arrays to an ``.npz`` bundle.
+
+    The lossless array-native export, sharing the canonical
+    :meth:`ProfileColumns.to_payload` layout (``time_s`` / ``run_index`` /
+    ``execution_index`` / ``components`` plus one ``power_<component>_w``
+    array and, for partially present components, a ``mask_<component>``
+    boolean array) with three scalar members for the profile identity.
+    ``compressed=False`` writes a stored (uncompressed) archive whose arrays
+    :func:`profile_from_npz` can memory-map.
     """
     if profile.is_empty:
         raise ValueError(f"profile of {profile.kernel_name} is empty")
-    cols = profile.columns()
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    arrays: dict[str, np.ndarray] = {
-        "time_s": cols.time_s,
-        "run_index": cols.run_index,
-        "execution_index": cols.execution_index,
-    }
-    for name, values in cols.powers_w.items():
-        arrays[f"power_{name}_w"] = values
-    for name, mask in cols.masks.items():
-        arrays[f"mask_{name}"] = mask
-    np.savez_compressed(
-        path,
-        kernel=np.asarray(profile.kernel_name),
-        kind=np.asarray(profile.kind.value),
-        execution_time_s=np.asarray(profile.execution_time_s),
-        **arrays,
-    )
+    save = np.savez_compressed if compressed else np.savez
+    with path.open("wb") as handle:
+        save(
+            handle,
+            kernel=np.asarray(profile.kernel_name),
+            kind=np.asarray(profile.kind.value),
+            execution_time_s=np.asarray(profile.execution_time_s),
+            **profile.columns().to_payload(),
+        )
     return path
+
+
+def profile_from_npz(
+    path: str | Path,
+    mmap_mode: str | None = None,
+    metadata: Mapping[str, object] | None = None,
+) -> FineGrainProfile:
+    """Load a profile written by :func:`profile_to_npz`.
+
+    The columnar inverse of the export: bit-identical arrays, masks included.
+    ``mmap_mode="r"`` maps the arrays of an uncompressed archive instead of
+    copying them (see :func:`repro.core.profile.load_npz_payload`).  Also
+    reads pre-``components``-key archives from older exports.
+    """
+    payload = load_npz_payload(Path(path), mmap_mode=mmap_mode)
+    missing = [key for key in _PROFILE_SCALARS if key not in payload]
+    if missing:
+        raise ValueError(f"{path} is not a profile export: missing {missing}")
+    scalars = {key: payload.pop(key) for key in _PROFILE_SCALARS}
+    return FineGrainProfile(
+        kernel_name=str(scalars["kernel"]),
+        kind=ProfileKind(str(scalars["kind"])),
+        execution_time_s=float(scalars["execution_time_s"]),
+        metadata=metadata,
+        columns=ProfileColumns.from_payload(payload),
+    )
 
 
 def profile_to_json(profile: FineGrainProfile, path: str | Path) -> Path:
@@ -124,4 +152,5 @@ __all__ = [
     "profile_to_csv",
     "profile_to_json",
     "profile_to_npz",
+    "profile_from_npz",
 ]

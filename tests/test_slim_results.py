@@ -13,6 +13,7 @@ from repro.core.profiler import (
     FinGraVResult,
     ProfilerConfig,
     SlimFinGraVResult,
+    normalize_profile_sections,
 )
 from repro.experiments.common import make_backend, make_profiler
 from repro.experiments.sweep import ProfileJob, configured_result_mode, execute_job, job_key, kernel_spec
@@ -146,3 +147,132 @@ class TestResultModePlumbing:
         result = profiler.profile(cb_gemm(2048), runs=6)
         assert isinstance(result, SlimFinGraVResult)
         assert not result.ssp_profile.is_empty
+
+
+class TestProfileSections:
+    def section_result(self, sections) -> SlimFinGraVResult:
+        return execute_job(
+            dataclasses.replace(
+                SMALL_JOB, result_mode="slim", profile_sections=sections
+            )
+        )
+
+    def test_unknown_section_rejected_early(self):
+        backend = make_backend(seed=1)
+        with pytest.raises(ValueError, match="unknown profile sections"):
+            FinGraVProfiler(
+                backend, ProfilerConfig(profile_sections=("ssp", "golden"))
+            )
+        with pytest.raises(ValueError, match="unknown profile sections"):
+            normalize_profile_sections(["bogus"])
+
+    def test_sections_deduplicated_and_canonically_ordered(self):
+        assert normalize_profile_sections(None) == ("ssp", "sse", "run")
+        assert normalize_profile_sections(("run", "ssp", "run")) == ("ssp", "run")
+        assert normalize_profile_sections(()) == ()
+
+    def test_declared_sections_retained_others_raise(self, full_and_slim):
+        full, _ = full_and_slim
+        result = self.section_result(("ssp", "sse"))
+        assert result.sections == ("ssp", "sse")
+        assert np.array_equal(result.ssp_profile.times(), full.ssp_profile.times())
+        assert np.array_equal(result.sse_profile.times(), full.sse_profile.times())
+        with pytest.raises(AttributeError, match="profile_sections"):
+            _ = result.run_profile
+
+    def test_empty_sections_keep_summary_and_error(self, full_and_slim):
+        full, _ = full_and_slim
+        result = self.section_result(())
+        assert result.sections == ()
+        assert result.profiles == {}
+        assert result.summary() == full.summary()
+        assert result.ssp_loi_count == full.ssp_loi_count
+        if "sse_vs_ssp_error" in full.summary():
+            # The error is answered from the snapshot -- same value as live.
+            assert result.sse_vs_ssp_error() == full.sse_vs_ssp_error()
+        else:
+            with pytest.raises(ValueError):
+                result.sse_vs_ssp_error()
+        # Non-total components have no snapshot: ValueError, not
+        # AttributeError (summary_from_result and friends tolerate exactly
+        # ValueError).
+        with pytest.raises(ValueError, match="snapshot"):
+            result.sse_vs_ssp_error("xcd")
+        with pytest.raises(AttributeError, match="profile_sections"):
+            _ = result.ssp_profile
+
+    def test_run_only_sections_skip_ssp_sse_payload(self, full_and_slim):
+        full, _ = full_and_slim
+        result = self.section_result(("run",))
+        assert result.sections == ("run",)
+        assert np.array_equal(result.run_profile.times(), full.run_profile.times())
+        # Summary (built from ssp/sse before they were dropped) is intact.
+        assert result.summary() == full.summary()
+
+    def test_run_exclusion_skips_run_stitching(self, monkeypatch):
+        # When no declared section needs "run", the profiler never builds it.
+        from repro.core import stitching as stitching_module
+
+        calls: list[tuple[str, ...]] = []
+        real = stitching_module.ProfileStitcher.section_profiles
+
+        def recording(self, series, sections, **kwargs):
+            calls.append(tuple(sections))
+            return real(self, series, sections, **kwargs)
+
+        monkeypatch.setattr(
+            stitching_module.ProfileStitcher, "section_profiles", recording
+        )
+        self.section_result(("ssp",))
+        assert calls == [("ssp", "sse")]  # sse rides along for the summary
+        calls.clear()
+        execute_job(dataclasses.replace(SMALL_JOB, result_mode="full"))
+        assert calls == [("ssp", "sse", "run")]
+
+    def test_sections_ignored_in_full_mode(self):
+        # FINGRAV_RESULT_MODE=full must be able to override a slim driver
+        # default while its section declaration is still set on the config.
+        result = execute_job(
+            dataclasses.replace(
+                SMALL_JOB, result_mode="full", profile_sections=("ssp",)
+            )
+        )
+        assert isinstance(result, FinGraVResult)
+        assert result.run_profile is not None
+        assert not result.run_profile.is_empty
+        assert not result.ssp_profile.is_empty
+
+    def test_slim_narrowing_and_invalid_widening(self, full_and_slim):
+        full, slim = full_and_slim
+        narrowed = slim.slim(("ssp",))
+        assert narrowed.sections == ("ssp",)
+        assert narrowed.summary() == slim.summary()
+        only_run = self.section_result(("run",))
+        with pytest.raises(ValueError, match="already .*dropped|dropped"):
+            only_run.slim(("ssp",))
+        with pytest.raises(ValueError, match="never built"):
+            # A full result whose run profile was never stitched cannot
+            # retain it -- but full results from profile() always have it;
+            # simulate via replace.
+            dataclasses.replace(full, run_profile=None).slim(("run",))
+
+    def test_sections_change_cache_key(self):
+        slim_job = dataclasses.replace(SMALL_JOB, result_mode="slim")
+        assert job_key(slim_job) != job_key(
+            dataclasses.replace(slim_job, profile_sections=("ssp", "sse"))
+        )
+
+    def test_driver_jobs_declare_expected_sections(self):
+        from repro.experiments import ablations, fig6, fig7, fig8, fig9, fig10, table1
+
+        assert all(j.profile_sections == ("ssp", "sse") for j in fig7.fig7_jobs())
+        assert all(j.profile_sections == () for j in table1.table1_jobs())
+        assert all(j.profile_sections == ("run",) for j in fig6.fig6_jobs())
+        assert all(j.profile_sections == ("run",) for j in fig8.fig8_jobs())
+        assert all(j.profile_sections == ("ssp",) for j in fig10.fig10_jobs())
+        assert all(
+            j.profile_sections == () for j in ablations.sampler_ablation_jobs()
+        )
+        fig9_jobs = fig9.fig9_jobs()
+        isolated = [j for j in fig9_jobs if j.job_id.startswith("fig9/isolated/")]
+        assert isolated and all(j.profile_sections == ("ssp",) for j in isolated)

@@ -138,6 +138,19 @@ class TestSweepRunner:
         assert retry.cache_hits == 0
         assert set(results) == {small_jobs()[0].job_id}
 
+    def test_cache_replay_through_spill_sidecar(self, tmp_path, serial_results):
+        # With a threshold of 1 LOI every profile leaves the pickle for the
+        # sidecar; the replayed results must still be bit-identical.
+        cache_dir = tmp_path / "spill-cache"
+        warm = SweepRunner(workers=1, cache_dir=cache_dir, spill_points=1)
+        first = warm.run(small_jobs())
+        assert sorted(cache_dir.glob("*.npz"))  # sidecars written
+        replay = SweepRunner(workers=1, cache_dir=cache_dir, spill_points=1)
+        second = replay.run(small_jobs())
+        assert replay.cache_hits == len(small_jobs())
+        assert_result_maps_identical(first, second)
+        assert_result_maps_identical(second, serial_results)
+
 
 def failing_job(job_id: str = "test/failing") -> ProfileJob:
     """A job whose kernel build raises inside execute_job (any process)."""
@@ -210,13 +223,13 @@ class TestCacheStagingHardening:
         runner = SweepRunner(workers=1, cache_dir=tmp_path)
         job = small_jobs()[0]
         staged: list[str] = []
-        real_dump = pickle.dump
+        real_write = sweep_module._write_entry
 
-        def recording_dump(obj, handle, *args, **kwargs):
+        def recording_write(result, handle, spill_points):
             staged.append(handle.name)
-            return real_dump(obj, handle, *args, **kwargs)
+            return real_write(result, handle, spill_points)
 
-        monkeypatch.setattr(sweep_module.pickle, "dump", recording_dump)
+        monkeypatch.setattr(sweep_module, "_write_entry", recording_write)
         runner._cache_store(job, "payload-1")
         runner._cache_store(job, "payload-2")
         assert len(staged) == 2 and staged[0] != staged[1]
