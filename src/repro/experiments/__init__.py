@@ -39,9 +39,12 @@ from .fig9 import Fig9Result, run_fig9
 from .fig10 import Fig10Result, run_fig10
 from .sweep import (
     EXPERIMENT_NAMES,
+    JobFailure,
     KernelSpec,
     ProfileJob,
+    SweepConfig,
     SweepJobError,
+    SweepManifest,
     SweepRunner,
     configured_result_mode,
     default_runner,
@@ -84,9 +87,12 @@ __all__ = [
     "Fig10Result",
     "run_fig10",
     "EXPERIMENT_NAMES",
+    "JobFailure",
     "KernelSpec",
     "ProfileJob",
+    "SweepConfig",
     "SweepJobError",
+    "SweepManifest",
     "SweepRunner",
     "configured_result_mode",
     "default_runner",

@@ -93,6 +93,25 @@ def scale_by_name(name: str) -> ExperimentScale:
         raise ValueError(f"unknown scale {name!r}; pick one of {sorted(scales)}") from exc
 
 
+def execution_provenance() -> dict[str, str | None]:
+    """Engine/provider identity stamped into sweep manifests and benchmarks.
+
+    Resolution can itself fail (e.g. a corrupted compiled provider mid-CI);
+    provenance is diagnostic metadata, so that degrades to an ``"error"``
+    stamp instead of failing the caller.
+    """
+    from ..gpu import fastcore
+
+    try:
+        return {
+            "engine": fastcore.resolve_engine(),
+            "provider": fastcore.provider_name(),
+            "numba": fastcore.numba_version(),
+        }
+    except Exception as exc:  # pragma: no cover - defensive
+        return {"engine": "error", "provider": None, "numba": None, "error": str(exc)}
+
+
 _POWER_SAMPLE_PERIOD_S: float | None = None
 
 
@@ -155,6 +174,7 @@ __all__ = [
     "PAPER_SCALE",
     "default_scale",
     "scale_by_name",
+    "execution_provenance",
     "power_sample_period_s",
     "make_backend",
     "make_profiler",

@@ -32,10 +32,36 @@ cache hit touches only the pages it actually reads.  Cache entries are
 keyed by :data:`_CACHE_SCHEMA` -- entries written by earlier schemas are
 simply never looked up again and recompute cleanly.
 
-A failing job no longer aborts the sweep: every pending job still runs, the
-finished ones are cached and attached to the raised :class:`SweepJobError`
-(``.completed`` / ``.failures``), and the error message names the failing
-job id(s).
+Execution is *supervised* (see ``docs/sweep.md`` for the full fault model).
+With ``workers > 1`` the runner dispatches jobs one at a time through
+``submit``/``wait`` scheduling instead of a blocking ``pool.map`` barrier:
+
+- every dispatched job carries a wall-clock deadline
+  (:attr:`SweepConfig.job_timeout_s` / ``FINGRAV_JOB_TIMEOUT``); a watchdog
+  kills-and-rebuilds the pool around a hung worker and requeues the other
+  in-flight jobs, so one wedged job costs one retry, not the sweep;
+- a crashed worker (``BrokenProcessPool`` -- e.g. a segfaulting compiled
+  provider) likewise triggers a bounded pool rebuild and charges each
+  affected job one retry;
+- transient failures (the taxonomy in :func:`classify_retryable`: broken
+  pools, watchdog timeouts, ``OSError`` I/O hiccups, injected transients)
+  are retried up to :attr:`SweepConfig.max_retries` times with exponential
+  backoff and deterministic per-(job, attempt) jitter; genuinely-fatal job
+  errors surface immediately as structured :class:`JobFailure` records,
+  formatted traceback included.
+
+A failing job still never aborts the sweep: every pending job runs to a
+terminal outcome, finished results are cached and attached to the raised
+:class:`SweepJobError` (``.completed`` / ``.failures``).  The cache tier
+degrades rather than aborts everywhere: a truncated/corrupt entry (pickle or
+sidecar) is quarantined to ``<entry>.corrupt`` and recomputed, and a failed
+store (``ENOSPC``, lock trouble) is recorded and ignored.  Each run emits a
+machine-checkable ``manifest.json`` next to the cache (per-job
+hit/recomputed/failed status, retry/timeout/quarantine counts, timings and
+engine+provider provenance) so operators can see what was reused, what was
+recomputed and what misbehaved.  The deterministic fault-injection harness in
+:mod:`repro.testing.faults` (``FINGRAV_FAULT_PLAN``) drives all of this in
+tests and the CI fault-smoke leg.
 
 Command line::
 
@@ -47,21 +73,26 @@ is called without an explicit runner): ``FINGRAV_WORKERS`` (worker count,
 default 1) and ``FINGRAV_PROFILE_CACHE`` (cache directory, default disabled).
 ``FINGRAV_RESULT_MODE`` (``slim`` / ``full``) overrides every driver's default
 result mode at job-construction time -- it participates in the cache key, so
-switching modes never replays a stale payload shape.
+switching modes never replays a stale payload shape.  The fault-model knobs
+(``FINGRAV_JOB_TIMEOUT``, ``FINGRAV_MAX_RETRIES``, ``FINGRAV_RETRY_BACKOFF``)
+are read by :meth:`SweepConfig.from_env`, and ``FINGRAV_FAULT_PLAN`` names a
+fault-injection plan honoured by the dispatcher and its workers.
 """
 
 from __future__ import annotations
 
 import argparse
 import hashlib
+import heapq
 import itertools
 import json
 import os
 import pickle
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
@@ -70,7 +101,15 @@ import numpy as np
 from ..core.profile import ProfileColumns, load_npz_payload
 from ..kernels.gemm import square_gemm
 from ..kernels.workloads import cb_gemm, collective_suite, mb_gemv
-from .common import ExperimentScale, default_scale, make_backend, make_profiler, scale_by_name
+from ..testing import faults
+from .common import (
+    ExperimentScale,
+    default_scale,
+    execution_provenance,
+    make_backend,
+    make_profiler,
+    scale_by_name,
+)
 
 #: Bump when job execution semantics change, to invalidate on-disk caches.
 #: Schema 3: columnar cache entries (profile columns spilled to a sidecar
@@ -214,6 +253,168 @@ def job_key(job: ProfileJob) -> str:
 
 
 # --------------------------------------------------------------------------- #
+# The fault model: config knobs, retry taxonomy, structured failures.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SweepConfig:
+    """Fault-model knobs for supervised sweep execution.
+
+    ``job_timeout_s`` is the per-job wall-clock watchdog (None disables it;
+    it only protects pool execution -- an inline ``workers=1`` sweep has no
+    process boundary to kill across).  Transient failures are retried up to
+    ``max_retries`` times per job with exponential backoff
+    (``backoff_base_s * 2**attempt`` capped at ``backoff_cap_s``, plus
+    deterministic per-(job, attempt) jitter).  ``max_pool_rebuilds`` bounds
+    how many times a sweep will rebuild its pool around crashes/hangs before
+    declaring the remaining work failed, which guarantees termination even
+    under a pathological fault plan.
+    """
+
+    job_timeout_s: float | None = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 8.0
+    max_pool_rebuilds: int = 8
+
+    def __post_init__(self) -> None:
+        if self.job_timeout_s is not None and self.job_timeout_s <= 0:
+            raise ValueError(f"job_timeout_s must be positive or None, got {self.job_timeout_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0:
+            raise ValueError(f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_cap_s < 0:
+            raise ValueError(f"backoff_cap_s must be >= 0, got {self.backoff_cap_s}")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}")
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "SweepConfig":
+        """Config from ``FINGRAV_JOB_TIMEOUT`` / ``FINGRAV_MAX_RETRIES`` /
+        ``FINGRAV_RETRY_BACKOFF`` (unset keeps each default; a timeout of
+        ``0`` / ``none`` / ``off`` disables the watchdog)."""
+        env = os.environ if environ is None else environ
+        kwargs: dict[str, object] = {}
+        raw = env.get("FINGRAV_JOB_TIMEOUT", "").strip().lower()
+        if raw:
+            if raw in ("none", "off", "0"):
+                kwargs["job_timeout_s"] = None
+            else:
+                try:
+                    kwargs["job_timeout_s"] = float(raw)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"FINGRAV_JOB_TIMEOUT must be a number of seconds, got {raw!r}"
+                    ) from exc
+        raw = env.get("FINGRAV_MAX_RETRIES", "").strip()
+        if raw:
+            try:
+                kwargs["max_retries"] = int(raw)
+            except ValueError as exc:
+                raise ValueError(
+                    f"FINGRAV_MAX_RETRIES must be an integer, got {raw!r}"
+                ) from exc
+        raw = env.get("FINGRAV_RETRY_BACKOFF", "").strip()
+        if raw:
+            try:
+                kwargs["backoff_base_s"] = float(raw)
+            except ValueError as exc:
+                raise ValueError(
+                    f"FINGRAV_RETRY_BACKOFF must be a number of seconds, got {raw!r}"
+                ) from exc
+        return cls(**kwargs)
+
+
+def classify_retryable(exc: BaseException) -> bool:
+    """The retry taxonomy: transient (retry with backoff) vs fatal.
+
+    Retryable: a broken pool (the worker died under the job -- its retry runs
+    in a fresh worker), watchdog timeouts, ``OSError`` (cache/file I/O
+    hiccups such as ``ENOSPC`` or lock contention inside the job), and the
+    fault harness's explicitly-transient injections.  Everything else --
+    ``KeyError`` from a bad kernel spec, ``ValueError`` from bad config,
+    arbitrary bugs -- is a genuine job failure: retrying a deterministic job
+    re-raises it, so it fails fast instead.
+    """
+    if isinstance(exc, faults.TransientInjectedFault):
+        return True
+    if isinstance(exc, faults.InjectedFault):
+        return False
+    return isinstance(exc, (BrokenExecutor, TimeoutError, OSError))
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured description of one job's terminal failure.
+
+    Carries the exception type/message *and* the formatted traceback (so a
+    failure that happened in a worker process three retries ago is still
+    debuggable from the raised :class:`SweepJobError`), plus the retry
+    classification and how many attempts the job consumed.
+    """
+
+    exc_type: str
+    message: str
+    traceback: str = ""
+    retryable: bool = False
+    attempts: int = 1
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, attempts: int = 1) -> "JobFailure":
+        formatted = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        return cls(
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            traceback=formatted,
+            retryable=classify_retryable(exc),
+            attempts=attempts,
+        )
+
+    @classmethod
+    def from_description(cls, text: str) -> "JobFailure":
+        """Adopt a legacy ``"Type: message\\ntraceback"`` failure string."""
+        head, _, trailer = str(text).partition("\n")
+        exc_type, sep, message = head.partition(": ")
+        if not sep:
+            exc_type, message = "Error", head
+        return cls(exc_type=exc_type, message=message, traceback=trailer)
+
+    def with_attempts(self, attempts: int) -> "JobFailure":
+        return replace(self, attempts=attempts)
+
+    @property
+    def summary_line(self) -> str:
+        message = self.message.splitlines()[0] if self.message else ""
+        return f"{self.exc_type}: {message}"
+
+    def describe(self) -> str:
+        kind = "retryable" if self.retryable else "fatal"
+        header = f"{self.summary_line} [{kind}, after {self.attempts} attempt(s)]"
+        return f"{header}\n{self.traceback}" if self.traceback else header
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def backoff_delay(
+    job_id: str, attempt: int, base_s: float, cap_s: float
+) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    ``base * 2**attempt`` plus a jitter in ``[0, base)`` derived from a hash
+    of ``(job_id, attempt)`` -- different jobs desynchronise their retries,
+    yet the same sweep replays the same delays.  Capped at ``cap_s``.
+    """
+    if base_s <= 0:
+        return 0.0
+    digest = hashlib.sha256(f"{job_id}:{attempt}".encode()).digest()
+    jitter = int.from_bytes(digest[:8], "big") / 2.0**64 * base_s
+    return min(base_s * (2.0**attempt) + jitter, cap_s)
+
+
+# --------------------------------------------------------------------------- #
 # Columnar cache codec: large ProfileColumns spill to a sidecar .npz.
 # --------------------------------------------------------------------------- #
 class _ColumnSpillPickler(pickle.Pickler):
@@ -289,37 +490,69 @@ def _write_sidecar(spilled: Sequence[ProfileColumns], handle) -> None:
     np.savez(handle, **members)
 
 
-def _execute_job_guarded(job: ProfileJob) -> tuple[object, str | None]:
-    """Run one job, trapping its failure instead of poisoning the whole map.
+def _execute_job_guarded(
+    job: ProfileJob,
+    attempt: int = 0,
+    in_worker: bool = False,
+    plan_payload: object | None = None,
+) -> tuple[object, JobFailure | None]:
+    """Run one job attempt, trapping its failure instead of poisoning the pool.
 
-    Returns ``(result, None)`` on success and ``(None, description)`` on
-    failure; the description carries the exception type, message and
-    traceback so the sweep can re-raise with full context after the
-    surviving jobs are collected.
+    Returns ``(result, None)`` on success and ``(None, failure)`` on failure;
+    the :class:`JobFailure` carries the exception type, message, formatted
+    traceback and retry classification, so the supervising dispatcher can
+    decide whether to retry and the sweep can re-raise with full context.
+
+    Fault injection: the dispatcher ships its resolved
+    :mod:`~repro.testing.faults` plan via ``plan_payload``; called directly
+    (or by older dispatch paths) the worker honours ``FINGRAV_FAULT_PLAN``
+    itself.  Matching is per ``(job id, attempt)``, so a retried attempt is
+    past its fault deterministically.
     """
     try:
+        if plan_payload is not None:
+            plan = faults.FaultPlan.from_payload(plan_payload)
+        else:
+            plan = faults.active_plan()
+        if plan is not None:
+            spec = plan.execute_fault(job.job_id, attempt)
+            if spec is not None:
+                faults.fire(spec, in_worker=in_worker)
         return execute_job(job), None
     except Exception as exc:
-        return None, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        return None, JobFailure.from_exception(exc, attempts=attempt + 1)
 
 
 class SweepJobError(RuntimeError):
     """One or more sweep jobs failed (the rest completed and were cached).
 
-    ``failures`` maps the failing job ids to their error descriptions;
-    ``completed`` holds the results of every job that did finish (cache
-    hits included), so callers can salvage partial sweeps.
+    ``failures`` maps the failing job ids to :class:`JobFailure` records
+    (exception type, message, formatted traceback, retry classification and
+    attempt count -- ``str(failure)`` renders the full description);
+    ``completed`` holds the results of every job that did finish (cache hits
+    included), so callers can salvage partial sweeps.
     """
 
-    def __init__(self, failures: Mapping[str, str], completed: Mapping[str, object]) -> None:
-        self.failures = dict(failures)
+    def __init__(
+        self,
+        failures: Mapping[str, "JobFailure | str"],
+        completed: Mapping[str, object],
+    ) -> None:
+        self.failures: dict[str, JobFailure] = {
+            job_id: (
+                failure
+                if isinstance(failure, JobFailure)
+                else JobFailure.from_description(failure)
+            )
+            for job_id, failure in failures.items()
+        }
         self.completed = dict(completed)
         #: Experiments :func:`run_sweep` still assembled from the completed
         #: jobs (set by run_sweep before re-raising; empty for runner-level
         #: callers).
         self.assembled: dict[str, object] = {}
         names = ", ".join(sorted(self.failures))
-        first = next(iter(self.failures.values())).splitlines()[0]
+        first = next(iter(self.failures.values())).summary_line
         super().__init__(
             f"{len(self.failures)} sweep job(s) failed ({names}); "
             f"{len(self.completed)} completed and were kept. First failure: {first}"
@@ -327,8 +560,178 @@ class SweepJobError(RuntimeError):
 
 
 # --------------------------------------------------------------------------- #
+# The run manifest: a machine-checkable record of one sweep.
+# --------------------------------------------------------------------------- #
+#: Bump when the manifest layout changes.
+MANIFEST_SCHEMA = 1
+
+
+@dataclass
+class _JobLedger:
+    """Per-job bookkeeping accumulated while a sweep runs."""
+
+    key: str
+    status: str = "pending"  # pending -> hit | recomputed | failed
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    requeues: int = 0
+    quarantined: int = 0
+    cache_stored: bool = False
+    cache_store_failures: int = 0
+    seconds: float = 0.0
+    error: str | None = None
+    events: list[str] = field(default_factory=list)
+
+    def to_payload(self) -> dict:
+        return {
+            "key": self.key,
+            "status": self.status,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "requeues": self.requeues,
+            "quarantined": self.quarantined,
+            "cache_stored": self.cache_stored,
+            "cache_store_failures": self.cache_store_failures,
+            "seconds": round(self.seconds, 6),
+            "error": self.error,
+            "events": list(self.events),
+        }
+
+
+class SweepManifest:
+    """Builds (and writes) the JSON run manifest of one :meth:`SweepRunner.run`.
+
+    The manifest is the source -> status -> follow-ups refresh log of the
+    sweep: per job id it records whether the result was a cache *hit* or was
+    *recomputed* (or *failed*), how many attempts/retries/timeouts/worker
+    crashes it took, whether its cache entry was quarantined, and how long it
+    ran; run-wide it stamps the runner config, the fault plan in force (if
+    any) and the engine/provider provenance.  Schema in ``docs/sweep.md``.
+    """
+
+    def __init__(
+        self,
+        path: Path | None,
+        workers: int,
+        config: SweepConfig,
+        fault_plan: "faults.FaultPlan | None" = None,
+    ) -> None:
+        self.path = path
+        self.workers = workers
+        self.config = config
+        self.fault_plan = fault_plan
+        self.jobs: dict[str, _JobLedger] = {}
+        self._started = time.perf_counter()
+
+    def entry(self, job: ProfileJob) -> _JobLedger:
+        ledger = self.jobs.get(job.job_id)
+        if ledger is None:
+            ledger = _JobLedger(key=job_key(job))
+            self.jobs[job.job_id] = ledger
+        return ledger
+
+    def event(self, job_id: str, text: str) -> None:
+        self.jobs[job_id].events.append(text)
+
+    # ------------------------------------------------------------------ #
+    def to_payload(self, interrupted: bool = False) -> dict:
+        ledgers = self.jobs.values()
+        counts = {
+            "jobs": len(self.jobs),
+            "hits": sum(1 for job in ledgers if job.status == "hit"),
+            "recomputed": sum(1 for job in ledgers if job.status == "recomputed"),
+            "failed": sum(1 for job in ledgers if job.status == "failed"),
+            "retried": sum(job.retries for job in ledgers),
+            "timed_out": sum(job.timeouts for job in ledgers),
+            "worker_crashes": sum(job.worker_crashes for job in ledgers),
+            "requeued": sum(job.requeues for job in ledgers),
+            "quarantined": sum(job.quarantined for job in ledgers),
+            "cache_store_failures": sum(job.cache_store_failures for job in ledgers),
+        }
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "created_unix": time.time(),
+            "interrupted": interrupted,
+            "elapsed_s": round(time.perf_counter() - self._started, 6),
+            "workers": self.workers,
+            "config": {
+                "job_timeout_s": self.config.job_timeout_s,
+                "max_retries": self.config.max_retries,
+                "backoff_base_s": self.config.backoff_base_s,
+                "backoff_cap_s": self.config.backoff_cap_s,
+                "max_pool_rebuilds": self.config.max_pool_rebuilds,
+            },
+            "engine": execution_provenance(),
+            "fault_plan": self.fault_plan.to_payload() if self.fault_plan else None,
+            "counts": counts,
+            "jobs": {job_id: ledger.to_payload() for job_id, ledger in self.jobs.items()},
+        }
+
+    def finalize(self, interrupted: bool = False) -> dict:
+        """Snapshot the manifest and (best-effort) write it to disk.
+
+        Like the cache, the manifest is an observability artifact: a write
+        failure (read-only cache dir, ``ENOSPC``) degrades to the in-memory
+        snapshot instead of failing the sweep -- which is also why this is
+        safe to call from the ``KeyboardInterrupt`` flush path.
+        """
+        payload = self.to_payload(interrupted=interrupted)
+        if self.path is not None:
+            staging = self.path.with_name(
+                f"{self.path.name}.{os.getpid()}-{next(_STAGING_COUNTER)}.tmp"
+            )
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                staging.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+                staging.replace(self.path)
+            except OSError:
+                try:
+                    staging.unlink(missing_ok=True)
+                except OSError:
+                    pass
+        return payload
+
+
+# --------------------------------------------------------------------------- #
 # The runner.
 # --------------------------------------------------------------------------- #
+@dataclass
+class _Flight:
+    """One dispatched job attempt: what is running, since when, until when."""
+
+    job: ProfileJob
+    attempt: int
+    started: float
+    deadline: float | None
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly stop a pool that may hold hung or dead workers.
+
+    ``shutdown`` alone never returns while a worker is wedged, so the worker
+    processes are SIGKILLed first; reaching into ``_processes`` is the only
+    way the stdlib executor exposes them, and any failure here degrades to
+    leaking a doomed pool rather than hanging the sweep.
+    """
+    # Snapshot then SIGKILL the workers *before* any shutdown call:
+    # ``shutdown()`` drops the ``_processes``/manager-thread references even
+    # with ``wait=False``, after which the hung workers can no longer be
+    # reached and interpreter exit blocks joining them.
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            process.kill()
+        except Exception:
+            continue
+    try:
+        pool.shutdown(wait=True, cancel_futures=True)
+    except Exception:
+        pass
+
+
 class SweepRunner:
     """Executes profile jobs, optionally in parallel and through a disk cache.
 
@@ -348,8 +751,14 @@ class SweepRunner:
         workers: int = 1,
         cache_dir: str | Path | None = None,
         spill_points: int | None = None,
+        config: SweepConfig | None = None,
+        manifest_path: str | Path | None = None,
+        fault_plan: "faults.FaultPlan | None" = None,
     ) -> None:
-        self.workers = max(int(workers), 1)
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
         self.cache_dir = Path(cache_dir) if cache_dir else None
         if spill_points is None:
             try:
@@ -359,16 +768,31 @@ class SweepRunner:
             except ValueError:
                 spill_points = _SPILL_POINTS_DEFAULT
         self.spill_points = max(int(spill_points), 1)
+        self.config = config if config is not None else SweepConfig.from_env()
+        if manifest_path is not None:
+            self.manifest_path: Path | None = Path(manifest_path)
+        elif self.cache_dir is not None:
+            self.manifest_path = self.cache_dir / "manifest.json"
+        else:
+            self.manifest_path = None
+        #: Explicit fault plan for tests; None defers to FINGRAV_FAULT_PLAN.
+        self.fault_plan = fault_plan
         self.cache_hits = 0
+        #: Snapshot of the last run's manifest payload (set even when no
+        #: manifest file is written because the cache is disabled).
+        self.last_manifest: dict | None = None
 
     # ------------------------------------------------------------------ #
     def run(self, jobs: Sequence[ProfileJob]) -> dict[str, object]:
         """Execute jobs (deduplicated by id) and return {job_id: result}.
 
         Job failures are collected, not fatal per-job: every pending job
-        still executes, finished results are cached, and a
-        :class:`SweepJobError` naming the failing job id(s) is raised at the
-        end with the completed results attached.
+        still runs to a terminal outcome (bounded retries included),
+        finished results are cached, and a :class:`SweepJobError` naming the
+        failing job id(s) is raised at the end with the completed results
+        attached.  The run manifest is flushed on every exit path --
+        including ``KeyboardInterrupt`` -- so an aborted sweep still leaves
+        an accurate record of what finished.
         """
         unique: dict[str, ProfileJob] = {}
         for job in jobs:
@@ -379,37 +803,349 @@ class SweepRunner:
                 continue
             unique[job.job_id] = job
 
+        # Resolve (and validate) the fault plan before any work is dispatched:
+        # a malformed plan must abort loudly, not run a silently-clean sweep.
+        plan = self.fault_plan if self.fault_plan is not None else faults.active_plan()
         self._sweep_stale_staging()
+        manifest = SweepManifest(
+            self.manifest_path, workers=self.workers, config=self.config, fault_plan=plan
+        )
         results: dict[str, object] = {}
         pending: list[ProfileJob] = []
         for job in unique.values():
-            cached = self._cache_load(job)
+            ledger = manifest.entry(job)
+            cached = self._cache_load(job, manifest=manifest, plan=plan)
             if cached is not None:
                 results[job.job_id] = cached
                 self.cache_hits += 1
+                ledger.status = "hit"
             else:
+                if self.cache_dir is not None:
+                    manifest.event(job.job_id, "cache-miss")
                 pending.append(job)
 
-        if pending:
-            if self.workers == 1 or len(pending) == 1:
-                outcomes = [_execute_job_guarded(job) for job in pending]
-            else:
-                with ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(pending))
-                ) as pool:
-                    outcomes = list(pool.map(_execute_job_guarded, pending))
-            # Every job ran to an outcome; keep and cache the survivors
-            # before surfacing any failure, so a retry replays them for free.
-            failures: dict[str, str] = {}
-            for job, (outcome, error) in zip(pending, outcomes):
-                if error is None:
-                    results[job.job_id] = outcome
-                    self._cache_store(job, outcome)
+        failures: dict[str, JobFailure] = {}
+        try:
+            if pending:
+                if self.workers == 1:
+                    self._run_inline(pending, results, failures, manifest, plan)
                 else:
-                    failures[job.job_id] = error
-            if failures:
-                raise SweepJobError(failures, results)
+                    self._run_supervised(pending, results, failures, manifest, plan)
+        except BaseException:
+            # KeyboardInterrupt (and any dispatcher bug) still flushes the
+            # manifest so operators can see exactly what completed.
+            self.last_manifest = manifest.finalize(interrupted=True)
+            raise
+        self.last_manifest = manifest.finalize()
+        if failures:
+            raise SweepJobError(failures, results)
         return results
+
+    # ------------------------------------------------------------------ #
+    # Inline execution (workers == 1): retries, no process isolation.
+    # ------------------------------------------------------------------ #
+    def _run_inline(
+        self,
+        pending: Sequence[ProfileJob],
+        results: dict[str, object],
+        failures: dict[str, JobFailure],
+        manifest: SweepManifest,
+        plan: "faults.FaultPlan | None",
+    ) -> None:
+        plan_payload = plan.to_payload() if plan is not None else None
+        for job in pending:
+            ledger = manifest.entry(job)
+            attempt = 0
+            while True:
+                ledger.attempts += 1
+                started = time.perf_counter()
+                outcome, failure = _execute_job_guarded(
+                    job, attempt, in_worker=False, plan_payload=plan_payload
+                )
+                ledger.seconds += time.perf_counter() - started
+                if failure is None:
+                    results[job.job_id] = outcome
+                    self._cache_store(job, outcome, manifest=manifest)
+                    ledger.status = "recomputed"
+                    break
+                if failure.retryable and attempt < self.config.max_retries:
+                    delay = self._backoff(job.job_id, attempt)
+                    ledger.retries += 1
+                    manifest.event(
+                        job.job_id,
+                        f"retry {attempt + 1}/{self.config.max_retries} after "
+                        f"{failure.summary_line} (backoff {delay:.3f}s)",
+                    )
+                    time.sleep(delay)
+                    attempt += 1
+                    continue
+                failures[job.job_id] = failure
+                ledger.status = "failed"
+                ledger.error = failure.summary_line
+                break
+
+    # ------------------------------------------------------------------ #
+    # Supervised pool execution (workers > 1): submit/wait dispatch with a
+    # per-job watchdog, bounded retries and bounded pool rebuilds.
+    # ------------------------------------------------------------------ #
+    def _run_supervised(
+        self,
+        pending: Sequence[ProfileJob],
+        results: dict[str, object],
+        failures: dict[str, JobFailure],
+        manifest: SweepManifest,
+        plan: "faults.FaultPlan | None",
+    ) -> None:
+        config = self.config
+        plan_payload = plan.to_payload() if plan is not None else None
+        size = min(self.workers, len(pending))
+        ready: deque[tuple[ProfileJob, int]] = deque((job, 0) for job in pending)
+        delayed: list[tuple[float, int, ProfileJob, int]] = []  # backoff heap
+        tiebreak = itertools.count()
+        rebuilds = 0
+        pool = ProcessPoolExecutor(max_workers=size)
+        in_flight: dict[Future, _Flight] = {}
+
+        def settle_failure(job: ProfileJob, attempt: int, failure: JobFailure) -> None:
+            """Schedule a retry with backoff, or record the terminal failure."""
+            ledger = manifest.entry(job)
+            if failure.retryable and attempt < config.max_retries:
+                delay = self._backoff(job.job_id, attempt)
+                ledger.retries += 1
+                manifest.event(
+                    job.job_id,
+                    f"retry {attempt + 1}/{config.max_retries} after "
+                    f"{failure.summary_line} (backoff {delay:.3f}s)",
+                )
+                heapq.heappush(
+                    delayed,
+                    (time.monotonic() + delay, next(tiebreak), job, attempt + 1),
+                )
+            else:
+                failures[job.job_id] = failure
+                ledger.status = "failed"
+                ledger.error = failure.summary_line
+
+        def settle_outcome(flight: "_Flight", outcome: object, failure: JobFailure | None) -> None:
+            ledger = manifest.entry(flight.job)
+            ledger.seconds += time.monotonic() - flight.started
+            if failure is None:
+                results[flight.job.job_id] = outcome
+                self._cache_store(flight.job, outcome, manifest=manifest)
+                ledger.status = "recomputed"
+            else:
+                settle_failure(flight.job, flight.attempt, failure)
+
+        def exhaust_rebuild_budget(reason: str) -> None:
+            """Terminal backstop: the pool broke more often than allowed."""
+            casualties = (
+                [(flight.job, flight.attempt) for flight in in_flight.values()]
+                + list(ready)
+                + [(job, attempt) for _, _, job, attempt in delayed]
+            )
+            in_flight.clear()
+            ready.clear()
+            delayed.clear()
+            for job, attempt in casualties:
+                ledger = manifest.entry(job)
+                failure = JobFailure(
+                    exc_type="PoolRebuildBudgetExceeded",
+                    message=(
+                        f"pool rebuild budget exhausted after "
+                        f"{config.max_pool_rebuilds} rebuild(s): {reason}"
+                    ),
+                    retryable=False,
+                    attempts=attempt + 1,
+                )
+                failures[job.job_id] = failure
+                ledger.status = "failed"
+                ledger.error = failure.summary_line
+
+        try:
+            while ready or delayed or in_flight:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, _, job, attempt = heapq.heappop(delayed)
+                    ready.append((job, attempt))
+
+                pool_broken = False
+                while ready and len(in_flight) < size:
+                    job, attempt = ready.popleft()
+                    ledger = manifest.entry(job)
+                    started = time.monotonic()
+                    deadline = (
+                        started + config.job_timeout_s
+                        if config.job_timeout_s is not None
+                        else None
+                    )
+                    try:
+                        future = pool.submit(
+                            _execute_job_guarded, job, attempt, True, plan_payload
+                        )
+                    except BrokenExecutor:
+                        # The pool died between completions; put the job back
+                        # (it never ran -- no attempt charged) and rebuild.
+                        ready.appendleft((job, attempt))
+                        pool_broken = True
+                        break
+                    ledger.attempts += 1
+                    in_flight[future] = _Flight(job, attempt, started, deadline)
+
+                if not pool_broken and not in_flight:
+                    # Only backoff-delayed work remains: sleep until due.
+                    if delayed:
+                        time.sleep(max(delayed[0][0] - time.monotonic(), 0.0))
+                    continue
+
+                if not pool_broken:
+                    deadlines = [
+                        flight.deadline
+                        for flight in in_flight.values()
+                        if flight.deadline is not None
+                    ]
+                    if delayed:
+                        deadlines.append(delayed[0][0])
+                    timeout = (
+                        max(min(deadlines) - time.monotonic(), 0.0)
+                        if deadlines
+                        else None
+                    )
+                    done, _ = wait(
+                        list(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        flight = in_flight.pop(future)
+                        ledger = manifest.entry(flight.job)
+                        try:
+                            outcome, failure = future.result()
+                        except BrokenExecutor as exc:
+                            # The worker under this job (or a sibling) died;
+                            # every in-flight future fails the same way.  We
+                            # cannot tell the crasher from the bystanders, so
+                            # each affected job is charged one retryable
+                            # attempt -- one crashed worker costs one retry.
+                            ledger.worker_crashes += 1
+                            ledger.seconds += time.monotonic() - flight.started
+                            manifest.event(
+                                flight.job.job_id,
+                                f"worker-crash on attempt {flight.attempt + 1} "
+                                f"({type(exc).__name__})",
+                            )
+                            settle_failure(
+                                flight.job,
+                                flight.attempt,
+                                JobFailure.from_exception(exc, flight.attempt + 1),
+                            )
+                            pool_broken = True
+                            continue
+                        except Exception as exc:  # CancelledError and friends
+                            ledger.seconds += time.monotonic() - flight.started
+                            settle_failure(
+                                flight.job,
+                                flight.attempt,
+                                JobFailure.from_exception(exc, flight.attempt + 1),
+                            )
+                            continue
+                        settle_outcome(flight, outcome, failure)
+
+                if pool_broken:
+                    rebuilds += 1
+                    # Salvage any future that finished cleanly before the
+                    # collapse; everything else is lost with the pool.
+                    for future, flight in list(in_flight.items()):
+                        if future.done():
+                            try:
+                                outcome, failure = future.result()
+                            except Exception:
+                                pass
+                            else:
+                                settle_outcome(flight, outcome, failure)
+                                continue
+                        ledger = manifest.entry(flight.job)
+                        ledger.worker_crashes += 1
+                        ledger.seconds += time.monotonic() - flight.started
+                        manifest.event(
+                            flight.job.job_id,
+                            f"worker-crash on attempt {flight.attempt + 1} "
+                            f"(pool collapsed)",
+                        )
+                        settle_failure(
+                            flight.job,
+                            flight.attempt,
+                            JobFailure(
+                                exc_type="BrokenProcessPool",
+                                message="worker pool collapsed under this job",
+                                retryable=True,
+                                attempts=flight.attempt + 1,
+                            ),
+                        )
+                    in_flight.clear()
+                    _kill_pool(pool)
+                    if rebuilds > config.max_pool_rebuilds:
+                        exhaust_rebuild_budget("worker crash")
+                        return
+                    pool = ProcessPoolExecutor(max_workers=size)
+                    continue
+
+                # Watchdog: time out any in-flight job past its deadline.
+                now = time.monotonic()
+                hung = [
+                    future
+                    for future, flight in in_flight.items()
+                    if flight.deadline is not None and flight.deadline <= now
+                ]
+                if hung:
+                    rebuilds += 1
+                    # A hung worker cannot be cancelled through the executor
+                    # API; kill the pool and rebuild it.  The hung job is
+                    # charged a (retryable) timeout; innocent in-flight jobs
+                    # are requeued at the same attempt -- interruption is not
+                    # their failure -- bounded by the rebuild budget.
+                    _kill_pool(pool)
+                    for future, flight in list(in_flight.items()):
+                        ledger = manifest.entry(flight.job)
+                        ledger.seconds += time.monotonic() - flight.started
+                        if future in hung:
+                            ledger.timeouts += 1
+                            manifest.event(
+                                flight.job.job_id,
+                                f"timed-out after {config.job_timeout_s}s on "
+                                f"attempt {flight.attempt + 1}",
+                            )
+                            settle_failure(
+                                flight.job,
+                                flight.attempt,
+                                JobFailure(
+                                    exc_type="JobTimeout",
+                                    message=(
+                                        f"job exceeded job_timeout_s="
+                                        f"{config.job_timeout_s}s"
+                                    ),
+                                    retryable=True,
+                                    attempts=flight.attempt + 1,
+                                ),
+                            )
+                        else:
+                            ledger.requeues += 1
+                            manifest.event(
+                                flight.job.job_id,
+                                f"requeued (pool rebuilt around a hung sibling, "
+                                f"attempt {flight.attempt + 1} uncharged)",
+                            )
+                            ready.append((flight.job, flight.attempt))
+                    in_flight.clear()
+                    if rebuilds > config.max_pool_rebuilds:
+                        exhaust_rebuild_budget("hung job")
+                        return
+                    pool = ProcessPoolExecutor(max_workers=size)
+        finally:
+            _kill_pool(pool)
+
+    # ------------------------------------------------------------------ #
+    def _backoff(self, job_id: str, attempt: int) -> float:
+        return backoff_delay(
+            job_id, attempt, self.config.backoff_base_s, self.config.backoff_cap_s
+        )
 
     # ------------------------------------------------------------------ #
     def _cache_path(self, job: ProfileJob) -> Path | None:
@@ -417,17 +1153,64 @@ class SweepRunner:
             return None
         return self.cache_dir / f"{job_key(job)}.pkl"
 
-    def _cache_load(self, job: ProfileJob) -> object | None:
+    def _cache_load(
+        self,
+        job: ProfileJob,
+        manifest: SweepManifest | None = None,
+        plan: "faults.FaultPlan | None" = None,
+    ) -> object | None:
         path = self._cache_path(job)
-        if path is None or not path.exists():
+        if path is None:
+            return None
+        if plan is not None and path.exists():
+            spec = plan.cache_fault(job.job_id)
+            if spec is not None and faults.corrupt_entry(path):
+                if manifest is not None:
+                    manifest.event(job.job_id, "fault-injected: cache_corrupt")
+        if not path.exists():
             return None
         try:
             with path.open("rb") as handle:
                 return _ColumnSpillUnpickler(handle, path.with_suffix(".npz")).load()
-        except Exception:
-            return None  # corrupt entry or sidecar: fall through to recompute
+        except Exception as exc:
+            # Truncated/corrupt pickle or sidecar: quarantine the entry so
+            # later sweeps see a clean miss instead of re-parsing garbage,
+            # and degrade to a recompute -- never an abort.
+            self._quarantine(job, path, exc, manifest)
+            return None
 
-    def _cache_store(self, job: ProfileJob, result: object) -> None:
+    def _quarantine(
+        self,
+        job: ProfileJob,
+        path: Path,
+        exc: Exception,
+        manifest: SweepManifest | None,
+    ) -> None:
+        quarantined: list[str] = []
+        for victim in (path, path.with_suffix(".npz")):
+            try:
+                if victim.exists():
+                    victim.replace(victim.with_name(victim.name + ".corrupt"))
+                    quarantined.append(victim.name)
+            except OSError:
+                # Even the rename can fail (read-only dir, races); removal is
+                # the next-best way to stop replaying the corruption.
+                try:
+                    victim.unlink(missing_ok=True)
+                except OSError:
+                    continue
+        if manifest is not None:
+            ledger = manifest.entry(job)
+            ledger.quarantined += 1
+            manifest.event(
+                job.job_id,
+                f"cache-quarantined {quarantined or [path.name]} "
+                f"({type(exc).__name__}: {str(exc).splitlines()[0] if str(exc) else ''})",
+            )
+
+    def _cache_store(
+        self, job: ProfileJob, result: object, manifest: SweepManifest | None = None
+    ) -> None:
         path = self._cache_path(job)
         if path is None:
             return
@@ -450,8 +1233,18 @@ class SweepRunner:
                     _write_sidecar(spilled, handle)
                 sidecar_staging.replace(sidecar)
             staging.replace(path)
-        except Exception:
-            pass  # the cache is an optimisation; never fail a sweep over it
+            if manifest is not None:
+                manifest.entry(job).cache_stored = True
+        except Exception as exc:
+            # The cache is an optimisation; a failed store (ENOSPC, lock
+            # trouble, permissions) never fails a sweep -- but it is recorded
+            # so the manifest shows why the entry will recompute next time.
+            if manifest is not None:
+                ledger = manifest.entry(job)
+                ledger.cache_store_failures += 1
+                manifest.event(
+                    job.job_id, f"cache-store-failed ({type(exc).__name__}: {exc})"
+                )
         finally:
             # A failed write (or a replace that raced a directory removal)
             # must not leave its staging files behind.
@@ -471,7 +1264,7 @@ class SweepRunner:
         if self.cache_dir is None or not self.cache_dir.is_dir():
             return
         cutoff = time.time() - _STALE_STAGING_S
-        for pattern in ("*.pkl.*.tmp", "*.npz.*.tmp"):
+        for pattern in ("*.pkl.*.tmp", "*.npz.*.tmp", "*.json.*.tmp"):
             for stray in self.cache_dir.glob(pattern):
                 try:
                     if stray.stat().st_mtime < cutoff:
@@ -480,9 +1273,21 @@ class SweepRunner:
                     continue
 
 
+def _parse_workers(value: object, source: str) -> int:
+    """Validate a worker count, naming its source in the error."""
+    try:
+        workers = int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{source} must be an integer >= 1, got {value!r}") from exc
+    if workers < 1:
+        raise ValueError(f"{source} must be >= 1, got {workers}")
+    return workers
+
+
 def default_runner() -> SweepRunner:
-    """Runner configured from FINGRAV_WORKERS / FINGRAV_PROFILE_CACHE."""
-    workers = int(os.environ.get("FINGRAV_WORKERS", "1") or 1)
+    """Runner configured from FINGRAV_WORKERS / FINGRAV_PROFILE_CACHE (plus
+    the fault-model knobs read by :meth:`SweepConfig.from_env`)."""
+    workers = _parse_workers(os.environ.get("FINGRAV_WORKERS", "1") or 1, "FINGRAV_WORKERS")
     cache = os.environ.get("FINGRAV_PROFILE_CACHE") or None
     return SweepRunner(workers=workers, cache_dir=cache)
 
@@ -665,6 +1470,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--cache", default=None, metavar="DIR",
         help="content-keyed on-disk profile cache (default: FINGRAV_PROFILE_CACHE)",
     )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job watchdog timeout, workers > 1 only "
+             "(default: FINGRAV_JOB_TIMEOUT or disabled; 0 disables)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max retries per transiently-failing job (default: FINGRAV_MAX_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="run-manifest location (default: <cache>/manifest.json when caching)",
+    )
     parser.add_argument("--json", default=None, metavar="PATH", help="write summaries to a JSON file")
     parser.add_argument("--list", action="store_true", help="list experiment names and exit")
     args = parser.parse_args(argv)
@@ -678,20 +1496,50 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("nothing to run: pass --all or --experiments")
 
     scale = scale_by_name(args.scale) if args.scale else default_scale()
-    workers = args.workers if args.workers is not None else int(
-        os.environ.get("FINGRAV_WORKERS", "1") or 1
-    )
+    try:
+        if args.workers is not None:
+            workers = _parse_workers(args.workers, "--workers")
+        else:
+            workers = _parse_workers(
+                os.environ.get("FINGRAV_WORKERS", "1") or 1, "FINGRAV_WORKERS"
+            )
+        config = SweepConfig.from_env()
+        if args.job_timeout is not None:
+            config = replace(
+                config, job_timeout_s=args.job_timeout if args.job_timeout > 0 else None
+            )
+        if args.retries is not None:
+            config = replace(config, max_retries=args.retries)
+    except ValueError as error:
+        parser.error(str(error))
     cache = args.cache if args.cache is not None else (
         os.environ.get("FINGRAV_PROFILE_CACHE") or None
     )
-    runner = SweepRunner(workers=workers, cache_dir=cache)
+    try:
+        runner = SweepRunner(
+            workers=workers, cache_dir=cache, config=config, manifest_path=args.manifest
+        )
+    except ValueError as error:
+        parser.error(str(error))
 
     print(f"[sweep] scale={scale.name} workers={runner.workers} "
-          f"cache={runner.cache_dir or 'off'} experiments={' '.join(requested)}")
+          f"cache={runner.cache_dir or 'off'} "
+          f"timeout={config.job_timeout_s or 'off'} retries={config.max_retries} "
+          f"experiments={' '.join(requested)}")
     begin = time.perf_counter()
     job_error: SweepJobError | None = None
     try:
         results = run_sweep(requested, scale=scale, runner=runner)
+    except faults.FaultPlanError as error:
+        print(f"[sweep] ABORT: {error}")
+        return 2
+    except KeyboardInterrupt:
+        # The runner already cancelled/killed its pool and flushed the
+        # manifest before re-raising; exit with the conventional SIGINT code.
+        print("\n[sweep] interrupted: pending jobs cancelled", flush=True)
+        if runner.manifest_path is not None:
+            print(f"[sweep] partial manifest flushed to {runner.manifest_path}")
+        return 130
     except SweepJobError as error:
         # Salvage: report every experiment that still assembled, then exit
         # nonzero naming the failing job(s).
@@ -705,12 +1553,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         summaries[name] = summary
         print(f"\n=== {name} ===")
         print(json.dumps(summary, indent=2, default=str))
+    manifest = runner.last_manifest or {}
+    counts = manifest.get("counts", {})
     print(f"\n[sweep] done in {elapsed:.1f}s "
-          f"({runner.cache_hits} cache hits, {runner.workers} workers)")
+          f"({runner.cache_hits} cache hits, {runner.workers} workers, "
+          f"{counts.get('retried', 0)} retries, {counts.get('timed_out', 0)} timeouts, "
+          f"{counts.get('quarantined', 0)} quarantined)")
+    if runner.manifest_path is not None:
+        print(f"[sweep] manifest written to {runner.manifest_path}")
     if job_error is not None:
         print(f"\n[sweep] PARTIAL: {job_error}")
-        for job_id, description in sorted(job_error.failures.items()):
-            print(f"[sweep]   {job_id}: {description.splitlines()[0]}")
+        for job_id, failure in sorted(job_error.failures.items()):
+            print(f"[sweep]   {job_id}: {failure.summary_line}")
 
     if args.json:
         path = Path(args.json)
@@ -721,8 +1575,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "workers": runner.workers,
                 "seconds": elapsed,
                 "cache_hits": runner.cache_hits,
+                "manifest_counts": counts,
                 "summaries": summaries,
-                "failures": dict(job_error.failures) if job_error else {},
+                "failures": (
+                    {job_id: str(failure) for job_id, failure in job_error.failures.items()}
+                    if job_error else {}
+                ),
             },
             indent=2,
             default=str,
@@ -746,7 +1604,13 @@ __all__ = [
     "configured_result_mode",
     "execute_job",
     "job_key",
+    "SweepConfig",
+    "classify_retryable",
+    "JobFailure",
+    "backoff_delay",
     "SweepJobError",
+    "SweepManifest",
+    "MANIFEST_SCHEMA",
     "SweepRunner",
     "default_runner",
     "run_jobs",

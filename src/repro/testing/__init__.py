@@ -1,0 +1,13 @@
+"""Test/ops harnesses that ship with the library (not test-suite-only code).
+
+``repro.testing.faults`` is the deterministic fault-injection harness the
+sweep engine's supervised dispatcher is validated against; it is wired
+through the ``FINGRAV_FAULT_PLAN`` environment knob so operators can rehearse
+worker crashes, hangs and cache corruption against a real sweep (see
+``docs/sweep.md``).  The future distributed sweep service reuses the same
+plans, which is why this lives in ``src`` rather than ``tests/``.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

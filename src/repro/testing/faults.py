@@ -1,0 +1,266 @@
+"""Deterministic fault injection for the sweep execution layer.
+
+A :class:`FaultPlan` is a small, JSON-serialisable list of :class:`FaultSpec`
+entries describing *where* a fault fires (a job id, or any job matching a
+substring), *what* it does (kill the worker, hang, raise, corrupt the job's
+cache entry) and *for how many attempts* it keeps firing.  Matching is purely
+a function of ``(job id, attempt number)`` -- no wall clocks, no randomness,
+no cross-process state -- so a faulted sweep is exactly as deterministic as a
+clean one: a fault with ``attempts=1`` fires on a job's first attempt and
+never again, which is what lets the fault tests assert bit-identical results
+with and without injection.
+
+Plans reach the sweep through the ``FINGRAV_FAULT_PLAN`` environment knob
+(either inline JSON or ``@/path/to/plan.json``); worker processes honour the
+same knob, and :class:`~repro.experiments.sweep.SweepRunner` additionally
+ships the resolved plan with each dispatched job so spawn-style pools that do
+not inherit a live environment behave identically.
+
+Fault kinds:
+
+``crash``
+    The worker process exits hard (``os._exit``), modelling a segfaulting
+    compiled provider.  The supervising dispatcher sees the broken pool,
+    rebuilds it, and retries every job that was in flight.
+``hang``
+    The worker sleeps (default far longer than any sane job timeout),
+    modelling a wedged job.  The dispatcher's watchdog times the job out,
+    kills the pool and retries.  If no timeout is configured the sleep
+    eventually elapses and raises :class:`TransientInjectedFault` so the
+    sweep still terminates.
+``exception``
+    The job raises before running: :class:`TransientInjectedFault`
+    (retryable) by default, :class:`InjectedFault` (fatal) with
+    ``retryable=false``.
+``cache_corrupt``
+    Fires in the *parent* at cache-load time: the job's on-disk cache entry
+    is overwritten with garbage before the load, exercising the
+    quarantine-and-recompute path against genuine corruption.
+
+``crash`` and ``hang`` need a worker pool to be survivable; if one matches a
+job running inline (``workers=1``) the harness raises a fatal
+:class:`InjectedFault` instead of killing or wedging the caller's process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+#: Environment knob: inline JSON, or ``@/path/to/plan.json``.
+ENV_FAULT_PLAN = "FINGRAV_FAULT_PLAN"
+
+#: Kinds that fire inside job execution (worker side).
+EXECUTE_KINDS = ("crash", "hang", "exception")
+
+#: Kinds that fire at cache-load time (parent side).
+CACHE_KINDS = ("cache_corrupt",)
+
+FAULT_KINDS = EXECUTE_KINDS + CACHE_KINDS
+
+#: Bytes an injected cache corruption stamps over the entry, so operators can
+#: tell an injected corruption from a real one when inspecting quarantine.
+_CORRUPTION_STAMP = b"\x00fingrav: injected cache corruption\x00"
+
+
+class FaultPlanError(ValueError):
+    """A fault plan failed to parse or validate."""
+
+
+class InjectedFault(RuntimeError):
+    """An injected, genuinely-fatal job failure (not retried)."""
+
+
+class TransientInjectedFault(InjectedFault):
+    """An injected transient failure; the retry taxonomy retries these."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: where it fires, what it does, how many attempts it haunts.
+
+    ``job_id`` matches exactly; ``match`` matches any job id containing the
+    substring; giving both requires both; giving neither matches every job.
+    Execute-site faults fire while ``attempt < attempts`` (attempts are
+    0-indexed), so a spec with ``attempts=1`` costs the job exactly one
+    retry.  Cache faults ignore ``attempts``: they corrupt whatever entry is
+    on disk, and quarantine removes it, so they naturally fire at most once
+    per sweep.
+    """
+
+    kind: str
+    job_id: str | None = None
+    match: str | None = None
+    attempts: int = 1
+    #: Hang duration; long enough that any configured watchdog fires first.
+    seconds: float = 600.0
+    #: ``exception`` faults only: transient (retryable) vs fatal.
+    retryable: bool = True
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; pick one of {FAULT_KINDS}"
+            )
+        if self.attempts < 1:
+            raise FaultPlanError(f"fault attempts must be >= 1, got {self.attempts}")
+        if self.seconds <= 0:
+            raise FaultPlanError(f"fault seconds must be positive, got {self.seconds}")
+
+    def matches_job(self, job_id: str) -> bool:
+        if self.job_id is not None and job_id != self.job_id:
+            return False
+        if self.match is not None and self.match not in job_id:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of faults; first matching spec per site wins."""
+
+    faults: tuple[FaultSpec, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_payload(cls, payload: object) -> "FaultPlan":
+        """Build a plan from parsed JSON: a list of spec objects, or
+        ``{"faults": [...]}``."""
+        if isinstance(payload, dict):
+            payload = payload.get("faults", None)
+            if payload is None:
+                raise FaultPlanError('fault plan object must carry a "faults" list')
+        if not isinstance(payload, list):
+            raise FaultPlanError(
+                f"fault plan must be a JSON list of fault objects, got {type(payload).__name__}"
+            )
+        specs = []
+        valid = {f for f in FaultSpec.__dataclass_fields__}
+        for index, item in enumerate(payload):
+            if not isinstance(item, dict):
+                raise FaultPlanError(f"fault #{index} must be an object, got {item!r}")
+            unknown = sorted(set(item) - valid)
+            if unknown:
+                raise FaultPlanError(
+                    f"fault #{index} has unknown key(s) {unknown}; valid keys: {sorted(valid)}"
+                )
+            if "kind" not in item:
+                raise FaultPlanError(f'fault #{index} is missing the required "kind"')
+            specs.append(FaultSpec(**item))
+        return cls(faults=tuple(specs))
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a plan from JSON text (what ``FINGRAV_FAULT_PLAN`` holds)."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_payload(payload)
+
+    def to_payload(self) -> list[dict]:
+        return [asdict(spec) for spec in self.faults]
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload())
+
+    # ------------------------------------------------------------------ #
+    def execute_fault(self, job_id: str, attempt: int) -> FaultSpec | None:
+        """The execute-site fault that fires for this (job, attempt), if any."""
+        for spec in self.faults:
+            if (
+                spec.kind in EXECUTE_KINDS
+                and spec.matches_job(job_id)
+                and attempt < spec.attempts
+            ):
+                return spec
+        return None
+
+    def cache_fault(self, job_id: str) -> FaultSpec | None:
+        """The cache-site fault that fires for this job's entry, if any."""
+        for spec in self.faults:
+            if spec.kind in CACHE_KINDS and spec.matches_job(job_id):
+                return spec
+        return None
+
+
+def active_plan(environ: os._Environ | dict | None = None) -> FaultPlan | None:
+    """The plan named by ``FINGRAV_FAULT_PLAN``, or None when unset/empty.
+
+    The value is inline JSON, or ``@path`` to read the JSON from a file.
+    Malformed plans raise :class:`FaultPlanError` -- a typo'd plan must never
+    silently run a fault-free sweep that claims to have been faulted.
+    """
+    raw = (environ if environ is not None else os.environ).get(ENV_FAULT_PLAN, "")
+    raw = raw.strip()
+    if not raw:
+        return None
+    if raw.startswith("@"):
+        path = Path(raw[1:])
+        try:
+            raw = path.read_text()
+        except OSError as exc:
+            raise FaultPlanError(f"cannot read fault plan file {path}: {exc}") from exc
+    return FaultPlan.parse(raw)
+
+
+def fire(spec: FaultSpec, *, in_worker: bool) -> None:
+    """Trigger an execute-site fault (called from inside job execution)."""
+    if spec.kind == "exception":
+        exc_class = TransientInjectedFault if spec.retryable else InjectedFault
+        raise exc_class(
+            f"{spec.message} (kind=exception, retryable={spec.retryable})"
+        )
+    if not in_worker:
+        # Killing or wedging the caller's own process is never survivable;
+        # degrade to a fatal (non-retryable) in-process failure instead.
+        raise InjectedFault(
+            f"fault kind {spec.kind!r} requires a worker pool (workers > 1); "
+            f"refusing to {spec.kind} the supervising process"
+        )
+    if spec.kind == "crash":
+        os._exit(77)  # hard exit: no cleanup, models a segfaulting worker
+    if spec.kind == "hang":
+        time.sleep(spec.seconds)
+        raise TransientInjectedFault(
+            f"{spec.message} (kind=hang elapsed {spec.seconds}s without a "
+            f"watchdog timeout)"
+        )
+    raise FaultPlanError(f"cannot fire fault kind {spec.kind!r} at the execute site")
+
+
+def corrupt_entry(path: Path) -> bool:
+    """Overwrite the head of ``path`` with garbage and truncate it.
+
+    Models a half-written/truncated cache pickle.  Returns True when the file
+    existed and was corrupted, False when there was nothing to corrupt.
+    """
+    try:
+        with path.open("r+b") as handle:
+            handle.write(_CORRUPTION_STAMP)
+            handle.truncate(len(_CORRUPTION_STAMP))
+        return True
+    except FileNotFoundError:
+        return False
+    except OSError:
+        return False
+
+
+__all__ = [
+    "ENV_FAULT_PLAN",
+    "EXECUTE_KINDS",
+    "CACHE_KINDS",
+    "FAULT_KINDS",
+    "FaultPlanError",
+    "InjectedFault",
+    "TransientInjectedFault",
+    "FaultSpec",
+    "FaultPlan",
+    "active_plan",
+    "fire",
+    "corrupt_entry",
+]

@@ -173,7 +173,11 @@ class TestPartialFailureRecovery:
         error = excinfo.value
         assert "test/failing" in str(error)
         assert set(error.failures) == {"test/failing"}
-        assert "KeyError" in error.failures["test/failing"]
+        failure = error.failures["test/failing"]
+        assert failure.exc_type == "KeyError"
+        assert not failure.retryable  # a bad kernel spec is not transient
+        assert "Traceback" in failure.traceback  # debuggable across processes
+        assert "KeyError" in str(failure)
         # The good job finished, was returned, and was cached for replay.
         assert set(error.completed) == {good.job_id}
         replay = SweepRunner(workers=1, cache_dir=cache_dir)

@@ -1,0 +1,526 @@
+"""Fault-tolerant sweep execution: the fault matrix, retries and the manifest.
+
+Drives :class:`~repro.experiments.sweep.SweepRunner`'s supervised dispatcher
+with the deterministic fault-injection harness (:mod:`repro.testing.faults`):
+worker crashes recover via pool rebuilds, hung jobs hit the watchdog timeout
+and retry, corrupt cache entries quarantine to a miss, and results stay
+bit-identical with and without injected faults.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweep import (
+    JobFailure,
+    KernelSpec,
+    ProfileJob,
+    SweepConfig,
+    SweepJobError,
+    SweepRunner,
+    backoff_delay,
+    classify_retryable,
+    default_runner,
+    kernel_spec,
+    main,
+)
+from repro.testing import faults
+from repro.testing.faults import FaultPlan, FaultPlanError, FaultSpec
+
+
+def small_jobs() -> list[ProfileJob]:
+    return [
+        ProfileJob(
+            job_id="test/CB-2K-GEMM",
+            kernel=kernel_spec("cb_gemm", 2048),
+            runs=8,
+            backend_seed=51,
+            profiler_seed=151,
+            max_additional_runs=24,
+        ),
+        ProfileJob(
+            job_id="test/CB-4K-GEMM",
+            kernel=kernel_spec("cb_gemm", 4096),
+            runs=8,
+            backend_seed=52,
+            profiler_seed=152,
+            max_additional_runs=24,
+        ),
+    ]
+
+
+def fast_config(**overrides) -> SweepConfig:
+    """Sweep config with near-zero backoff so fault tests stay quick."""
+    settings = dict(
+        job_timeout_s=5.0,
+        max_retries=2,
+        backoff_base_s=0.01,
+        backoff_cap_s=0.05,
+        max_pool_rebuilds=4,
+    )
+    settings.update(overrides)
+    return SweepConfig(**settings)
+
+
+def plan(*specs: dict) -> FaultPlan:
+    return FaultPlan.from_payload(list(specs))
+
+
+def assert_result_maps_identical(left, right) -> None:
+    assert set(left) == set(right)
+    for job_id in left:
+        a, b = left[job_id], right[job_id]
+        for attribute in ("ssp_profile", "sse_profile", "run_profile"):
+            pa, pb = getattr(a, attribute), getattr(b, attribute)
+            assert len(pa) == len(pb)
+            assert np.array_equal(pa.times(), pb.times())
+            for component in pa.components:
+                assert np.array_equal(pa.series(component), pb.series(component))
+        assert a.golden_run_indices == b.golden_run_indices
+
+
+@pytest.fixture(scope="module")
+def clean_results():
+    """The fault-free reference results every faulted sweep must reproduce."""
+    return SweepRunner(workers=1, config=fast_config()).run(small_jobs())
+
+
+# --------------------------------------------------------------------------- #
+# The harness itself.
+# --------------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_parse_roundtrip(self):
+        original = plan(
+            {"kind": "crash", "job_id": "a", "attempts": 2},
+            {"kind": "hang", "match": "fig7/", "seconds": 30.0},
+            {"kind": "exception", "retryable": False},
+            {"kind": "cache_corrupt", "job_id": "b"},
+        )
+        assert FaultPlan.parse(original.to_json()) == original
+
+    def test_object_form_with_faults_key(self):
+        parsed = FaultPlan.parse('{"faults": [{"kind": "crash", "job_id": "a"}]}')
+        assert parsed.faults[0].kind == "crash"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            plan({"kind": "meteor-strike"})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown key"):
+            plan({"kind": "crash", "jobid": "typo"})
+
+    def test_missing_kind_and_bad_attempts_rejected(self):
+        with pytest.raises(FaultPlanError, match="kind"):
+            plan({"job_id": "a"})
+        with pytest.raises(FaultPlanError, match="attempts"):
+            plan({"kind": "crash", "attempts": 0})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.parse("{nope")
+
+    def test_match_semantics(self):
+        spec = FaultSpec(kind="exception", match="fig7/", attempts=2)
+        assert spec.matches_job("fig7/CB-2K-GEMM")
+        assert not spec.matches_job("fig8/CB-2K-GEMM")
+        exact = FaultSpec(kind="exception", job_id="fig7/CB-2K-GEMM")
+        assert exact.matches_job("fig7/CB-2K-GEMM")
+        assert not exact.matches_job("fig7/CB-4K-GEMM")
+
+    def test_execute_fault_attempt_window(self):
+        p = plan({"kind": "exception", "job_id": "a", "attempts": 2})
+        assert p.execute_fault("a", 0) is not None
+        assert p.execute_fault("a", 1) is not None
+        assert p.execute_fault("a", 2) is None  # past its window: retry succeeds
+        assert p.execute_fault("b", 0) is None
+
+    def test_active_plan_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(faults.ENV_FAULT_PLAN, raising=False)
+        assert faults.active_plan() is None
+        monkeypatch.setenv(faults.ENV_FAULT_PLAN, '[{"kind": "crash", "job_id": "a"}]')
+        assert faults.active_plan().faults[0].kind == "crash"
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text('[{"kind": "hang", "job_id": "b"}]')
+        monkeypatch.setenv(faults.ENV_FAULT_PLAN, f"@{plan_file}")
+        assert faults.active_plan().faults[0].kind == "hang"
+        monkeypatch.setenv(faults.ENV_FAULT_PLAN, "@/no/such/plan.json")
+        with pytest.raises(FaultPlanError, match="cannot read"):
+            faults.active_plan()
+
+    def test_malformed_env_plan_aborts_the_sweep(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_FAULT_PLAN, "{nope")
+        with pytest.raises(FaultPlanError):
+            SweepRunner(workers=1).run(small_jobs()[:1])
+
+
+# --------------------------------------------------------------------------- #
+# Retry taxonomy, backoff, structured failures.
+# --------------------------------------------------------------------------- #
+class TestRetryTaxonomy:
+    def test_transient_vs_fatal(self):
+        assert classify_retryable(OSError(28, "No space left on device"))
+        assert classify_retryable(TimeoutError("watchdog"))
+        assert classify_retryable(faults.TransientInjectedFault("injected"))
+        assert not classify_retryable(faults.InjectedFault("injected fatal"))
+        assert not classify_retryable(KeyError("bad kernel"))
+        assert not classify_retryable(ValueError("bad config"))
+        assert not classify_retryable(MemoryError())
+
+    def test_job_failure_captures_traceback(self):
+        try:
+            raise KeyError("no-such-kernel")
+        except KeyError as exc:
+            failure = JobFailure.from_exception(exc, attempts=3)
+        assert failure.exc_type == "KeyError"
+        assert failure.attempts == 3
+        assert not failure.retryable
+        assert "Traceback" in failure.traceback
+        assert "no-such-kernel" in failure.describe()
+
+    def test_legacy_description_adopted(self):
+        failure = JobFailure.from_description("ValueError: boom\ntrace line")
+        assert failure.exc_type == "ValueError"
+        assert failure.message == "boom"
+        assert failure.traceback == "trace line"
+
+
+class TestBackoff:
+    def test_deterministic_and_jittered(self):
+        first = backoff_delay("job/a", 1, 0.25, 8.0)
+        assert first == backoff_delay("job/a", 1, 0.25, 8.0)
+        assert first != backoff_delay("job/b", 1, 0.25, 8.0)  # desynchronised
+        assert 0.5 <= first < 0.75  # base*2 plus jitter in [0, base)
+
+    def test_exponential_growth_capped(self):
+        delays = [backoff_delay("job/a", n, 0.25, 1.0) for n in range(8)]
+        assert delays[0] < delays[1] < delays[2]
+        assert all(delay <= 1.0 for delay in delays)
+
+    def test_zero_base_disables(self):
+        assert backoff_delay("job/a", 5, 0.0, 8.0) == 0.0
+
+
+class TestConfigValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            SweepConfig(job_timeout_s=0)
+        with pytest.raises(ValueError):
+            SweepConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            SweepConfig(backoff_base_s=-0.1)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("FINGRAV_JOB_TIMEOUT", "12.5")
+        monkeypatch.setenv("FINGRAV_MAX_RETRIES", "5")
+        monkeypatch.setenv("FINGRAV_RETRY_BACKOFF", "0.1")
+        config = SweepConfig.from_env()
+        assert config.job_timeout_s == 12.5
+        assert config.max_retries == 5
+        assert config.backoff_base_s == 0.1
+        monkeypatch.setenv("FINGRAV_JOB_TIMEOUT", "off")
+        assert SweepConfig.from_env().job_timeout_s is None
+        monkeypatch.setenv("FINGRAV_JOB_TIMEOUT", "not-a-number")
+        with pytest.raises(ValueError, match="FINGRAV_JOB_TIMEOUT"):
+            SweepConfig.from_env()
+
+
+class TestWorkersValidation:
+    def test_runner_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            SweepRunner(workers=0)
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            SweepRunner(workers=-2)
+
+    def test_default_runner_rejects_bad_env(self, monkeypatch):
+        monkeypatch.setenv("FINGRAV_WORKERS", "0")
+        with pytest.raises(ValueError, match="FINGRAV_WORKERS"):
+            default_runner()
+        monkeypatch.setenv("FINGRAV_WORKERS", "two")
+        with pytest.raises(ValueError, match="FINGRAV_WORKERS"):
+            default_runner()
+
+    def test_cli_rejects_bad_workers(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--experiments", "table1", "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# Inline (workers=1) retries.
+# --------------------------------------------------------------------------- #
+class TestInlineRetries:
+    def test_transient_fault_retries_to_identical_result(self, clean_results):
+        runner = SweepRunner(
+            workers=1,
+            config=fast_config(),
+            fault_plan=plan({"kind": "exception", "job_id": "test/CB-2K-GEMM"}),
+        )
+        results = runner.run(small_jobs())
+        assert_result_maps_identical(results, clean_results)
+        ledger = runner.last_manifest["jobs"]["test/CB-2K-GEMM"]
+        assert ledger["retries"] == 1
+        assert ledger["attempts"] == 2
+        assert ledger["status"] == "recomputed"
+        untouched = runner.last_manifest["jobs"]["test/CB-4K-GEMM"]
+        assert untouched["retries"] == 0
+
+    def test_unhealing_transient_exhausts_retries(self):
+        runner = SweepRunner(
+            workers=1,
+            config=fast_config(max_retries=2),
+            fault_plan=plan(
+                {"kind": "exception", "job_id": "test/CB-2K-GEMM", "attempts": 99}
+            ),
+        )
+        with pytest.raises(SweepJobError) as excinfo:
+            runner.run(small_jobs())
+        failure = excinfo.value.failures["test/CB-2K-GEMM"]
+        assert failure.retryable  # it was transient -- retries just ran out
+        assert failure.attempts == 3  # initial + max_retries
+        assert "Traceback" in failure.traceback
+        # The sibling job still completed and is salvageable.
+        assert set(excinfo.value.completed) == {"test/CB-4K-GEMM"}
+
+    def test_fatal_injection_fails_without_retry(self):
+        runner = SweepRunner(
+            workers=1,
+            config=fast_config(),
+            fault_plan=plan(
+                {"kind": "exception", "job_id": "test/CB-2K-GEMM", "retryable": False}
+            ),
+        )
+        with pytest.raises(SweepJobError) as excinfo:
+            runner.run(small_jobs()[:1])
+        failure = excinfo.value.failures["test/CB-2K-GEMM"]
+        assert failure.attempts == 1  # fatal: no retries burned
+        assert not failure.retryable
+
+    def test_crash_fault_inline_degrades_to_fatal_failure(self):
+        # Killing the supervising process itself is never survivable; the
+        # harness must refuse and surface a fatal failure instead.
+        runner = SweepRunner(
+            workers=1,
+            config=fast_config(),
+            fault_plan=plan({"kind": "crash", "job_id": "test/CB-2K-GEMM"}),
+        )
+        with pytest.raises(SweepJobError) as excinfo:
+            runner.run(small_jobs()[:1])
+        failure = excinfo.value.failures["test/CB-2K-GEMM"]
+        assert failure.exc_type == "InjectedFault"
+        assert "requires a worker pool" in failure.message
+
+
+# --------------------------------------------------------------------------- #
+# Cache corruption: quarantine to a miss, recompute, never abort.
+# --------------------------------------------------------------------------- #
+class TestCacheQuarantine:
+    def test_injected_corruption_quarantines_and_recomputes(self, tmp_path, clean_results):
+        cache_dir = tmp_path / "cache"
+        warm = SweepRunner(workers=1, cache_dir=cache_dir, config=fast_config())
+        warm.run(small_jobs())
+        corruption = plan({"kind": "cache_corrupt", "job_id": "test/CB-2K-GEMM"})
+        faulted = SweepRunner(
+            workers=1, cache_dir=cache_dir, config=fast_config(), fault_plan=corruption
+        )
+        results = faulted.run(small_jobs())
+        assert_result_maps_identical(results, clean_results)
+        assert faulted.cache_hits == 1  # the untargeted job still hit
+        ledger = faulted.last_manifest["jobs"]["test/CB-2K-GEMM"]
+        assert ledger["quarantined"] == 1
+        assert ledger["status"] == "recomputed"
+        assert list(cache_dir.glob("*.pkl.corrupt"))  # evidence retained
+        # The recompute re-stored a healthy entry: a third sweep hits clean.
+        replay = SweepRunner(workers=1, cache_dir=cache_dir, config=fast_config())
+        replay.run(small_jobs())
+        assert replay.cache_hits == 2
+
+    def test_manually_truncated_entry_quarantined(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        warm = SweepRunner(workers=1, cache_dir=cache_dir, config=fast_config())
+        warm.run(small_jobs()[:1])
+        (entry,) = cache_dir.glob("*.pkl")
+        entry.write_bytes(entry.read_bytes()[:10])  # truncated write
+        retry = SweepRunner(workers=1, cache_dir=cache_dir, config=fast_config())
+        results = retry.run(small_jobs()[:1])
+        assert retry.cache_hits == 0
+        assert set(results) == {small_jobs()[0].job_id}
+        assert entry.with_name(entry.name + ".corrupt").exists()
+        # The recompute re-stored a healthy entry at the same path.
+        replay = SweepRunner(workers=1, cache_dir=cache_dir, config=fast_config())
+        replay.run(small_jobs()[:1])
+        assert replay.cache_hits == 1
+
+    def test_corrupt_spill_sidecar_quarantines_both(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        warm = SweepRunner(
+            workers=1, cache_dir=cache_dir, spill_points=1, config=fast_config()
+        )
+        warm.run(small_jobs()[:1])
+        (sidecar,) = cache_dir.glob("*.npz")
+        sidecar.write_bytes(b"not an npz")
+        retry = SweepRunner(
+            workers=1, cache_dir=cache_dir, spill_points=1, config=fast_config()
+        )
+        results = retry.run(small_jobs()[:1])
+        assert retry.cache_hits == 0
+        assert set(results) == {small_jobs()[0].job_id}
+        assert list(cache_dir.glob("*.pkl.corrupt"))
+        assert list(cache_dir.glob("*.npz.corrupt"))
+
+
+# --------------------------------------------------------------------------- #
+# Supervised pool execution: crashes, hangs, watchdog, pool rebuilds.
+# --------------------------------------------------------------------------- #
+class TestSupervisedFaults:
+    def test_worker_crash_mid_sweep_recovers(self, clean_results):
+        runner = SweepRunner(
+            workers=2,
+            config=fast_config(),
+            fault_plan=plan({"kind": "crash", "job_id": "test/CB-2K-GEMM"}),
+        )
+        results = runner.run(small_jobs())
+        assert_result_maps_identical(results, clean_results)
+        manifest = runner.last_manifest
+        assert manifest["counts"]["worker_crashes"] >= 1
+        assert manifest["jobs"]["test/CB-2K-GEMM"]["retries"] >= 1
+        assert manifest["counts"]["failed"] == 0
+
+    def test_hung_job_times_out_and_retries(self, clean_results):
+        runner = SweepRunner(
+            workers=2,
+            config=fast_config(job_timeout_s=1.5),
+            fault_plan=plan(
+                {"kind": "hang", "job_id": "test/CB-2K-GEMM", "seconds": 60.0}
+            ),
+        )
+        results = runner.run(small_jobs())
+        assert_result_maps_identical(results, clean_results)
+        ledger = runner.last_manifest["jobs"]["test/CB-2K-GEMM"]
+        assert ledger["timeouts"] >= 1
+        assert ledger["retries"] >= 1
+        assert ledger["status"] == "recomputed"
+
+    def test_fatal_job_surfaces_through_the_pool(self):
+        bad = ProfileJob(
+            job_id="test/fatal",
+            kernel=KernelSpec(key="no-such-kernel"),
+            runs=4,
+            backend_seed=1,
+            profiler_seed=2,
+        )
+        runner = SweepRunner(workers=2, config=fast_config())
+        with pytest.raises(SweepJobError) as excinfo:
+            runner.run(small_jobs() + [bad])
+        failure = excinfo.value.failures["test/fatal"]
+        assert failure.exc_type == "KeyError"
+        assert failure.attempts == 1
+        assert "Traceback" in failure.traceback
+        assert set(excinfo.value.completed) == {job.job_id for job in small_jobs()}
+
+    def test_pool_rebuild_budget_bounds_a_crash_storm(self):
+        # Every attempt crashes; the rebuild budget must terminate the sweep
+        # with structured failures instead of looping forever.
+        runner = SweepRunner(
+            workers=2,
+            config=fast_config(max_retries=1, max_pool_rebuilds=2),
+            fault_plan=plan({"kind": "crash", "attempts": 99}),
+        )
+        with pytest.raises(SweepJobError) as excinfo:
+            runner.run(small_jobs())
+        assert set(excinfo.value.failures) == {job.job_id for job in small_jobs()}
+
+    def test_results_identical_across_fault_matrix(self, clean_results):
+        # One crash, one transient exception, minimal backoff: the faulted
+        # parallel sweep must reproduce the fault-free serial sweep exactly.
+        runner = SweepRunner(
+            workers=2,
+            config=fast_config(),
+            fault_plan=plan(
+                {"kind": "crash", "job_id": "test/CB-2K-GEMM"},
+                {"kind": "exception", "job_id": "test/CB-4K-GEMM"},
+            ),
+        )
+        results = runner.run(small_jobs())
+        assert_result_maps_identical(results, clean_results)
+
+
+# --------------------------------------------------------------------------- #
+# The run manifest.
+# --------------------------------------------------------------------------- #
+class TestManifest:
+    def test_written_next_to_cache_with_provenance(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        runner = SweepRunner(workers=1, cache_dir=cache_dir, config=fast_config())
+        runner.run(small_jobs())
+        manifest_path = cache_dir / "manifest.json"
+        assert manifest_path.exists()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["schema"] == 1
+        assert manifest["workers"] == 1
+        assert "engine" in manifest and "provider" in manifest["engine"]
+        assert manifest["config"]["max_retries"] == 2
+        assert manifest["counts"]["recomputed"] == 2
+        for job in small_jobs():
+            entry = manifest["jobs"][job.job_id]
+            assert entry["status"] == "recomputed"
+            assert entry["cache_stored"]
+            assert entry["seconds"] > 0
+        # Replay flips every job to a hit.
+        replay = SweepRunner(workers=1, cache_dir=cache_dir, config=fast_config())
+        replay.run(small_jobs())
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["counts"]["hits"] == 2
+
+    def test_last_manifest_populated_without_cache(self):
+        runner = SweepRunner(workers=1, config=fast_config())
+        runner.run(small_jobs()[:1])
+        assert runner.manifest_path is None
+        manifest = runner.last_manifest
+        assert manifest["counts"]["recomputed"] == 1
+        assert not manifest["interrupted"]
+
+    def test_failed_jobs_recorded(self):
+        runner = SweepRunner(
+            workers=1,
+            config=fast_config(),
+            fault_plan=plan(
+                {"kind": "exception", "job_id": "test/CB-2K-GEMM", "retryable": False}
+            ),
+        )
+        with pytest.raises(SweepJobError):
+            runner.run(small_jobs())
+        manifest = runner.last_manifest
+        assert manifest["counts"]["failed"] == 1
+        entry = manifest["jobs"]["test/CB-2K-GEMM"]
+        assert entry["status"] == "failed"
+        assert "InjectedFault" in entry["error"]
+        assert manifest["fault_plan"][0]["kind"] == "exception"
+
+    def test_interrupt_flushes_partial_manifest(self, tmp_path, monkeypatch):
+        import repro.experiments.sweep as sweep_module
+
+        cache_dir = tmp_path / "cache"
+        runner = SweepRunner(workers=1, cache_dir=cache_dir, config=fast_config())
+
+        calls = {"n": 0}
+        real = sweep_module.execute_job
+
+        def interrupting(job):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt
+            return real(job)
+
+        monkeypatch.setattr(sweep_module, "execute_job", interrupting)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(small_jobs())
+        manifest = json.loads((cache_dir / "manifest.json").read_text())
+        assert manifest["interrupted"]
+        statuses = {job_id: entry["status"] for job_id, entry in manifest["jobs"].items()}
+        assert statuses["test/CB-2K-GEMM"] == "recomputed"  # finished before ^C
+        assert statuses["test/CB-4K-GEMM"] == "pending"
