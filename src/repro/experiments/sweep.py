@@ -242,10 +242,51 @@ def execute_job(job: ProfileJob) -> object:
     )
 
 
+#: Scalar types whose ``repr`` is canonical and type-stable across processes
+#: and environments -- the only scalars a cache-key payload may carry.
+_KEY_SAFE_SCALARS = (bool, int, str, bytes, type(None))
+
+
+def _require_canonical(field_name: str, value: object) -> None:
+    """Reject repr-unstable values before they enter the content key.
+
+    The key is a hash of ``repr``, so every payload value must have one
+    canonical, type-stable spelling: floats drift with environment-dependent
+    rounding (and ``1.0 != 1`` only sometimes), sets with iteration order,
+    and arbitrary objects with their default ``<... at 0x...>`` repr.  The
+    check is additive -- values that pass hash exactly as before, so
+    existing warm caches stay valid.
+    """
+    if isinstance(value, _KEY_SAFE_SCALARS):
+        return
+    if isinstance(value, tuple):
+        for item in value:
+            _require_canonical(field_name, item)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"job_key: field {field_name!r} carries a dict keyed by "
+                    f"{type(key).__name__}; cache-key dicts must be "
+                    "str-keyed so sorting them is total and stable"
+                )
+            _require_canonical(field_name, item)
+        return
+    raise TypeError(
+        f"job_key: field {field_name!r} carries a {type(value).__name__} "
+        f"({value!r}), which has no canonical type-stable repr; cache keys "
+        "accept None/bool/int/str/bytes and tuples or str-keyed dicts of "
+        "those (floats drift with rounding, sets with iteration order)"
+    )
+
+
 def job_key(job: ProfileJob) -> str:
     """Content hash of everything that determines a job's result (not its id)."""
     payload = asdict(job)
     payload.pop("job_id")
+    for name, value in payload.items():
+        _require_canonical(name, value)
     digest = hashlib.sha256(
         f"{_CACHE_SCHEMA}:{sorted(payload.items())!r}".encode()
     ).hexdigest()
@@ -435,10 +476,10 @@ class _ColumnSpillPickler(pickle.Pickler):
     def persistent_id(self, obj: object) -> tuple[str, int] | None:
         if not isinstance(obj, ProfileColumns) or len(obj) < self._spill_points:
             return None
-        index = self._indices.get(id(obj))
+        index = self._indices.get(id(obj))  # statics: allow[identity-hash] -- in-process dedup only; what persists is the first-encounter spill index
         if index is None:
             index = len(self.spilled)
-            self._indices[id(obj)] = index
+            self._indices[id(obj)] = index  # statics: allow[identity-hash] -- the pinned reference in self.spilled keeps the id stable for the dump
             self.spilled.append(obj)
         return (_SPILL_TAG, index)
 
@@ -654,7 +695,7 @@ class SweepManifest:
         }
         return {
             "schema": MANIFEST_SCHEMA,
-            "created_unix": time.time(),
+            "created_unix": time.time(),  # statics: allow[wall-clock] -- manifest provenance stamp; never read back into results
             "interrupted": interrupted,
             "elapsed_s": round(time.perf_counter() - self._started, 6),
             "workers": self.workers,
@@ -1263,7 +1304,7 @@ class SweepRunner:
         """
         if self.cache_dir is None or not self.cache_dir.is_dir():
             return
-        cutoff = time.time() - _STALE_STAGING_S
+        cutoff = time.time() - _STALE_STAGING_S  # statics: allow[wall-clock] -- GC cutoff compared against file mtimes, which are wall-clock too
         for pattern in ("*.pkl.*.tmp", "*.npz.*.tmp", "*.json.*.tmp"):
             for stray in self.cache_dir.glob(pattern):
                 try:

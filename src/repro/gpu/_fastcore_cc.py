@@ -619,7 +619,7 @@ class CcKernels:
         self._ptrs: dict[int, tuple] = {}
 
     def _ptr(self, arr) -> int:
-        cached = self._ptrs.get(id(arr))
+        cached = self._ptrs.get(id(arr))  # statics: allow[identity-hash] -- pointer cache; the pinned array reference keeps the id stable
         if cached is not None and cached[0] is arr:
             return cached[1]
         if not arr.flags["C_CONTIGUOUS"]:
@@ -627,7 +627,7 @@ class CcKernels:
         if len(self._ptrs) > 64:  # scratch arrays from tests/self-checks
             self._ptrs.clear()
         address = arr.ctypes.data
-        self._ptrs[id(arr)] = (arr, address)
+        self._ptrs[id(arr)] = (arr, address)  # statics: allow[identity-hash] -- cached address is per-process by nature and never persisted
         return address
 
     def idle(self, st, pp, duration, record, seg, ev, lens):

@@ -170,7 +170,7 @@ class SimulatedDeviceBackend:
             # strong reference keeps the id stable; the cache is bounded so a
             # long-lived backend profiling many kernels cannot grow (or pin
             # handles) without limit.
-            cached = self._descriptor_cache.get(id(kernel))
+            cached = self._descriptor_cache.get(id(kernel))  # statics: allow[identity-hash] -- in-process cache; the pinned strong ref keeps the id stable
             if cached is not None and cached[0] is kernel:
                 return cached[1]
         descriptor = getattr(kernel, "activity_descriptor", None)
@@ -179,7 +179,7 @@ class SimulatedDeviceBackend:
             if self._device.vectorized:
                 if len(self._descriptor_cache) >= self._DESCRIPTOR_CACHE_LIMIT:
                     self._descriptor_cache.clear()
-                self._descriptor_cache[id(kernel)] = (kernel, derived)
+                self._descriptor_cache[id(kernel)] = (kernel, derived)  # statics: allow[identity-hash] -- cache key never escapes the process
             return derived
         raise TypeError(
             "kernel handle must be a KernelActivityDescriptor or provide "

@@ -1,0 +1,45 @@
+"""Static analysis gating the repo's determinism and engine-parity invariants.
+
+Every headline result of this reproduction rests on invariants that the test
+suite can only enforce *dynamically*: the engine matrix is pinned bit-identical
+by equivalence tests, the compiled providers by a runtime self-check, the sweep
+cache by a repr-based content key.  This package enforces the same invariants
+at *analysis time* -- before any test runs -- with four AST-based checker
+families (stdlib ``ast`` only, no third-party parsers):
+
+``determinism`` (:mod:`repro.statics.determinism`)
+    In the declared deterministic-critical modules (``gpu/``, ``core/``,
+    ``experiments/sweep.py``, ``testing/faults.py``): wall-clock reads,
+    unseeded RNG construction, builtin ``hash()``/``id()`` (process-unstable
+    values that must never feed persisted or cache-key data), and iteration
+    over unordered sets where the order can escape into results.
+
+``cache-key`` (:mod:`repro.statics.cachekey`)
+    Cross-checks the dataclass fields of ``ProfileJob`` / ``SweepConfig`` /
+    ``ProfilerConfig`` / ``BackendConfig`` against the key-payload
+    construction in ``experiments/sweep.py``: a newly added field must either
+    flow into the content key or carry an explicit exemption with a reason.
+
+``parity`` (:mod:`repro.statics.parity`)
+    Verifies the compiled kernel bodies in ``gpu/_fastcore_kernels.py`` match
+    the recorded parity manifest (normalised-AST digests, modulo decorators/
+    annotations/docstrings) and diffs the hand-mirrored C source in
+    ``gpu/_fastcore_cc.py`` against its Python twins (float constants,
+    layout ``#define`` values, function pairing and signatures).
+
+``contracts`` (:mod:`repro.statics.contracts`)
+    Detects lambdas, closures and local classes handed to process-pool
+    submission -- payloads that only fail at pickle time today.
+
+Findings are suppressible per line with a pragma that *requires* a reason::
+
+    cutoff = time.time() - STALE_S  # statics: allow[wall-clock] -- GC cutoff
+
+Run ``python -m repro.statics`` (``--json`` for the machine format); the repo
+must come out clean.  See ``docs/statics.md`` for the rule catalogue.
+"""
+
+from .base import Finding, Project, RULE_DOCS
+from .cli import main, run_all
+
+__all__ = ["Finding", "Project", "RULE_DOCS", "main", "run_all"]
