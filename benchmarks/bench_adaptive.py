@@ -1,0 +1,108 @@
+"""Benchmark: adaptive convergence-driven collection vs fixed run counts.
+
+The streaming :class:`~repro.core.session.ProfileSession` stops collecting
+once the golden-run SSP/SSE confidence intervals fall within
+``convergence_rtol`` of the section means, turning the methodology's
+worst-case run budgets (Table I) into expected-case ones.  This benchmark
+profiles a short, a throttled and a memory-bound kernel under both policies
+and records, per kernel:
+
+* runs collected and wall time, fixed vs adaptive;
+* the stop reason and the final relative CI the session reached;
+* the drift of the adaptive SSP power estimate against the fixed one,
+  which must stay within the convergence tolerance.
+
+Results are written to the ``adaptive`` section of ``BENCH_profiler.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.profiler import FinGraVProfiler, ProfilerConfig
+from repro.gpu.backend import SimulatedDeviceBackend
+from repro.gpu.spec import mi300x_spec
+from repro.kernels.workloads import cb_gemm, mb_gemv
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_profiler.json"
+
+#: (kernel builder, planned runs, top-up budget, backend/profiler seeds).
+CASES = {
+    "CB-2K-GEMM": (lambda: cb_gemm(2048), 40, 300, 11, 211),
+    "CB-8K-GEMM": (lambda: cb_gemm(8192), 50, 200, 12, 212),
+    "MB-8K-GEMV": (lambda: mb_gemv(8192), 60, 120, 13, 213),
+}
+
+
+def _profile(name: str, adaptive: bool):
+    build, runs, budget, backend_seed, profiler_seed = CASES[name]
+    backend = SimulatedDeviceBackend(spec=mi300x_spec(), seed=backend_seed)
+    profiler = FinGraVProfiler(
+        backend,
+        ProfilerConfig(
+            seed=profiler_seed, max_additional_runs=budget, adaptive=adaptive
+        ),
+    )
+    begin = time.perf_counter()
+    result = profiler.profile(build(), runs=runs)
+    return result, time.perf_counter() - begin
+
+
+def _merge_section(update: dict) -> None:
+    payload = {}
+    if RESULT_PATH.exists():
+        try:
+            payload = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    section = dict(payload.get("adaptive") or {})
+    section.update(update)
+    payload["adaptive"] = section
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+@pytest.mark.bench
+def test_adaptive_expected_vs_worst_case_runs():
+    rows = {}
+    for name in CASES:
+        fixed, fixed_s = _profile(name, adaptive=False)
+        adaptive, adaptive_s = _profile(name, adaptive=True)
+        audit = adaptive.metadata["collection"]
+        fixed_ssp = fixed.ssp_profile.mean_power_w("total")
+        adaptive_ssp = adaptive.ssp_profile.mean_power_w("total")
+        drift = abs(adaptive_ssp - fixed_ssp) / fixed_ssp
+        rows[name] = {
+            "fixed_runs": fixed.num_runs,
+            "adaptive_runs": adaptive.num_runs,
+            "runs_saved_vs_fixed": fixed.num_runs - adaptive.num_runs,
+            "stop_reason": audit["stop_reason"],
+            "final_relative_ci": audit["final_relative_ci"],
+            "fixed_seconds": round(fixed_s, 4),
+            "adaptive_seconds": round(adaptive_s, 4),
+            "ssp_drift": round(drift, 5),
+        }
+        print(f"\n[adaptive] {name}: fixed {fixed.num_runs} runs "
+              f"({fixed_s:.2f}s) -> adaptive {adaptive.num_runs} runs "
+              f"({adaptive_s:.2f}s), stop={audit['stop_reason']}, "
+              f"drift={drift:.4f}")
+        # Early stopping must never move the estimate outside the tolerance.
+        assert drift <= ProfilerConfig().convergence_rtol, (name, drift)
+        # When convergence never fires (target/budget-bound kernels) the
+        # capped checkpoint batches may overshoot the fixed policy's one-shot
+        # yield-scaled sizing by at most one batch.
+        overshoot_cap = max(2 * ProfilerConfig().checkpoint_every, 16)
+        assert adaptive.num_runs <= fixed.num_runs + overshoot_cap, (name, rows[name])
+    # At least one kernel genuinely converts worst-case runs into
+    # expected-case ones.
+    assert any(row["runs_saved_vs_fixed"] > 0 for row in rows.values()), rows
+    _merge_section({
+        "note": (
+            "fixed vs convergence-driven adaptive collection "
+            "(ProfileSession, rtol=0.05); same seeds and budgets per kernel"
+        ),
+        "kernels": rows,
+    })

@@ -67,6 +67,7 @@ from .report import (
     profile_summary_row,
     result_report,
 )
+from .session import ProfileSession, ProfileSnapshot, STOP_REASONS
 from .stitching import ProfileStitcher, StitchedRunSeries
 from .timesync import (
     ClockSynchronizer,
@@ -135,6 +136,9 @@ __all__ = [
     "guidance_report",
     "profile_summary_row",
     "result_report",
+    "ProfileSession",
+    "ProfileSnapshot",
+    "STOP_REASONS",
     "ProfileStitcher",
     "StitchedRunSeries",
     "ClockSynchronizer",

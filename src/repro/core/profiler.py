@@ -29,12 +29,11 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from .backend import PrecedingWork, ProfilingBackend
-from .binning import BinningResult, ExecutionTimeBinner
-from .differentiation import DifferentiationPlan, build_plan
+from .binning import BinningResult
+from .differentiation import DifferentiationPlan
 from .guidance import GuidanceEntry, GuidanceTable, paper_guidance_table
 from .profile import FineGrainProfile, measurement_error
 from .records import COMPONENT_KEYS, DelayCalibration, RunRecord
-from .stitching import ProfileStitcher
 
 
 @dataclass(frozen=True)
@@ -105,6 +104,45 @@ class ProfilerConfig:
     #: ``result_mode="full"`` (e.g. when ``FINGRAV_RESULT_MODE=full``
     #: overrides a driver's default at job-construction time).
     profile_sections: tuple[str, ...] | None = None
+    #: Stop run collection early once the golden-run SSP/SSE estimates have
+    #: converged (per-bin 95 % confidence intervals within
+    #: ``convergence_rtol`` of the section mean).  ``False`` reproduces the
+    #: paper's fixed-count collection exactly -- the session path is pinned
+    #: bit-identical to the pre-session ``profile()``.
+    adaptive: bool = False
+    #: Relative CI half-width below which a profile section counts as
+    #: converged (adaptive mode only).
+    convergence_rtol: float = 0.05
+    #: Never stop adaptively before this many runs were collected.
+    min_runs: int = 12
+    #: Runs collected between convergence checkpoints in adaptive mode.
+    checkpoint_every: int = 8
+
+    def __post_init__(self) -> None:
+        if self.runs is not None and self.runs <= 0:
+            raise ValueError(f"runs must be positive, got {self.runs}")
+        if self.max_additional_runs < 0:
+            raise ValueError(
+                f"max_additional_runs must be non-negative, got {self.max_additional_runs}"
+            )
+        if self.calibration_samples <= 0:
+            raise ValueError(
+                f"calibration_samples must be positive, got {self.calibration_samples}"
+            )
+        if self.timing_executions <= 0:
+            raise ValueError(
+                f"timing_executions must be positive, got {self.timing_executions}"
+            )
+        if self.convergence_rtol <= 0.0:
+            raise ValueError(
+                f"convergence_rtol must be positive, got {self.convergence_rtol}"
+            )
+        if self.min_runs <= 0:
+            raise ValueError(f"min_runs must be positive, got {self.min_runs}")
+        if self.checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {self.checkpoint_every}"
+            )
 
     def with_overrides(self, **kwargs: object) -> "ProfilerConfig":
         return replace(self, **kwargs)
@@ -367,6 +405,9 @@ def _result_summary(result: "FinGraVResult | SlimFinGraVResult") -> dict[str, ob
         summary["sse_mean_total_w"] = result.sse_profile.mean_power_w("total")
     if not result.ssp_profile.is_empty and not result.sse_profile.is_empty:
         summary["sse_vs_ssp_error"] = result.sse_vs_ssp_error()
+    collection = result.metadata.get("collection")
+    if collection is not None:
+        summary["collection"] = dict(collection)
     return summary
 
 
@@ -431,177 +472,56 @@ class FinGraVProfiler:
         before the kernel of interest (the interleaved-execution studies of
         paper Section V-C3).  With ``config.result_mode == "slim"`` the
         returned result is the slim projection (same profiles, no raw runs).
+
+        This is a thin driver over :class:`~repro.core.session.ProfileSession`:
+        the session is set up (steps 1-4), collected to completion (steps 5-8,
+        fixed-count or adaptive per ``config.adaptive``), and its final result
+        (step 9) returned.  With ``adaptive=False`` the output is bit-identical
+        to the pre-session monolithic implementation.
         """
-        config = self._config
+        session = self.session(kernel, runs=runs, preceding=preceding, metadata=metadata)
+        session.run_to_completion()
+        return session.result()
 
-        # Step 1: execution time and guidance.
-        execution_time = self.time_kernel(kernel)
-        guidance = self._guidance.lookup(execution_time)
-        planned_runs = runs if runs is not None else (
-            config.runs if config.runs is not None else guidance.runs
-        )
-        margin = (
-            config.binning_margin if config.binning_margin is not None
-            else guidance.binning_margin
-        )
+    def session(
+        self,
+        kernel: object,
+        runs: int | None = None,
+        preceding: Sequence[PrecedingWork] = (),
+        metadata: Mapping[str, object] | None = None,
+    ) -> "ProfileSession":
+        """Open a resumable profiling session for ``kernel``.
 
-        # Step 2: instrumentation calibration.
-        calibration = self._backend.calibrate_read_delay(config.calibration_samples)
+        The setup phase (steps 1-4: timing, guidance, calibration and the
+        differentiation plan) runs eagerly; run collection is then advanced
+        batch by batch via :meth:`~repro.core.session.ProfileSession.step`,
+        :meth:`~repro.core.session.ProfileSession.iter_profiles` or
+        :meth:`~repro.core.session.ProfileSession.run_to_completion`.
+        """
+        from .session import ProfileSession
 
-        # Steps 3-4: differentiation plan (warm-ups, SSE, SSP executions).
-        plan = build_plan(
-            self._backend,
-            kernel,
-            execution_time,
-            warmup_tolerance=config.warmup_tolerance,
-            refine_with_power_search=(
-                config.differentiate and config.refine_ssp_with_power_search
-            ),
-        )
-        if config.differentiate:
-            window_fill = self._backend.power_sample_period_s / max(execution_time, 1e-9)
-            tail = int(np.ceil(window_fill * config.ssp_tail_fraction))
-            tail = min(max(tail, config.min_ssp_tail_executions), config.max_ssp_tail_executions)
-            executions_per_run = plan.ssp_executions + tail
-        else:
-            executions_per_run = plan.sse_executions
-
-        # Step 5: execute the runs with random delays.
-        records = self._collect_runs(kernel, planned_runs, executions_per_run, preceding, 0)
-
-        # Step 6: golden-run selection by execution-time binning.  The binner
-        # is built once; on the vectorized path it maintains its sorted state
-        # across top-up batches (ExecutionTimeBinner.extend), so each re-bin
-        # costs O(batch) searches instead of a Python re-scan of every run.
-        binning: BinningResult | None = None
-        golden_indices: Sequence[int] | None = None
-        binner = ExecutionTimeBinner(margin) if config.apply_binning else None
-        ssp_durations = [record.ssp_execution.duration_s for record in records]
-        if binner is not None:
-            if config.vectorized:
-                binning = binner.extend(ssp_durations)
-            else:
-                binning = binner.bin(ssp_durations)
-            golden_indices = [records[i].run_index for i in binning.selected_indices]
-
-        # Step 7: sync and LOI extraction (via the stitcher).
-        stitcher = ProfileStitcher(
-            components=config.components,
-            calibration=calibration if config.synchronize else None,
-            synchronize=config.synchronize,
-            vectorized=config.vectorized,
-            columnar=config.columnar,
-        )
-        series = stitcher.collect(records)
-
-        # Step 8: top up runs until the LOI target is met.  The batch size is
-        # scaled to the observed LOI yield per run so that short kernels (which
-        # yield an LOI only every few dozen runs) converge in few batches.
-        target_lois = guidance.recommended_lois(execution_time)
-        # The SSE profile draws from a single execution per run, so it needs a
-        # minimum number of LOIs of its own for the SSE/SSP comparison.
-        sse_target = min(4, target_lois) if config.differentiate else 0
-        extra_budget = config.max_additional_runs
-        ssp_start = self._ssp_start_index(plan) if config.differentiate else None
-
-        def ssp_have() -> int:
-            if config.vectorized:
-                if ssp_start is None:
-                    return series.count_last_execution_lois(golden_indices)
-                return series.count_lois(
-                    min_execution_index=ssp_start, golden_runs=golden_indices
-                )
-            # Legacy (pre-vectorization) behaviour: materialise the LOI lists.
-            if ssp_start is None:
-                lois = series.lois_for_last_execution()
-            else:
-                lois = [
-                    loi for loi in series.all_lois() if loi.execution_index >= ssp_start
-                ]
-            return self._count_golden(lois, golden_indices)
-
-        def shortfall() -> int:
-            if config.vectorized:
-                sse_have = series.count_lois(
-                    execution_index=plan.sse_index, golden_runs=golden_indices
-                )
-            else:
-                sse_have = self._count_golden(
-                    series.lois_for_execution(plan.sse_index), golden_indices
-                )
-            return max(target_lois - ssp_have(), sse_target - sse_have)
-
-        while shortfall() > 0 and extra_budget > 0:
-            missing = shortfall()
-            have_total = max(ssp_have(), 1)
-            observed_yield = max(have_total / max(len(records), 1), 0.01)
-            needed = int(np.ceil(missing / observed_yield))
-            batch = min(max(needed, 16), extra_budget)
-            extra_records = self._collect_runs(
-                kernel, batch, executions_per_run, preceding, start_index=len(records)
-            )
-            records = records + extra_records
-            extra_budget -= batch
-            if binner is not None and extra_records:
-                if config.vectorized:
-                    binning = binner.extend(
-                        record.ssp_execution.duration_s for record in extra_records
-                    )
-                else:
-                    # Legacy behaviour: rebuild the binner and the duration
-                    # list from scratch every batch.
-                    binner = ExecutionTimeBinner(margin)
-                    ssp_durations = [
-                        record.ssp_execution.duration_s for record in records
-                    ]
-                    binning = binner.bin(ssp_durations)
-                golden_indices = [records[i].run_index for i in binning.selected_indices]
-            if config.vectorized:
-                series = stitcher.extend(series, extra_records)
-            else:
-                # Legacy behaviour: re-extract the entire record list.
-                series = stitcher.collect(records)
-
-        # Step 9: stitch the profiles.  SSP and SSE are always built (the
-        # summary snapshot needs their means and the SSE-vs-SSP error); the
-        # whole-run profile -- typically the bulk of a payload -- is only
-        # stitched when the result actually carries it: full mode, or a slim
-        # section declaration that includes "run".
-        base_metadata = dict(metadata or {})
-        base_metadata.setdefault("preceding", [self._describe_preceding(p) for p in preceding])
-        sections = PROFILE_SECTIONS
-        if config.result_mode == "slim":
-            sections = normalize_profile_sections(config.profile_sections)
-        build = tuple(
-            name for name in PROFILE_SECTIONS
-            if name in ("ssp", "sse") or name in sections
-        )
-        built = stitcher.section_profiles(
-            series,
-            build,
-            golden_runs=golden_indices,
-            sse_index=plan.sse_index,
-            min_execution_index=self._ssp_start_index(plan),
-            metadata=base_metadata,
+        return ProfileSession(
+            self, kernel, runs=runs, preceding=preceding, metadata=metadata
         )
 
-        result = FinGraVResult(
-            kernel_name=self._backend.kernel_name(kernel),
-            execution_time_s=execution_time,
-            guidance=guidance,
-            plan=plan,
-            calibration=calibration,
-            runs=tuple(records),
-            binning=binning,
-            ssp_profile=built["ssp"],
-            sse_profile=built["sse"],
-            run_profile=built.get("run"),
-            config=config,
-            metadata=base_metadata,
-        )
-        if config.result_mode == "slim":
-            return result.slim(sections)
-        return result
+    def iter_profiles(
+        self,
+        kernel: object,
+        runs: int | None = None,
+        preceding: Sequence[PrecedingWork] = (),
+        metadata: Mapping[str, object] | None = None,
+    ):
+        """Stream progressively refined profile snapshots for ``kernel``.
+
+        Yields one :class:`~repro.core.session.ProfileSnapshot` per collection
+        batch -- each carrying the SSP/SSE profiles stitched from the runs so
+        far plus convergence diagnostics -- ending with the final snapshot
+        (``snapshot.final`` is True).  Equivalent to iterating
+        ``self.session(...).iter_profiles()``.
+        """
+        return self.session(
+            kernel, runs=runs, preceding=preceding, metadata=metadata
+        ).iter_profiles()
 
     # ------------------------------------------------------------------ #
     # Internals.

@@ -46,6 +46,7 @@ from .sweep import (
     SweepJobError,
     SweepManifest,
     SweepRunner,
+    configured_adaptive,
     configured_result_mode,
     default_runner,
     execute_job,
@@ -94,6 +95,7 @@ __all__ = [
     "SweepJobError",
     "SweepManifest",
     "SweepRunner",
+    "configured_adaptive",
     "configured_result_mode",
     "default_runner",
     "execute_job",

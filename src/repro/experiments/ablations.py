@@ -32,7 +32,7 @@ from ..core.timesync import extract_lois, synchronizer_for_run
 from ..gpu.spec import ClockSpec, GPUSpec, mi300x_spec
 from ..kernels.workloads import cb_gemm
 from .common import ExperimentScale, default_scale, make_backend, make_profiler
-from .sweep import ProfileJob, SweepRunner, configured_result_mode, kernel_spec, run_jobs
+from .sweep import ProfileJob, SweepRunner, configured_adaptive, configured_result_mode, kernel_spec, run_jobs
 
 
 # --------------------------------------------------------------------------- #
@@ -77,6 +77,7 @@ def sampler_ablation_jobs(
             sampler="averaging",
             result_mode=result_mode,
             profile_sections=(),
+            adaptive=configured_adaptive(),
         ),
         ProfileJob(
             job_id="ablations/sampler/instantaneous",
@@ -85,6 +86,7 @@ def sampler_ablation_jobs(
             sampler="instantaneous",
             result_mode=result_mode,
             profile_sections=(),
+            adaptive=configured_adaptive(),
         ),
     ]
 
@@ -213,6 +215,7 @@ def binning_margin_jobs(
             # The margin sweep re-bins and re-stitches the raw run records,
             # so this job must ship the full result (never slim).
             result_mode="full",
+            adaptive=configured_adaptive(),
         )
     ]
 

@@ -145,6 +145,7 @@ def make_profiler(
     max_additional_runs: int = 200,
     result_mode: str = "full",
     profile_sections: tuple[str, ...] | None = None,
+    adaptive: bool = False,
 ) -> FinGraVProfiler:
     """A FinGraV profiler with the standard configuration.
 
@@ -153,7 +154,10 @@ def make_profiler(
     ships through worker IPC and its on-disk cache for drivers that never
     re-stitch the raw runs.  ``profile_sections`` narrows a slim result to
     the profile sections the driver actually consumes (summary-only drivers
-    declare ``()``); it is ignored in full mode.
+    declare ``()``); it is ignored in full mode.  ``adaptive`` enables
+    convergence-driven early stopping of run collection (the remaining
+    adaptive knobs stay at their ``ProfilerConfig`` defaults under the
+    sweep; see ``docs/profiler.md``).
     """
     config = ProfilerConfig(
         seed=seed,
@@ -163,6 +167,7 @@ def make_profiler(
         max_additional_runs=max_additional_runs,
         result_mode=result_mode,
         profile_sections=profile_sections,
+        adaptive=adaptive,
     )
     return FinGraVProfiler(backend, config)
 

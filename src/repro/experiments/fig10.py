@@ -21,7 +21,7 @@ from ..core.profiler import FinGraVResult
 from ..kernels.collectives import TransferRegime
 from ..kernels.workloads import cb_gemm, collective_suite
 from .common import ExperimentScale, default_scale
-from .sweep import ProfileJob, SweepRunner, configured_result_mode, kernel_spec, run_jobs
+from .sweep import ProfileJob, SweepRunner, configured_adaptive, configured_result_mode, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -110,6 +110,7 @@ def fig10_jobs(
                 profiler_seed=seed + 100 + offset,
                 result_mode=result_mode,
                 profile_sections=("ssp",),
+                adaptive=configured_adaptive(),
             )
         )
     gemm = cb_gemm(8192)
@@ -122,6 +123,7 @@ def fig10_jobs(
             profiler_seed=seed + 100 + len(jobs),
             result_mode=result_mode,
             profile_sections=("ssp",),
+            adaptive=configured_adaptive(),
         )
     )
     return jobs

@@ -24,7 +24,7 @@ from ..core.profile import FineGrainProfile
 from ..core.profiler import FinGraVResult
 from ..core.stitching import ProfileStitcher
 from .common import ExperimentScale, default_scale
-from .sweep import ProfileJob, SweepRunner, kernel_spec, run_jobs
+from .sweep import ProfileJob, SweepRunner, configured_adaptive, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -106,6 +106,7 @@ def fig5_jobs(
             # Figure 5 re-stitches the raw run records through baseline
             # stitchers, so this job must ship the full result (never slim).
             result_mode="full",
+            adaptive=configured_adaptive(),
         )
     ]
 

@@ -25,7 +25,7 @@ from ..core.profiler import FinGraVResult
 from ..gpu.spec import mi300x_spec
 from ..kernels.workloads import GEMM_SIZES, cb_gemms, mb_gemvs
 from .common import ExperimentScale, default_scale, power_sample_period_s
-from .sweep import ProfileJob, SweepRunner, configured_result_mode, kernel_spec, run_jobs
+from .sweep import ProfileJob, SweepRunner, configured_adaptive, configured_result_mode, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -122,6 +122,7 @@ def fig7_jobs(
                     profiler_seed=seed + 100 + offset,
                     result_mode=result_mode,
                     profile_sections=("ssp", "sse"),
+                    adaptive=configured_adaptive(),
                 )
             )
             offset += 1

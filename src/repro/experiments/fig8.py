@@ -17,7 +17,7 @@ import numpy as np
 from ..core.profiler import FinGraVResult
 from .common import ExperimentScale, default_scale
 from .fig6 import RunShapeSeries, _binned_series
-from .sweep import ProfileJob, SweepRunner, configured_result_mode, kernel_spec, run_jobs
+from .sweep import ProfileJob, SweepRunner, configured_adaptive, configured_result_mode, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -84,6 +84,7 @@ def fig8_jobs(
             # and error from the summary snapshot: ship slim, run-only.
             result_mode=configured_result_mode(),
             profile_sections=("run",),
+            adaptive=configured_adaptive(),
         )
     ]
 

@@ -23,7 +23,7 @@ from ..analysis.interleaving import InterleavedMeasurement
 from ..core.profile import FineGrainProfile
 from ..core.profiler import FinGraVResult
 from .common import ExperimentScale, default_scale
-from .sweep import KernelSpec, ProfileJob, SweepRunner, configured_result_mode, kernel_spec, run_jobs
+from .sweep import KernelSpec, ProfileJob, SweepRunner, configured_adaptive, configured_result_mode, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -137,6 +137,7 @@ def fig9_jobs(
                 profiler_seed=seed + 100 + offset,
                 result_mode=result_mode,
                 profile_sections=("ssp",),
+                adaptive=configured_adaptive(),
             )
         )
     for offset, (label, spec, preceding) in enumerate(_SCENARIOS):

@@ -112,9 +112,10 @@ from .common import (
 )
 
 #: Bump when job execution semantics change, to invalidate on-disk caches.
-#: Schema 3: columnar cache entries (profile columns spilled to a sidecar
-#: ``.npz``) and section-aware jobs; schema-2 entries recompute cleanly.
-_CACHE_SCHEMA = 3
+#: Schema 4: adaptive-collection-aware jobs (``ProfileJob.adaptive`` enters
+#: the key; results carry the collection audit in their metadata/summary).
+#: Schema-3 entries recompute cleanly.
+_CACHE_SCHEMA = 4
 
 #: Staging files older than this are considered orphaned by a dead writer.
 _STALE_STAGING_S = 3600.0
@@ -201,6 +202,13 @@ class ProfileJob:
     #: ``("ssp", "sse", "run")`` the driver's assembly reads; ``None`` keeps
     #: all three.  Ignored in full mode.  Part of the cache key.
     profile_sections: tuple[str, ...] | None = None
+    #: Collect runs adaptively: stop early once the golden-run SSP/SSE
+    #: confidence intervals converge (see ``docs/profiler.md``).  ``False``
+    #: is the paper's fixed-count collection.  Part of the cache key; the
+    #: remaining adaptive knobs (``convergence_rtol``/``min_runs``/
+    #: ``checkpoint_every``) stay pinned at their ``ProfilerConfig`` defaults
+    #: under the sweep (recorded ``statics`` exemptions).
+    adaptive: bool = False
 
 
 def configured_result_mode(default: str = "slim") -> str:
@@ -211,6 +219,20 @@ def configured_result_mode(default: str = "slim") -> str:
     """
     override = os.environ.get("FINGRAV_RESULT_MODE", "").strip().lower()
     return override if override in ("slim", "full") else default
+
+
+def configured_adaptive(default: bool = False) -> bool:
+    """Whether a driver should register its jobs with adaptive collection.
+
+    ``FINGRAV_ADAPTIVE`` (``1``/``true``/``on`` vs ``0``/``false``/``off``)
+    overrides the driver's default; anything else (including unset) keeps it.
+    """
+    override = os.environ.get("FINGRAV_ADAPTIVE", "").strip().lower()
+    if override in ("1", "true", "on", "yes"):
+        return True
+    if override in ("0", "false", "off", "no"):
+        return False
+    return default
 
 
 def execute_job(job: ProfileJob) -> object:
@@ -225,9 +247,11 @@ def execute_job(job: ProfileJob) -> object:
         differentiate=job.differentiate,
         max_additional_runs=job.max_additional_runs,
         # Interleaved jobs return a bare profile; the study's own isolated
-        # profiling stays full regardless of the job's shipping mode.
+        # profiling stays full regardless of the job's shipping mode, and its
+        # run counting is LOI-driven rather than convergence-driven.
         result_mode=job.result_mode if job.interleave_seed is None else "full",
         profile_sections=job.profile_sections,
+        adaptive=job.adaptive if job.interleave_seed is None else False,
     )
     if job.interleave_seed is None:
         return profiler.profile(kernel, runs=job.runs)
@@ -604,7 +628,24 @@ class SweepJobError(RuntimeError):
 # The run manifest: a machine-checkable record of one sweep.
 # --------------------------------------------------------------------------- #
 #: Bump when the manifest layout changes.
-MANIFEST_SCHEMA = 1
+#: Schema 2: per-job ``collection`` audit (adaptive stopping decision) and
+#: the run-wide ``counts.runs_saved`` aggregate.
+MANIFEST_SCHEMA = 2
+
+
+def _collection_audit(outcome: object) -> dict | None:
+    """The collection audit a result carries, if any (tolerant extractor).
+
+    Full and slim results both stamp ``metadata["collection"]`` (stop
+    reason, runs collected vs planned, final CI); bare profiles from
+    interleaved jobs carry none.
+    """
+    metadata = getattr(outcome, "metadata", None)
+    if isinstance(metadata, Mapping):
+        collection = metadata.get("collection")
+        if isinstance(collection, Mapping):
+            return dict(collection)
+    return None
 
 
 @dataclass
@@ -624,6 +665,9 @@ class _JobLedger:
     seconds: float = 0.0
     error: str | None = None
     events: list[str] = field(default_factory=list)
+    #: The result's collection audit (stop reason, runs collected vs
+    #: planned, final CI) -- None for bare-profile jobs and failures.
+    collection: dict | None = None
 
     def to_payload(self) -> dict:
         return {
@@ -640,6 +684,7 @@ class _JobLedger:
             "seconds": round(self.seconds, 6),
             "error": self.error,
             "events": list(self.events),
+            "collection": self.collection,
         }
 
 
@@ -692,6 +737,11 @@ class SweepManifest:
             "requeued": sum(job.requeues for job in ledgers),
             "quarantined": sum(job.quarantined for job in ledgers),
             "cache_store_failures": sum(job.cache_store_failures for job in ledgers),
+            "runs_saved": sum(
+                int(job.collection.get("runs_saved", 0))
+                for job in ledgers
+                if job.collection is not None
+            ),
         }
         return {
             "schema": MANIFEST_SCHEMA,
@@ -860,6 +910,7 @@ class SweepRunner:
                 results[job.job_id] = cached
                 self.cache_hits += 1
                 ledger.status = "hit"
+                ledger.collection = _collection_audit(cached)
             else:
                 if self.cache_dir is not None:
                     manifest.event(job.job_id, "cache-miss")
@@ -908,6 +959,7 @@ class SweepRunner:
                     results[job.job_id] = outcome
                     self._cache_store(job, outcome, manifest=manifest)
                     ledger.status = "recomputed"
+                    ledger.collection = _collection_audit(outcome)
                     break
                 if failure.retryable and attempt < self.config.max_retries:
                     delay = self._backoff(job.job_id, attempt)
@@ -974,6 +1026,7 @@ class SweepRunner:
                 results[flight.job.job_id] = outcome
                 self._cache_store(flight.job, outcome, manifest=manifest)
                 ledger.status = "recomputed"
+                ledger.collection = _collection_audit(outcome)
             else:
                 settle_failure(flight.job, flight.attempt, failure)
 
@@ -1643,6 +1696,7 @@ __all__ = [
     "kernel_spec",
     "ProfileJob",
     "configured_result_mode",
+    "configured_adaptive",
     "execute_job",
     "job_key",
     "SweepConfig",

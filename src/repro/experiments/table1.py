@@ -22,7 +22,7 @@ from typing import Mapping
 from ..core.guidance import GuidanceEntry, paper_guidance_table
 from ..core.profiler import FinGraVResult
 from .common import ExperimentScale, default_scale
-from .sweep import KernelSpec, ProfileJob, SweepRunner, configured_result_mode, kernel_spec, run_jobs
+from .sweep import KernelSpec, ProfileJob, SweepRunner, configured_adaptive, configured_result_mode, kernel_spec, run_jobs
 
 
 @dataclass(frozen=True)
@@ -166,6 +166,7 @@ def table1_jobs(
             profiler_seed=seed + 100 + offset,
             result_mode=result_mode,
             profile_sections=(),
+            adaptive=configured_adaptive(),
         )
         for offset, (tag, spec) in enumerate(_REPRESENTATIVES)
     ]

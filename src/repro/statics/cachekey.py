@@ -120,6 +120,21 @@ EXEMPTIONS: dict[str, dict[str, str]] = {
             "profile construction layout: columnar and object-based profiles "
             "are pinned bit-identical by the equivalence tests"
         ),
+        "convergence_rtol": (
+            "adaptive-stopping knob pinned at its default by make_profiler "
+            "(only the keyed 'adaptive' switch varies under the sweep); "
+            "changing the default requires a _CACHE_SCHEMA bump"
+        ),
+        "min_runs": (
+            "adaptive-stopping knob pinned at its default by make_profiler "
+            "(only the keyed 'adaptive' switch varies under the sweep); "
+            "changing the default requires a _CACHE_SCHEMA bump"
+        ),
+        "checkpoint_every": (
+            "adaptive-stopping knob pinned at its default by make_profiler "
+            "(only the keyed 'adaptive' switch varies under the sweep); "
+            "changing the default requires a _CACHE_SCHEMA bump"
+        ),
     },
     "BackendConfig": {
         "pre_padding_periods": (

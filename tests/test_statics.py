@@ -258,11 +258,11 @@ class TestJobKeyHardening:
         assert job_key(job) == expected
 
     def test_key_digest_pinned(self):
-        # Byte-identity guard: this exact digest is what schema-3 warm caches
+        # Byte-identity guard: this exact digest is what schema-4 warm caches
         # hold for this job.  It may only change with a _CACHE_SCHEMA bump.
         assert job_key(self.make_job()) == (
-            "e537442a8b0e464759f7b5c9b5f9d5d672bf3390d76cf623ad90961a"
-            "ca1b9870"
+            "204e975937008f46a7cf292abad4dbe33626d42c8693813a681eaaa5"
+            "e0148d9f"
         )
 
     def test_key_ignores_job_id(self):

@@ -152,6 +152,73 @@ class TestSweepRunner:
         assert_result_maps_identical(second, serial_results)
 
 
+def adaptive_jobs() -> list[ProfileJob]:
+    """Jobs with convergence-driven early stopping enabled."""
+    return [
+        ProfileJob(
+            job_id="test/CB-8K-GEMM-adaptive",
+            kernel=kernel_spec("cb_gemm", 8192),
+            runs=40,
+            backend_seed=12,
+            profiler_seed=212,
+            max_additional_runs=300,
+            adaptive=True,
+        ),
+        ProfileJob(
+            job_id="test/CB-2K-GEMM-adaptive",
+            kernel=kernel_spec("cb_gemm", 2048),
+            runs=10,
+            backend_seed=51,
+            profiler_seed=151,
+            max_additional_runs=40,
+            adaptive=True,
+        ),
+    ]
+
+
+class TestAdaptiveSweepDeterminism:
+    """The adaptive stopping rule must not break sweep reproducibility."""
+
+    @pytest.fixture(scope="class")
+    def serial_adaptive(self):
+        return SweepRunner(workers=1).run(adaptive_jobs())
+
+    def test_adaptive_flag_changes_the_cache_key(self):
+        job = adaptive_jobs()[0]
+        fixed = ProfileJob(**{**job.__dict__, "adaptive": False})
+        assert job_key(job) != job_key(fixed)
+
+    def test_parallel_matches_serial(self, serial_adaptive):
+        parallel = SweepRunner(workers=2).run(adaptive_jobs())
+        assert_result_maps_identical(serial_adaptive, parallel)
+        for job_id in serial_adaptive:
+            assert (
+                sweep_module._collection_audit(serial_adaptive[job_id])
+                == sweep_module._collection_audit(parallel[job_id])
+            )
+
+    def test_stopping_decisions_recorded(self, serial_adaptive):
+        audits = {
+            job_id: sweep_module._collection_audit(result)
+            for job_id, result in serial_adaptive.items()
+        }
+        assert all(audit is not None for audit in audits.values())
+        assert all(audit["adaptive"] for audit in audits.values())
+        # The long kernel converges well inside its planned 40 runs.
+        converged = audits["test/CB-8K-GEMM-adaptive"]
+        assert converged["stop_reason"] == "converged"
+        assert converged["runs_saved"] > 0
+
+    def test_adaptive_results_differ_from_fixed(self, serial_adaptive):
+        # Early stopping genuinely changes collection for the converging job.
+        fixed_job = ProfileJob(
+            **{**adaptive_jobs()[0].__dict__, "adaptive": False}
+        )
+        fixed = execute_job(fixed_job)
+        adaptive = serial_adaptive[fixed_job.job_id]
+        assert adaptive.num_runs < fixed.num_runs
+
+
 def failing_job(job_id: str = "test/failing") -> ProfileJob:
     """A job whose kernel build raises inside execute_job (any process)."""
     return ProfileJob(

@@ -460,7 +460,7 @@ class TestManifest:
         manifest_path = cache_dir / "manifest.json"
         assert manifest_path.exists()
         manifest = json.loads(manifest_path.read_text())
-        assert manifest["schema"] == 1
+        assert manifest["schema"] == 2
         assert manifest["workers"] == 1
         assert "engine" in manifest and "provider" in manifest["engine"]
         assert manifest["config"]["max_retries"] == 2
